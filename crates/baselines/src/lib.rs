@@ -1,0 +1,30 @@
+//! Baseline gossip protocols the paper compares against.
+//!
+//! * [`Budgeted`] — age-limited push / pull / push&pull flooding in the
+//!   standard one-choice phone call model. These are the strongest *strictly
+//!   oblivious* protocols (decisions depend only on reception times), i.e.
+//!   exactly the class quantified over by the paper's Theorem 1 lower bound
+//!   of `Ω(n·log n / log d)` transmissions for `O(log n)`-time broadcast.
+//! * [`MedianCounter`] — the termination mechanism of Karp, Schindelhauer,
+//!   Shenker and Vöcking \[25\], which achieves `O(n·log log n)` transmissions
+//!   on **complete** graphs; the paper's contribution is matching that bound
+//!   on sparse random regular graphs.
+//! * [`QuasirandomPush`] — the quasirandom rumour spreading of Doerr,
+//!   Friedrich and Sauerwald \[9\]: deterministic cyclic neighbour lists with
+//!   a random starting offset.
+//!
+//! Unbounded ("oracle-terminated") floods live in
+//! [`rrb_engine::protocols`]; the paper's algorithm itself in `rrb-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budgeted;
+mod median_counter;
+mod push_then_pull;
+mod quasirandom;
+
+pub use budgeted::{Budgeted, GossipMode};
+pub use median_counter::{CounterState, MedianCounter};
+pub use push_then_pull::PushThenPull;
+pub use quasirandom::QuasirandomPush;

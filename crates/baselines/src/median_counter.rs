@@ -1,0 +1,305 @@
+use rrb_engine::{ChoicePolicy, NodeView, Observation, Plan, Protocol, Round, RumorMeta};
+
+/// Node state of the [`MedianCounter`] protocol.
+///
+/// Mirrors the four states of Karp et al. \[25\]: uninformed (state A, not
+/// represented — the engine tracks informedness), counting (`B` with a
+/// counter), confirmed-old (`C`, still transmitting for a fixed tail), and
+/// dead (`D`, permanently silent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterState {
+    /// Informed, propagating, counter not yet saturated.
+    B {
+        /// Current counter value (starts at 1).
+        ctr: u32,
+    },
+    /// Counter saturated; transmit for `remaining` more rounds.
+    C {
+        /// Rounds left before going silent.
+        remaining: u32,
+    },
+    /// Permanently silent.
+    D,
+}
+
+/// The **median-counter** push&pull algorithm of Karp, Schindelhauer,
+/// Shenker and Vöcking \[25\] — the classic distributed termination mechanism
+/// that stops rumour spreading after `Θ(log log n)` effective phases without
+/// any oracle, bounding total transmissions by `O(n·log log n)` on complete
+/// graphs.
+///
+/// Rules implemented (faithful to \[25\] §3, adapted to headers instead of
+/// state inspection — the rumour carries `(age, counter)`):
+///
+/// * every informed, non-dead node push&pulls each round, attaching its
+///   counter (`C`-nodes attach the saturation value `ctr_max`);
+/// * a `B`-node with counter `ctr` that receives copies this round compares
+///   them to its own: if at least half carry a counter `>= ctr` (the median
+///   rule), it increments `ctr`;
+/// * hearing any copy with counter `>= ctr_max`, or reaching `ctr_max`
+///   itself, moves the node to `C`, which transmits for `c_rounds` further
+///   rounds and then dies;
+/// * a deterministic failsafe kills any node `age_cutoff` rounds after its
+///   first reception (the `O(log n)` cutoff of \[25\]).
+///
+/// ```
+/// use rand::{SeedableRng, rngs::SmallRng};
+/// use rrb_baselines::MedianCounter;
+/// use rrb_engine::{SimConfig, Simulation, StopReason};
+/// use rrb_graph::{gen, NodeId};
+///
+/// let mut rng = SmallRng::seed_from_u64(2);
+/// let g = gen::complete(1024);
+/// let proto = MedianCounter::for_size(1024);
+/// let report = Simulation::new(&g, proto, SimConfig::until_quiescent())
+///     .run(NodeId::new(0), &mut rng);
+/// assert!(report.all_informed());
+/// assert_eq!(report.stop, StopReason::Quiescent); // self-terminating
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MedianCounter {
+    ctr_max: u32,
+    c_rounds: u32,
+    age_cutoff: Round,
+    policy: ChoicePolicy,
+}
+
+impl MedianCounter {
+    /// Explicit parameters; see [`MedianCounter::for_size`] for defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctr_max == 0` or `c_rounds == 0`.
+    pub fn new(ctr_max: u32, c_rounds: u32, age_cutoff: Round) -> Self {
+        assert!(ctr_max > 0, "ctr_max must be positive");
+        assert!(c_rounds > 0, "c_rounds must be positive");
+        MedianCounter { ctr_max, c_rounds, age_cutoff, policy: ChoicePolicy::STANDARD }
+    }
+
+    /// Parameters from \[25\]: `ctr_max = O(log log n)` (we use
+    /// `⌈log2 log2 n⌉ + 2`), a `C`-tail of the same length, and an
+    /// `O(log n)` failsafe (`4·log2 n`).
+    pub fn for_size(n: usize) -> Self {
+        let log_n = (n.max(4) as f64).log2();
+        let loglog = log_n.log2().max(1.0);
+        MedianCounter::new(
+            loglog.ceil() as u32 + 2,
+            loglog.ceil() as u32 + 2,
+            (4.0 * log_n).ceil() as Round,
+        )
+    }
+
+    /// Overrides the channel policy (the classic algorithm uses the standard
+    /// single-choice model).
+    pub fn with_policy(mut self, policy: ChoicePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Counter saturation threshold.
+    pub fn ctr_max(&self) -> u32 {
+        self.ctr_max
+    }
+
+    /// Length of the `C` tail.
+    pub fn c_rounds(&self) -> u32 {
+        self.c_rounds
+    }
+
+    /// Deterministic age failsafe.
+    pub fn age_cutoff(&self) -> Round {
+        self.age_cutoff
+    }
+}
+
+impl Protocol for MedianCounter {
+    type State = CounterState;
+
+    fn init(&self, _creator: bool) -> Self::State {
+        CounterState::B { ctr: 1 }
+    }
+
+    fn choice_policy(&self) -> ChoicePolicy {
+        self.policy
+    }
+
+    fn plan(&self, view: NodeView<'_, Self::State>, t: Round) -> Plan {
+        let age = t - view.informed_at;
+        if age > self.age_cutoff {
+            return Plan::SILENT;
+        }
+        match *view.state {
+            CounterState::B { ctr } => {
+                Plan::push_pull_with(RumorMeta { age, counter: ctr })
+            }
+            CounterState::C { .. } => {
+                Plan::push_pull_with(RumorMeta { age, counter: self.ctr_max })
+            }
+            CounterState::D => Plan::SILENT,
+        }
+    }
+
+    fn update(
+        &self,
+        state: &mut Self::State,
+        informed_at: Option<Round>,
+        t: Round,
+        obs: &Observation,
+    ) {
+        let Some(at) = informed_at else { return };
+        if at == t {
+            // Just informed this round: start counting from B1 next round.
+            return;
+        }
+        match state {
+            CounterState::B { ctr } => {
+                let saw_saturated = obs.iter().any(|m| m.counter >= self.ctr_max);
+                if saw_saturated {
+                    *state = CounterState::C { remaining: self.c_rounds };
+                    return;
+                }
+                let (ge, lt) = obs.iter().fold((0u32, 0u32), |(ge, lt), m| {
+                    if m.counter >= *ctr {
+                        (ge + 1, lt)
+                    } else {
+                        (ge, lt + 1)
+                    }
+                });
+                if ge + lt > 0 && ge >= lt {
+                    *ctr += 1;
+                }
+                if *ctr >= self.ctr_max {
+                    *state = CounterState::C { remaining: self.c_rounds };
+                }
+            }
+            CounterState::C { remaining } => {
+                *remaining = remaining.saturating_sub(1);
+                if *remaining == 0 {
+                    *state = CounterState::D;
+                }
+            }
+            CounterState::D => {}
+        }
+    }
+
+    fn is_quiescent(&self, state: &Self::State, informed_at: Round, t: Round) -> bool {
+        matches!(state, CounterState::D) || t > informed_at + self.age_cutoff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rrb_engine::{SimConfig, Simulation, StopReason};
+    use rrb_graph::{gen, NodeId};
+
+    #[test]
+    fn parameters_scale_with_n() {
+        let small = MedianCounter::for_size(1 << 10);
+        let large = MedianCounter::for_size(1 << 20);
+        assert!(large.age_cutoff() > small.age_cutoff());
+        assert!(large.ctr_max() >= small.ctr_max());
+        assert_eq!(small.ctr_max(), small.c_rounds());
+    }
+
+    #[test]
+    fn median_rule_increments_counter() {
+        let p = MedianCounter::new(5, 3, 100);
+        let mut state = CounterState::B { ctr: 2 };
+        let mut obs = Observation::default();
+        obs.pushes.push(RumorMeta { age: 1, counter: 3 });
+        obs.pushes.push(RumorMeta { age: 1, counter: 2 });
+        obs.pulls.push(RumorMeta { age: 1, counter: 1 });
+        // ge = 2 (3, 2), lt = 1 (1): increment.
+        p.update(&mut state, Some(1), 5, &obs);
+        assert_eq!(state, CounterState::B { ctr: 3 });
+    }
+
+    #[test]
+    fn minority_does_not_increment() {
+        let p = MedianCounter::new(5, 3, 100);
+        let mut state = CounterState::B { ctr: 3 };
+        let mut obs = Observation::default();
+        obs.pushes.push(RumorMeta { age: 1, counter: 1 });
+        obs.pushes.push(RumorMeta { age: 1, counter: 2 });
+        obs.pulls.push(RumorMeta { age: 1, counter: 4 });
+        // ge = 1, lt = 2: no increment.
+        p.update(&mut state, Some(1), 5, &obs);
+        assert_eq!(state, CounterState::B { ctr: 3 });
+    }
+
+    #[test]
+    fn saturated_copy_forces_c() {
+        let p = MedianCounter::new(5, 3, 100);
+        let mut state = CounterState::B { ctr: 1 };
+        let mut obs = Observation::default();
+        obs.pushes.push(RumorMeta { age: 1, counter: 5 });
+        p.update(&mut state, Some(1), 5, &obs);
+        assert_eq!(state, CounterState::C { remaining: 3 });
+    }
+
+    #[test]
+    fn c_counts_down_to_d() {
+        let p = MedianCounter::new(5, 2, 100);
+        let mut state = CounterState::C { remaining: 2 };
+        let obs = Observation::default();
+        p.update(&mut state, Some(1), 5, &obs);
+        assert_eq!(state, CounterState::C { remaining: 1 });
+        p.update(&mut state, Some(1), 6, &obs);
+        assert_eq!(state, CounterState::D);
+        assert!(p.is_quiescent(&state, 1, 7));
+    }
+
+    #[test]
+    fn fresh_node_does_not_count_its_arrival_round() {
+        let p = MedianCounter::new(5, 3, 100);
+        let mut state = CounterState::B { ctr: 1 };
+        let mut obs = Observation::default();
+        obs.pushes.push(RumorMeta { age: 9, counter: 4 });
+        // informed_at == t: arrival round, counter must not move.
+        p.update(&mut state, Some(7), 7, &obs);
+        assert_eq!(state, CounterState::B { ctr: 1 });
+    }
+
+    #[test]
+    fn age_cutoff_silences() {
+        let p = MedianCounter::new(5, 3, 10);
+        let view = NodeView { informed_at: 0, is_creator: true, state: &CounterState::B { ctr: 1 } };
+        assert!(p.plan(view, 10).transmits());
+        assert!(!p.plan(view, 11).transmits());
+        assert!(p.is_quiescent(&CounterState::B { ctr: 1 }, 0, 11));
+    }
+
+    #[test]
+    fn self_terminates_with_full_coverage_on_complete_graph() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 512;
+        let g = gen::complete(n);
+        let p = MedianCounter::for_size(n);
+        let report =
+            Simulation::new(&g, p, SimConfig::until_quiescent()).run(NodeId::new(0), &mut rng);
+        assert!(report.all_informed(), "coverage {}", report.coverage());
+        assert_eq!(report.stop, StopReason::Quiescent);
+        // Terminates well before the age failsafe would force it.
+        assert!(report.rounds < p.age_cutoff());
+    }
+
+    #[test]
+    fn works_on_random_regular_graphs() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let n = 1 << 10;
+        let g = gen::random_regular(n, 16, &mut rng).unwrap();
+        let p = MedianCounter::for_size(n);
+        let report =
+            Simulation::new(&g, p, SimConfig::until_quiescent()).run(NodeId::new(0), &mut rng);
+        assert!(report.coverage() > 0.99, "coverage {}", report.coverage());
+    }
+
+    #[test]
+    #[should_panic(expected = "ctr_max")]
+    fn rejects_zero_ctr_max() {
+        let _ = MedianCounter::new(0, 3, 10);
+    }
+}

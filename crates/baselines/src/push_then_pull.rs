@@ -1,0 +1,229 @@
+use rrb_engine::{ChoicePolicy, NodeView, Observation, Plan, Protocol, Round, RumorMeta};
+
+/// Age-scheduled **push-then-pull** keyed off the rumour's *global* age.
+///
+/// Every copy of the rumour carries its age since creation (the header the
+/// phone call model grants, cf. Karp et al. \[25\] and the paper's §3 note
+/// that "the age of the message is nothing else than the current time
+/// step"). All nodes therefore share a consistent clock for the rumour and
+/// can execute a *global* schedule without any extra coordination:
+///
+/// * while `age <= switch_age`: informed nodes **push**;
+/// * while `switch_age < age <= max_age`: informed nodes **serve pulls**;
+/// * afterwards: silence.
+///
+/// With `switch_age ≈ log2 n` (just past the n/2 crossover of §1) and a
+/// pull tail of `O(log log n)` rounds this is the classic age-based scheme
+/// whose faultless cost on complete graphs is `O(n·log log n)` — the
+/// benchmark the median-counter algorithm robustifies. Decisions depend
+/// only on reception times and the rumour header, so the protocol is
+/// strictly oblivious and, on random regular graphs in the one-choice
+/// model, subject to Theorem 1's `Ω(n log n / log d)` bound — experiment
+/// E3 probes exactly this tension.
+///
+/// ```
+/// use rand::{SeedableRng, rngs::SmallRng};
+/// use rrb_baselines::PushThenPull;
+/// use rrb_engine::{SimConfig, Simulation, StopReason};
+/// use rrb_graph::{gen, NodeId};
+///
+/// let mut rng = SmallRng::seed_from_u64(6);
+/// let g = gen::complete(512);
+/// let proto = PushThenPull::for_size(512);
+/// let report = Simulation::new(&g, proto, SimConfig::until_quiescent())
+///     .run(NodeId::new(0), &mut rng);
+/// assert!(report.all_informed());
+/// assert_eq!(report.stop, StopReason::Quiescent);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushThenPull {
+    switch_age: Round,
+    max_age: Round,
+    policy: ChoicePolicy,
+}
+
+/// Per-node state: the rumour's creation round, learned from the header of
+/// the first copy received (0 for the creator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BirthState {
+    birth: Option<Round>,
+}
+
+impl PushThenPull {
+    /// Explicit phase lengths (in rounds of global rumour age).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < switch_age < max_age`.
+    pub fn new(switch_age: Round, max_age: Round) -> Self {
+        assert!(switch_age > 0, "switch_age must be positive");
+        assert!(max_age > switch_age, "max_age must exceed switch_age");
+        PushThenPull { switch_age, max_age, policy: ChoicePolicy::STANDARD }
+    }
+
+    /// Crossover-tuned parameters: push until age `log2 n + loglog2 n`
+    /// (safely past the ~n/2 point), then pull for `3·loglog2 n + 2` more
+    /// rounds (the doubly-exponential pull collapse).
+    pub fn for_size(n: usize) -> Self {
+        let log_n = (n.max(4) as f64).log2();
+        let loglog = log_n.log2().max(1.0);
+        let switch = (log_n + loglog).ceil() as Round;
+        PushThenPull::new(switch, switch + (3.0 * loglog).ceil() as Round + 2)
+    }
+
+    /// Overrides the channel policy.
+    pub fn with_policy(mut self, policy: ChoicePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Global rumour age at which pushing stops and pull serving starts.
+    pub fn switch_age(&self) -> Round {
+        self.switch_age
+    }
+
+    /// Global rumour age after which the protocol is silent.
+    pub fn max_age(&self) -> Round {
+        self.max_age
+    }
+}
+
+impl Protocol for PushThenPull {
+    type State = BirthState;
+
+    fn init(&self, creator: bool) -> Self::State {
+        BirthState { birth: creator.then_some(0) }
+    }
+
+    fn choice_policy(&self) -> ChoicePolicy {
+        self.policy
+    }
+
+    fn plan(&self, view: NodeView<'_, Self::State>, t: Round) -> Plan {
+        // The engine only asks informed nodes for plans, and `update` runs
+        // before the next plan, so `birth` is always set here; fall back to
+        // reception time if a copy ever arrived without a usable header.
+        let birth = view.state.birth.unwrap_or(view.informed_at);
+        let age = t.saturating_sub(birth);
+        let meta = RumorMeta { age, counter: 0 };
+        if age <= self.switch_age {
+            Plan::push_with(meta)
+        } else if age <= self.max_age {
+            Plan::pull_with(meta)
+        } else {
+            Plan::SILENT
+        }
+    }
+
+    fn update(
+        &self,
+        state: &mut Self::State,
+        _informed_at: Option<Round>,
+        t: Round,
+        obs: &Observation,
+    ) {
+        if state.birth.is_none() {
+            // All copies carry the same global age; any header suffices.
+            if let Some(meta) = obs.iter().next() {
+                state.birth = Some(t.saturating_sub(meta.age));
+            }
+        }
+    }
+
+    fn is_quiescent(&self, state: &Self::State, informed_at: Round, t: Round) -> bool {
+        let birth = state.birth.unwrap_or(informed_at);
+        t > birth + self.max_age
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rrb_engine::{SimConfig, Simulation};
+    use rrb_graph::{gen, NodeId};
+
+    fn creator_view(state: &BirthState) -> NodeView<'_, BirthState> {
+        NodeView { informed_at: 0, is_creator: true, state }
+    }
+
+    #[test]
+    fn schedule_transitions_on_global_age() {
+        let p = PushThenPull::new(5, 12);
+        let s = BirthState { birth: Some(0) };
+        assert!(p.plan(creator_view(&s), 5).push);
+        let mid = p.plan(creator_view(&s), 6);
+        assert!(!mid.push && mid.pull_serve);
+        assert!(p.plan(creator_view(&s), 12).pull_serve);
+        assert!(!p.plan(creator_view(&s), 13).transmits());
+        assert!(p.is_quiescent(&s, 0, 13));
+        assert!(!p.is_quiescent(&s, 0, 12));
+    }
+
+    #[test]
+    fn late_receiver_follows_the_global_clock() {
+        // A node informed at round 4 of a rumour born at 0 still switches
+        // to pull at *global* age 6, not at its own age 6.
+        let p = PushThenPull::new(6, 10);
+        let mut state = BirthState { birth: None };
+        let mut obs = Observation::default();
+        obs.pushes.push(RumorMeta { age: 4, counter: 0 });
+        p.update(&mut state, Some(4), 4, &obs);
+        assert_eq!(state.birth, Some(0));
+        let view = NodeView { informed_at: 4, is_creator: false, state: &state };
+        assert!(p.plan(view, 6).push);
+        assert!(p.plan(view, 7).pull_serve, "must switch at global age, not local");
+    }
+
+    #[test]
+    fn for_size_parameters() {
+        let p = PushThenPull::for_size(1 << 10);
+        assert_eq!(p.switch_age(), 14); // 10 + 3.32 → 14
+        assert_eq!(p.max_age(), 14 + 12); // + 3·3.32 → +10 ceil + 2
+    }
+
+    #[test]
+    fn completes_on_complete_and_regular_graphs() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 512;
+        for g in [gen::complete(n), gen::random_regular(n, 8, &mut rng).unwrap()] {
+            let report =
+                Simulation::new(&g, PushThenPull::for_size(n), SimConfig::until_quiescent())
+                    .run(NodeId::new(0), &mut rng);
+            assert!(report.all_informed(), "coverage {}", report.coverage());
+        }
+    }
+
+    #[test]
+    fn cheaper_than_pure_push_on_complete_graphs() {
+        // The global-age schedule bounds total pushes by Σ_t |I(t)| up to
+        // the switch — O(n) growth plus a short saturated stretch — versus
+        // pure push paying its full budget per node.
+        use crate::{Budgeted, GossipMode};
+        let n = 2048;
+        let g = gen::complete(n);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let ptp = Simulation::new(&g, PushThenPull::for_size(n), SimConfig::until_quiescent())
+            .run(NodeId::new(0), &mut rng);
+        let push = Simulation::new(
+            &g,
+            Budgeted::for_size(GossipMode::Push, n, 3.0),
+            SimConfig::until_quiescent(),
+        )
+        .run(NodeId::new(0), &mut rng);
+        assert!(ptp.all_informed() && push.all_informed());
+        assert!(
+            ptp.tx_per_node() < push.tx_per_node(),
+            "push-then-pull ({:.1}) should beat pure push ({:.1})",
+            ptp.tx_per_node(),
+            push.tx_per_node()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "max_age must exceed")]
+    fn rejects_inverted_schedule() {
+        let _ = PushThenPull::new(10, 10);
+    }
+}

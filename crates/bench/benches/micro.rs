@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks for the substrate: graph generation, engine
+//! round cost, end-to-end broadcasts per protocol, and the spectral solver.
+//!
+//! These are performance benches for the *simulator itself* (the paper's
+//! metrics — rounds and transmissions — come from the `exp_*` binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use rrb_baselines::{Budgeted, GossipMode, MedianCounter};
+use rrb_core::FourChoice;
+use rrb_engine::{protocols::FloodPushPull, SimConfig, SimState, Simulation};
+use rrb_graph::{gen, spectral, NodeId};
+
+fn bench_graph_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_gen");
+    group.sample_size(20);
+    for &n in &[1usize << 12, 1 << 14] {
+        group.bench_with_input(BenchmarkId::new("configuration_model_d8", n), &n, |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| gen::configuration_model(n, 8, &mut rng).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("random_regular_d8", n), &n, |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(2);
+            b.iter(|| gen::random_regular(n, 8, &mut rng).unwrap());
+        });
+    }
+    group.bench_function("gnp_n4096_logdeg", |b| {
+        let n = 1 << 12;
+        let p = 2.0 * (n as f64).log2() / n as f64;
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| gen::gnp(n, p, &mut rng).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_engine_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_round");
+    group.sample_size(30);
+    let n = 1 << 13;
+    let mut rng = SmallRng::seed_from_u64(4);
+    let g = gen::random_regular(n, 8, &mut rng).unwrap();
+    group.bench_function("four_choice_step_n8192_d8", |b| {
+        let alg = FourChoice::for_graph(n, 8);
+        let config = SimConfig::default();
+        b.iter_batched(
+            || SimState::new(&alg, n, NodeId::new(0)),
+            |mut sim| {
+                for _ in 0..4 {
+                    sim.step(&g, &alg, config, &mut rng);
+                }
+                sim
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("flood_pushpull_step_n8192_d8", |b| {
+        let alg = FloodPushPull::new();
+        let config = SimConfig::default();
+        b.iter_batched(
+            || SimState::new(&alg, n, NodeId::new(0)),
+            |mut sim| {
+                for _ in 0..4 {
+                    sim.step(&g, &alg, config, &mut rng);
+                }
+                sim
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast_end_to_end");
+    group.sample_size(10);
+    let n = 1 << 11;
+    let mut rng = SmallRng::seed_from_u64(5);
+    let g = gen::random_regular(n, 8, &mut rng).unwrap();
+    group.bench_function("four_choice_n2048", |b| {
+        let alg = FourChoice::for_graph(n, 8);
+        b.iter(|| {
+            Simulation::new(&g, alg, SimConfig::until_quiescent())
+                .run(NodeId::new(0), &mut rng)
+        });
+    });
+    group.bench_function("budgeted_push_n2048", |b| {
+        let alg = Budgeted::for_size(GossipMode::Push, n, 3.0);
+        b.iter(|| {
+            Simulation::new(&g, alg, SimConfig::until_quiescent())
+                .run(NodeId::new(0), &mut rng)
+        });
+    });
+    group.bench_function("median_counter_n2048", |b| {
+        let alg = MedianCounter::for_size(n);
+        b.iter(|| {
+            Simulation::new(&g, alg, SimConfig::until_quiescent())
+                .run(NodeId::new(0), &mut rng)
+        });
+    });
+    group.finish();
+}
+
+fn bench_spectral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral");
+    group.sample_size(10);
+    let n = 1 << 10;
+    let mut rng = SmallRng::seed_from_u64(6);
+    let g = gen::random_regular(n, 8, &mut rng).unwrap();
+    group.bench_function("second_eigenvalue_n1024_d8", |b| {
+        b.iter(|| spectral::second_eigenvalue(&g, 300, &mut rng).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_gen, bench_engine_round, bench_broadcast, bench_spectral);
+criterion_main!(benches);

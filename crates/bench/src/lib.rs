@@ -1,0 +1,149 @@
+//! Shared harness for the experiment binaries (`src/bin/exp_*.rs`).
+//!
+//! Every experiment reproduces one quantitative claim of the paper (see
+//! `DESIGN.md` §4 for the index and `EXPERIMENTS.md` for recorded results).
+//! The binaries accept `--quick` to shrink the size ladder and seed count
+//! for smoke-testing; default parameters produce the tables recorded in
+//! `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use rrb_engine::{Protocol, RunReport, SimConfig, Simulation, Topology};
+use rrb_graph::NodeId;
+
+/// Command-line configuration shared by all experiment binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Reduced ladder/seeds for smoke tests (`--quick`).
+    pub quick: bool,
+    /// Number of independent seeds per configuration.
+    pub seeds: u64,
+}
+
+impl ExpConfig {
+    /// Parses `--quick` and `--seeds N` from `std::env::args`.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let quick = args.iter().any(|a| a == "--quick");
+        let seeds = args
+            .iter()
+            .position(|a| a == "--seeds")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(if quick { 3 } else { 10 });
+        ExpConfig { quick, seeds }
+    }
+
+    /// The exponent ladder for n = 2^e sweeps: shorter under `--quick`.
+    pub fn size_exponents(&self, full: std::ops::RangeInclusive<u32>) -> Vec<u32> {
+        if self.quick {
+            let hi = (*full.start() + 2).min(*full.end());
+            (*full.start()..=hi).collect()
+        } else {
+            full.collect()
+        }
+    }
+}
+
+/// Deterministic per-(experiment, configuration, seed) RNG.
+pub fn rng_for(experiment: u64, config_ix: u64, seed: u64) -> SmallRng {
+    // SplitMix-style mixing of the three coordinates.
+    let mut z = experiment
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(config_ix.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(seed.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z ^= z >> 31;
+    SmallRng::seed_from_u64(z)
+}
+
+/// Runs `protocol` once per seed from a random origin and returns the
+/// reports.
+pub fn run_seeds<T, P, F>(
+    topo_for_seed: F,
+    protocol: &P,
+    config: SimConfig,
+    experiment: u64,
+    config_ix: u64,
+    seeds: u64,
+) -> Vec<RunReport>
+where
+    T: Topology,
+    P: Protocol + Clone,
+    F: Fn(&mut SmallRng) -> T,
+{
+    (0..seeds)
+        .map(|s| {
+            let mut rng = rng_for(experiment, config_ix, s);
+            let topo = topo_for_seed(&mut rng);
+            let origin = loop {
+                let i = rng.gen_range(0..topo.node_count());
+                if topo.is_alive(NodeId::new(i)) {
+                    break NodeId::new(i);
+                }
+            };
+            Simulation::new(&topo, protocol.clone(), config).run(origin, &mut rng)
+        })
+        .collect()
+}
+
+/// Mean of a per-report metric.
+pub fn mean_of<F: Fn(&RunReport) -> f64>(reports: &[RunReport], f: F) -> f64 {
+    if reports.is_empty() {
+        return 0.0;
+    }
+    reports.iter().map(f).sum::<f64>() / reports.len() as f64
+}
+
+/// Fraction of reports with full coverage.
+pub fn success_rate(reports: &[RunReport]) -> f64 {
+    mean_of(reports, |r| if r.all_informed() { 1.0 } else { 0.0 })
+}
+
+/// Mean rounds-to-coverage over successful runs (cap value for failures).
+pub fn mean_rounds_to_coverage(reports: &[RunReport]) -> f64 {
+    mean_of(reports, |r| r.full_coverage_at.unwrap_or(r.rounds) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrb_engine::protocols::FloodPushPull;
+    use rrb_graph::gen;
+
+    #[test]
+    fn rngs_are_deterministic_and_distinct() {
+        let a: u64 = rng_for(1, 2, 3).gen();
+        let b: u64 = rng_for(1, 2, 3).gen();
+        let c: u64 = rng_for(1, 2, 4).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn run_seeds_produces_reports() {
+        let reports = run_seeds(
+            |rng| gen::random_regular(128, 4, rng).unwrap(),
+            &FloodPushPull::new(),
+            SimConfig::default(),
+            1,
+            0,
+            4,
+        );
+        assert_eq!(reports.len(), 4);
+        assert!((success_rate(&reports) - 1.0).abs() < 1e-12);
+        assert!(mean_rounds_to_coverage(&reports) > 1.0);
+        assert!(mean_of(&reports, |r| r.tx_per_node()) > 0.0);
+    }
+
+    #[test]
+    fn quick_config_shrinks_ladder() {
+        let full = ExpConfig { quick: false, seeds: 10 };
+        let quick = ExpConfig { quick: true, seeds: 3 };
+        assert_eq!(full.size_exponents(10..=15), vec![10, 11, 12, 13, 14, 15]);
+        assert_eq!(quick.size_exponents(10..=15), vec![10, 11, 12]);
+    }
+}

@@ -1,0 +1,319 @@
+use rrb_engine::Round;
+
+/// Which of the paper's two algorithms the schedule encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmVariant {
+    /// Algorithm 1, for small degrees `δ ≤ d ≤ δ·log log n`: four phases,
+    /// with a single-step pull phase and an active-push phase 4.
+    SmallDegree,
+    /// Algorithm 2, for large degrees `δ·log log n ≤ d ≤ δ·log n`: three
+    /// phases, the third being an `≈ α·log log n`-step pull phase.
+    LargeDegree,
+}
+
+/// How the degree regime (and thus the algorithm variant) is selected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DegreeRegime {
+    /// Pick [`AlgorithmVariant::SmallDegree`] when
+    /// `d <= delta * log2(log2 n)`, else the large-degree variant. The paper
+    /// leaves `δ` a "sufficiently large constant"; 3.0 matches the regimes
+    /// the experiments sweep.
+    Auto {
+        /// Threshold multiplier `δ`.
+        delta: f64,
+    },
+    /// Force Algorithm 1.
+    ForceSmall,
+    /// Force Algorithm 2.
+    ForceLarge,
+}
+
+impl Default for DegreeRegime {
+    fn default() -> Self {
+        DegreeRegime::Auto { delta: 3.0 }
+    }
+}
+
+impl DegreeRegime {
+    /// Resolves the regime for a graph with estimated size `n_estimate` and
+    /// degree `d`.
+    pub fn resolve(&self, n_estimate: usize, degree: usize) -> AlgorithmVariant {
+        match *self {
+            DegreeRegime::ForceSmall => AlgorithmVariant::SmallDegree,
+            DegreeRegime::ForceLarge => AlgorithmVariant::LargeDegree,
+            DegreeRegime::Auto { delta } => {
+                let loglog = log2(n_estimate.max(4) as f64).log2().max(1.0);
+                if (degree as f64) <= delta * loglog {
+                    AlgorithmVariant::SmallDegree
+                } else {
+                    AlgorithmVariant::LargeDegree
+                }
+            }
+        }
+    }
+}
+
+/// The phase a given round belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Exponential-growth phase: newly informed nodes push once.
+    One,
+    /// Saturation phase: every informed node pushes.
+    Two,
+    /// Pull phase (one step in Algorithm 1, `≈ α·log log n` steps in
+    /// Algorithm 2): informed nodes answer incoming channels.
+    Three,
+    /// Active-push phase (Algorithm 1 only): nodes informed during phases
+    /// 3–4 push.
+    Four,
+    /// The schedule has ended; the protocol is silent and quiescent.
+    Done,
+}
+
+/// Round-to-phase mapping computed from `α` and the size estimate, exactly
+/// following the boundaries printed in the paper's Algorithm 1/Algorithm 2
+/// listings.
+///
+/// `log` is base 2 throughout; the paper only requires Θ(log n) and the
+/// constant is absorbed by `α`. All boundaries are *inclusive* ends.
+///
+/// ```
+/// use rrb_core::{AlgorithmVariant, Phase, PhaseSchedule};
+/// let s = PhaseSchedule::new(1 << 14, 2.0, AlgorithmVariant::SmallDegree);
+/// assert_eq!(s.phase(1), Phase::One);
+/// assert_eq!(s.phase(s.phase1_end()), Phase::One);
+/// assert_eq!(s.phase(s.phase2_end() + 1), Phase::Three);
+/// assert_eq!(s.phase(s.end() + 1), Phase::Done);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PhaseSchedule {
+    variant: AlgorithmVariant,
+    /// End of Phase 1: `⌈α·log n⌉`.
+    t1: Round,
+    /// End of Phase 2: `⌈α(log n + log log n)⌉`.
+    t2: Round,
+    /// End of Phase 3: `t2 + 1` (Alg. 1) or `⌈α·log n + 2α·log log n⌉` (Alg. 2).
+    t3: Round,
+    /// End of Phase 4 (Alg. 1): `2⌈α·log n⌉ + ⌈α·log log n⌉`; equals `t3`
+    /// for Algorithm 2.
+    t4: Round,
+}
+
+fn log2(x: f64) -> f64 {
+    x.log2()
+}
+
+impl PhaseSchedule {
+    /// Builds the schedule for an estimated network size (accurate to within
+    /// a constant factor suffices, §1.2), a constant `α > 0` and a variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha <= 0` or `n_estimate < 2`.
+    pub fn new(n_estimate: usize, alpha: f64, variant: AlgorithmVariant) -> Self {
+        assert!(alpha > 0.0, "alpha must be positive");
+        assert!(n_estimate >= 2, "n_estimate must be at least 2");
+        let log_n = log2(n_estimate as f64);
+        // For tiny n, log log n dips below 1; clamp so every phase exists.
+        let loglog_n = log_n.log2().max(1.0);
+        let t1 = (alpha * log_n).ceil() as Round;
+        let t2 = (alpha * (log_n + loglog_n)).ceil() as Round;
+        let (t3, t4) = match variant {
+            AlgorithmVariant::SmallDegree => {
+                let t3 = t2 + 1;
+                let t4 = 2 * t1 + (alpha * loglog_n).ceil() as Round;
+                // The paper assumes α large enough that phase 4 is nonempty;
+                // guard the degenerate corner for tiny n.
+                (t3, t4.max(t3))
+            }
+            AlgorithmVariant::LargeDegree => {
+                let t3 = (alpha * log_n + 2.0 * alpha * loglog_n).ceil() as Round;
+                let t3 = t3.max(t2 + 1);
+                (t3, t3)
+            }
+        };
+        PhaseSchedule { variant, t1, t2, t3, t4 }
+    }
+
+    /// Variant encoded by this schedule.
+    pub fn variant(&self) -> AlgorithmVariant {
+        self.variant
+    }
+
+    /// Inclusive last round of Phase 1 (`⌈α·log n⌉`).
+    pub fn phase1_end(&self) -> Round {
+        self.t1
+    }
+
+    /// Inclusive last round of Phase 2 (`⌈α(log n + log log n)⌉`).
+    pub fn phase2_end(&self) -> Round {
+        self.t2
+    }
+
+    /// Inclusive last round of Phase 3.
+    pub fn phase3_end(&self) -> Round {
+        self.t3
+    }
+
+    /// Inclusive last round of the whole schedule.
+    pub fn end(&self) -> Round {
+        self.t4
+    }
+
+    /// Phase of round `t` (rounds are 1-based).
+    pub fn phase(&self, t: Round) -> Phase {
+        if t == 0 || t <= self.t1 {
+            if t == 0 {
+                // Round 0 is rumour creation; treat as phase 1 for
+                // robustness of callers that probe t=0.
+                return Phase::One;
+            }
+            Phase::One
+        } else if t <= self.t2 {
+            Phase::Two
+        } else if t <= self.t3 {
+            Phase::Three
+        } else if t <= self.t4 {
+            Phase::Four
+        } else {
+            Phase::Done
+        }
+    }
+
+    /// `true` once round `t` is past the schedule.
+    pub fn is_done(&self, t: Round) -> bool {
+        t > self.t4
+    }
+
+    /// Returns a copy of the schedule with every boundary multiplied by
+    /// `factor` — used by the sequentialised variant, where four fanout-1
+    /// steps emulate one four-choice step (footnote 2).
+    pub fn stretched(&self, factor: Round) -> PhaseSchedule {
+        // Phase 3 of Algorithm 1 is "one parallel step" = `factor`
+        // sequential steps; scaling every boundary achieves exactly that.
+        PhaseSchedule {
+            variant: self.variant,
+            t1: self.t1 * factor,
+            t2: self.t2 * factor,
+            t3: self.t3 * factor,
+            t4: self.t4 * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_match_paper_formulas() {
+        let n = 1usize << 16; // log2 = 16, loglog = 4
+        let alpha = 2.0;
+        let s = PhaseSchedule::new(n, alpha, AlgorithmVariant::SmallDegree);
+        assert_eq!(s.phase1_end(), (2.0f64 * 16.0).ceil() as Round); // 32
+        assert_eq!(s.phase2_end(), (2.0f64 * 20.0).ceil() as Round); // 40
+        assert_eq!(s.phase3_end(), 41); // single pull step
+        assert_eq!(s.end(), 2 * 32 + 8); // 72
+
+        let s2 = PhaseSchedule::new(n, alpha, AlgorithmVariant::LargeDegree);
+        assert_eq!(s2.phase1_end(), 32);
+        assert_eq!(s2.phase2_end(), 40);
+        assert_eq!(s2.phase3_end(), (2.0f64 * 16.0 + 2.0 * 2.0 * 4.0).ceil() as Round); // 48
+        assert_eq!(s2.end(), s2.phase3_end());
+    }
+
+    #[test]
+    fn every_round_has_exactly_one_phase() {
+        for variant in [AlgorithmVariant::SmallDegree, AlgorithmVariant::LargeDegree] {
+            let s = PhaseSchedule::new(4096, 1.5, variant);
+            let mut seen_done = false;
+            let mut last = Phase::One;
+            for t in 1..=s.end() + 5 {
+                let p = s.phase(t);
+                // Phases appear in order and never regress.
+                let rank = |p: Phase| match p {
+                    Phase::One => 0,
+                    Phase::Two => 1,
+                    Phase::Three => 2,
+                    Phase::Four => 3,
+                    Phase::Done => 4,
+                };
+                assert!(rank(p) >= rank(last), "phase regressed at t={t}");
+                last = p;
+                if p == Phase::Done {
+                    seen_done = true;
+                    assert!(s.is_done(t));
+                } else {
+                    assert!(!s.is_done(t));
+                }
+            }
+            assert!(seen_done);
+        }
+    }
+
+    #[test]
+    fn small_degree_phase3_is_one_step() {
+        let s = PhaseSchedule::new(1 << 12, 2.5, AlgorithmVariant::SmallDegree);
+        assert_eq!(s.phase3_end(), s.phase2_end() + 1);
+        assert_eq!(s.phase(s.phase3_end()), Phase::Three);
+        assert_eq!(s.phase(s.phase3_end() + 1), Phase::Four);
+    }
+
+    #[test]
+    fn large_degree_has_no_phase_four() {
+        let s = PhaseSchedule::new(1 << 12, 2.5, AlgorithmVariant::LargeDegree);
+        for t in 1..=s.end() + 3 {
+            assert_ne!(s.phase(t), Phase::Four);
+        }
+        assert_eq!(s.end(), s.phase3_end());
+    }
+
+    #[test]
+    fn regime_resolution() {
+        // n = 2^16: loglog = 4. delta = 3 => threshold 12.
+        let auto = DegreeRegime::default();
+        assert_eq!(auto.resolve(1 << 16, 8), AlgorithmVariant::SmallDegree);
+        assert_eq!(auto.resolve(1 << 16, 12), AlgorithmVariant::SmallDegree);
+        assert_eq!(auto.resolve(1 << 16, 16), AlgorithmVariant::LargeDegree);
+        assert_eq!(
+            DegreeRegime::ForceSmall.resolve(1 << 16, 64),
+            AlgorithmVariant::SmallDegree
+        );
+        assert_eq!(
+            DegreeRegime::ForceLarge.resolve(1 << 16, 4),
+            AlgorithmVariant::LargeDegree
+        );
+    }
+
+    #[test]
+    fn stretched_multiplies_everything() {
+        let s = PhaseSchedule::new(1 << 10, 2.0, AlgorithmVariant::SmallDegree);
+        let q = s.stretched(4);
+        assert_eq!(q.phase1_end(), 4 * s.phase1_end());
+        assert_eq!(q.phase2_end(), 4 * s.phase2_end());
+        assert_eq!(q.phase3_end(), 4 * s.phase3_end());
+        assert_eq!(q.end(), 4 * s.end());
+    }
+
+    #[test]
+    fn schedule_length_scales_logarithmically() {
+        let len = |n: usize| {
+            PhaseSchedule::new(n, 2.0, AlgorithmVariant::SmallDegree).end() as f64
+        };
+        // Doubling n adds ~2α rounds, so len(2^20)/len(2^10) ≈ 2.
+        let ratio = len(1 << 20) / len(1 << 10);
+        assert!(ratio > 1.5 && ratio < 2.5, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn rejects_nonpositive_alpha() {
+        let _ = PhaseSchedule::new(64, 0.0, AlgorithmVariant::SmallDegree);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_estimate")]
+    fn rejects_tiny_estimate() {
+        let _ = PhaseSchedule::new(1, 2.0, AlgorithmVariant::SmallDegree);
+    }
+}

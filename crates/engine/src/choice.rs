@@ -1,0 +1,338 @@
+use rand::Rng;
+
+use rrb_graph::NodeId;
+
+use crate::Topology;
+
+/// How a node selects the neighbours it calls each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChoicePolicy {
+    /// Open channels to `k` distinct stubs chosen i.u.r. without
+    /// replacement each round. `Distinct(1)` is the standard random phone
+    /// call model of Karp et al.; `Distinct(4)` is the paper's modification.
+    Distinct(usize),
+    /// Sequentialised variant (paper footnote 2): open **one** channel per
+    /// round to a neighbour chosen i.u.r. among those *not* contacted in the
+    /// most recent `window` rounds. Four consecutive steps with `window = 3`
+    /// simulate one step of `Distinct(4)`.
+    SequentialMemory {
+        /// How many recent choices to avoid (the paper uses 3).
+        window: usize,
+    },
+    /// Quasirandom model of Doerr, Friedrich and Sauerwald \[9\]: each node
+    /// owns a cyclic list of its neighbours (its stub order), starts at a
+    /// uniformly random position, and contacts successive list entries in
+    /// consecutive rounds. The only randomness is the starting offset.
+    Cyclic,
+}
+
+impl ChoicePolicy {
+    /// The paper's four-distinct-choices policy.
+    pub const FOUR: ChoicePolicy = ChoicePolicy::Distinct(4);
+    /// The standard (single-choice) random phone call model.
+    pub const STANDARD: ChoicePolicy = ChoicePolicy::Distinct(1);
+    /// The sequentialised memory-3 variant from footnote 2.
+    pub const SEQUENTIAL: ChoicePolicy = ChoicePolicy::SequentialMemory { window: 3 };
+
+    /// Number of channels a node opens per round under this policy (upper
+    /// bound; a node of smaller degree opens fewer).
+    pub fn fanout(&self) -> usize {
+        match self {
+            ChoicePolicy::Distinct(k) => *k,
+            ChoicePolicy::SequentialMemory { .. } | ChoicePolicy::Cyclic => 1,
+        }
+    }
+}
+
+impl Default for ChoicePolicy {
+    /// Defaults to the paper's four-choice policy.
+    fn default() -> Self {
+        ChoicePolicy::FOUR
+    }
+}
+
+/// Per-node bookkeeping required by [`ChoicePolicy::SequentialMemory`]:
+/// a sliding window of the most recently called neighbours.
+#[derive(Debug, Clone, Default)]
+pub struct ChoiceState {
+    /// Ring buffers of recent callee ids, one per node (empty for the
+    /// `Distinct` policies, which are memoryless by definition of the
+    /// random phone call model).
+    recent: Vec<Vec<NodeId>>,
+    window: usize,
+    /// Cyclic cursor per node for [`ChoicePolicy::Cyclic`];
+    /// `u32::MAX` marks "not yet initialised" (the random start offset is
+    /// drawn on first use).
+    cursor: Vec<u32>,
+}
+
+impl ChoiceState {
+    /// Creates choice bookkeeping for `n` nodes under `policy`.
+    pub fn new(n: usize, policy: ChoicePolicy) -> Self {
+        match policy {
+            ChoicePolicy::Distinct(_) => {
+                ChoiceState { recent: Vec::new(), window: 0, cursor: Vec::new() }
+            }
+            ChoicePolicy::SequentialMemory { window } => ChoiceState {
+                recent: vec![Vec::with_capacity(window); n],
+                window,
+                cursor: Vec::new(),
+            },
+            ChoicePolicy::Cyclic => {
+                ChoiceState { recent: Vec::new(), window: 0, cursor: vec![u32::MAX; n] }
+            }
+        }
+    }
+
+    /// Grows the bookkeeping when the topology gains node slots (churn).
+    pub fn ensure_len(&mut self, n: usize) {
+        if self.window > 0 && self.recent.len() < n {
+            self.recent.resize_with(n, || Vec::with_capacity(self.window));
+        }
+        if !self.cursor.is_empty() && self.cursor.len() < n {
+            self.cursor.resize(n, u32::MAX);
+        }
+    }
+
+    fn remember(&mut self, v: NodeId, callee: NodeId) {
+        if self.window == 0 {
+            return;
+        }
+        let ring = &mut self.recent[v.index()];
+        if ring.len() == self.window {
+            ring.remove(0);
+        }
+        ring.push(callee);
+    }
+}
+
+/// Samples the channel targets for node `v` this round under `policy`,
+/// appending chosen callees to `out` (cleared first).
+///
+/// Targets are **stubs**: in a multigraph a self-loop stub calls `v` itself
+/// and a parallel edge can be selected like any other stub, exactly mirroring
+/// the stub-level process the paper analyses. `Distinct(k)` picks `k`
+/// distinct stubs (all of them if the degree is `<= k`) via Floyd's
+/// sampling; `SequentialMemory` picks one stub i.u.r. among stubs whose
+/// endpoints were not called in the last `window` rounds (falling back to
+/// any stub if none qualify, e.g. when the degree is smaller than the
+/// window).
+pub fn sample_targets<T: Topology + ?Sized, R: Rng + ?Sized>(
+    topo: &T,
+    v: NodeId,
+    policy: ChoicePolicy,
+    state: &mut ChoiceState,
+    rng: &mut R,
+    out: &mut Vec<NodeId>,
+) {
+    out.clear();
+    let stubs = topo.stubs(v);
+    if stubs.is_empty() {
+        return;
+    }
+    match policy {
+        ChoicePolicy::Distinct(k) => {
+            let deg = stubs.len();
+            if deg <= k {
+                out.extend_from_slice(stubs);
+                return;
+            }
+            // Floyd's algorithm: k distinct indices from 0..deg.
+            let mut picked: [usize; 16] = [usize::MAX; 16];
+            debug_assert!(k <= 16, "fanout larger than 16 is unsupported");
+            let mut count = 0usize;
+            for j in (deg - k)..deg {
+                let t = rng.gen_range(0..=j);
+                let idx = if picked[..count].contains(&t) { j } else { t };
+                picked[count] = idx;
+                count += 1;
+            }
+            for &idx in &picked[..count] {
+                out.push(stubs[idx]);
+            }
+        }
+        ChoicePolicy::Cyclic => {
+            let cur = &mut state.cursor[v.index()];
+            if *cur == u32::MAX {
+                *cur = rng.gen_range(0..stubs.len() as u32);
+            }
+            out.push(stubs[*cur as usize % stubs.len()]);
+            *cur = (*cur + 1) % stubs.len().max(1) as u32;
+        }
+        ChoicePolicy::SequentialMemory { .. } => {
+            let ring = &state.recent[v.index()];
+            // Count eligible stubs (endpoint not recently called).
+            let eligible = stubs.iter().filter(|s| !ring.contains(s)).count();
+            let chosen = if eligible == 0 {
+                stubs[rng.gen_range(0..stubs.len())]
+            } else {
+                let mut pick = rng.gen_range(0..eligible);
+                let mut found = stubs[0];
+                for &s in stubs {
+                    if ring.contains(&s) {
+                        continue;
+                    }
+                    if pick == 0 {
+                        found = s;
+                        break;
+                    }
+                    pick -= 1;
+                }
+                found
+            };
+            out.push(chosen);
+            state.remember(v, chosen);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rrb_graph::gen;
+
+    #[test]
+    fn distinct_four_yields_four_distinct_stubs() {
+        let g = gen::complete(10);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut state = ChoiceState::new(10, ChoicePolicy::FOUR);
+        let mut out = Vec::new();
+        for _ in 0..50 {
+            sample_targets(&g, NodeId::new(0), ChoicePolicy::FOUR, &mut state, &mut rng, &mut out);
+            assert_eq!(out.len(), 4);
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "targets not distinct: {out:?}");
+            assert!(!out.contains(&NodeId::new(0)));
+        }
+    }
+
+    #[test]
+    fn degree_smaller_than_fanout_takes_all() {
+        let g = gen::cycle(5); // degree 2
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut state = ChoiceState::new(5, ChoicePolicy::FOUR);
+        let mut out = Vec::new();
+        sample_targets(&g, NodeId::new(0), ChoicePolicy::FOUR, &mut state, &mut rng, &mut out);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![NodeId::new(1), NodeId::new(4)]);
+    }
+
+    #[test]
+    fn distinct_targets_cover_all_neighbors_over_time() {
+        let g = gen::complete(8);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut state = ChoiceState::new(8, ChoicePolicy::STANDARD);
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            sample_targets(
+                &g,
+                NodeId::new(0),
+                ChoicePolicy::STANDARD,
+                &mut state,
+                &mut rng,
+                &mut out,
+            );
+            assert_eq!(out.len(), 1);
+            seen.insert(out[0]);
+        }
+        assert_eq!(seen.len(), 7, "uniform sampling should hit every neighbour");
+    }
+
+    #[test]
+    fn sequential_memory_avoids_recent() {
+        let g = gen::complete(6);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let policy = ChoicePolicy::SEQUENTIAL;
+        let mut state = ChoiceState::new(6, policy);
+        let mut out = Vec::new();
+        let mut history: Vec<NodeId> = Vec::new();
+        for _ in 0..100 {
+            sample_targets(&g, NodeId::new(0), policy, &mut state, &mut rng, &mut out);
+            assert_eq!(out.len(), 1);
+            let pick = out[0];
+            let recent: Vec<NodeId> =
+                history.iter().rev().take(3).copied().collect();
+            assert!(
+                !recent.contains(&pick),
+                "picked {pick} from recent window {recent:?}"
+            );
+            history.push(pick);
+        }
+    }
+
+    #[test]
+    fn sequential_memory_falls_back_when_degree_small() {
+        // Degree 2 with window 3: after two rounds every neighbour is
+        // "recent"; the sampler must still return something.
+        let g = gen::cycle(4);
+        let policy = ChoicePolicy::SEQUENTIAL;
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut state = ChoiceState::new(4, policy);
+        let mut out = Vec::new();
+        for _ in 0..10 {
+            sample_targets(&g, NodeId::new(0), policy, &mut state, &mut rng, &mut out);
+            assert_eq!(out.len(), 1);
+        }
+    }
+
+    #[test]
+    fn cyclic_walks_the_neighbour_list_in_order() {
+        let g = gen::complete(7);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut state = ChoiceState::new(7, ChoicePolicy::Cyclic);
+        let mut out = Vec::new();
+        let mut picks = Vec::new();
+        for _ in 0..12 {
+            sample_targets(&g, NodeId::new(0), ChoicePolicy::Cyclic, &mut state, &mut rng, &mut out);
+            assert_eq!(out.len(), 1);
+            picks.push(out[0]);
+        }
+        // Six consecutive picks cover all six neighbours (cyclic, no repeat
+        // within a window of deg).
+        let mut window: Vec<NodeId> = picks[..6].to_vec();
+        window.sort_unstable();
+        window.dedup();
+        assert_eq!(window.len(), 6, "first 6 picks not distinct: {picks:?}");
+        // And the cycle repeats with the same order.
+        assert_eq!(&picks[..6], &picks[6..12]);
+    }
+
+    #[test]
+    fn cyclic_start_offsets_are_random() {
+        let g = gen::complete(16);
+        let mut firsts = std::collections::HashSet::new();
+        for seed in 0..30 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut state = ChoiceState::new(16, ChoicePolicy::Cyclic);
+            let mut out = Vec::new();
+            sample_targets(&g, NodeId::new(0), ChoicePolicy::Cyclic, &mut state, &mut rng, &mut out);
+            firsts.insert(out[0]);
+        }
+        assert!(firsts.len() > 5, "start offsets look deterministic: {firsts:?}");
+    }
+
+    #[test]
+    fn fanout_accessor() {
+        assert_eq!(ChoicePolicy::FOUR.fanout(), 4);
+        assert_eq!(ChoicePolicy::STANDARD.fanout(), 1);
+        assert_eq!(ChoicePolicy::SEQUENTIAL.fanout(), 1);
+        assert_eq!(ChoicePolicy::default(), ChoicePolicy::FOUR);
+    }
+
+    #[test]
+    fn ensure_len_grows_memory() {
+        let mut st = ChoiceState::new(2, ChoicePolicy::SEQUENTIAL);
+        st.ensure_len(5);
+        let g = gen::complete(5);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut out = Vec::new();
+        sample_targets(&g, NodeId::new(4), ChoicePolicy::SEQUENTIAL, &mut st, &mut rng, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+}

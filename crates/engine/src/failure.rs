@@ -1,0 +1,179 @@
+use rand::Rng;
+
+/// Stochastic failure injection for the communication layer.
+///
+/// The paper claims (abstract, §1) that the algorithm "efficiently handles
+/// limited communication failures". This model covers the two natural
+/// failure surfaces of the phone call model:
+///
+/// * **channel failures** — the whole bidirectional channel of a call is
+///   dead for the round (models a failed connection establishment);
+/// * **transmission failures** — an individual rumour copy is lost in
+///   transit while the channel itself stays usable in the other direction.
+///
+/// Failures are sampled independently per channel / per transmission with
+/// the given probabilities. [`FailureModel::NONE`] (the default) disables
+/// injection entirely and skips all sampling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureModel {
+    /// Probability that an opened channel is unusable this round.
+    pub channel_failure: f64,
+    /// Probability that an individual transmission over a live channel is
+    /// dropped.
+    pub transmission_failure: f64,
+    /// Per-round probability that a node **crash-stops**: it permanently
+    /// stops opening channels, transmitting and receiving. Crashed nodes
+    /// are excluded from coverage accounting (they model fail-stop peers,
+    /// as opposed to the graceful departures handled by the churn overlay).
+    pub node_crash: f64,
+}
+
+impl FailureModel {
+    /// No failures at all.
+    pub const NONE: FailureModel =
+        FailureModel { channel_failure: 0.0, transmission_failure: 0.0, node_crash: 0.0 };
+
+    /// Channels fail independently with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)` — a failure probability of 1 would
+    /// make every experiment trivially degenerate.
+    pub fn channels(p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "channel failure probability must be in [0,1)");
+        FailureModel { channel_failure: p, ..FailureModel::NONE }
+    }
+
+    /// Transmissions are dropped independently with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn transmissions(p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "transmission failure probability must be in [0,1)");
+        FailureModel { transmission_failure: p, ..FailureModel::NONE }
+    }
+
+    /// Nodes crash-stop independently with per-round probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn crashes(p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "node crash probability must be in [0,1)");
+        FailureModel { node_crash: p, ..FailureModel::NONE }
+    }
+
+    /// Builder-style: add per-round node crashes to an existing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn with_crashes(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "node crash probability must be in [0,1)");
+        self.node_crash = p;
+        self
+    }
+
+    /// `true` when no failure sampling is needed.
+    #[inline]
+    pub fn is_none(&self) -> bool {
+        self.channel_failure == 0.0 && self.transmission_failure == 0.0 && self.node_crash == 0.0
+    }
+
+    /// Samples whether a node crash-stops this round.
+    #[inline]
+    pub fn crashes_now<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.node_crash > 0.0 && rng.gen_bool(self.node_crash)
+    }
+
+    /// Samples whether a freshly opened channel survives.
+    #[inline]
+    pub fn channel_ok<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.channel_failure == 0.0 || !rng.gen_bool(self.channel_failure)
+    }
+
+    /// Samples whether a single transmission over a live channel arrives.
+    #[inline]
+    pub fn transmission_ok<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.transmission_failure == 0.0 || !rng.gen_bool(self.transmission_failure)
+    }
+}
+
+impl Default for FailureModel {
+    fn default() -> Self {
+        FailureModel::NONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_never_fails() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let f = FailureModel::NONE;
+        assert!(f.is_none());
+        for _ in 0..100 {
+            assert!(f.channel_ok(&mut rng));
+            assert!(f.transmission_ok(&mut rng));
+            assert!(!f.crashes_now(&mut rng));
+        }
+    }
+
+    #[test]
+    fn crash_rate_is_respected() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let f = FailureModel::crashes(0.05);
+        assert!(!f.is_none());
+        let crashes = (0..20_000).filter(|_| f.crashes_now(&mut rng)).count();
+        let rate = crashes as f64 / 20_000.0;
+        assert!((rate - 0.05).abs() < 0.01, "observed crash rate {rate}");
+    }
+
+    #[test]
+    fn with_crashes_composes() {
+        let f = FailureModel::channels(0.1).with_crashes(0.01);
+        assert_eq!(f.channel_failure, 0.1);
+        assert_eq!(f.node_crash, 0.01);
+        assert_eq!(f.transmission_failure, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "node crash probability")]
+    fn rejects_certain_crash() {
+        let _ = FailureModel::crashes(1.0);
+    }
+
+    #[test]
+    fn failure_rates_are_respected() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let f = FailureModel::channels(0.3);
+        let fails = (0..20_000).filter(|_| !f.channel_ok(&mut rng)).count();
+        let rate = fails as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "observed failure rate {rate}");
+    }
+
+    #[test]
+    fn transmission_rate() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let f = FailureModel::transmissions(0.1);
+        let fails = (0..20_000).filter(|_| !f.transmission_ok(&mut rng)).count();
+        let rate = fails as f64 / 20_000.0;
+        assert!((rate - 0.1).abs() < 0.02, "observed drop rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "channel failure probability")]
+    fn rejects_certain_failure() {
+        let _ = FailureModel::channels(1.0);
+    }
+
+    #[test]
+    fn default_is_none() {
+        assert_eq!(FailureModel::default(), FailureModel::NONE);
+    }
+}

@@ -1,0 +1,62 @@
+//! Synchronous simulator for the **random phone call model** of Karp,
+//! Schindelhauer, Shenker and Vöcking, extended with the multiple-choice
+//! `open` of Berenbrink, Elsässer and Friedetzky (PODC 2008).
+//!
+//! # The model (paper §1.2 and §3)
+//!
+//! Time proceeds in synchronous rounds driven by a global clock. In every
+//! round **each node opens communication channels** to neighbours chosen
+//! uniformly at random — one neighbour in the standard model, four distinct
+//! neighbours in the paper's modification, or one neighbour avoiding the
+//! last three choices in the sequentialised variant (footnote 2). Channels
+//! are bidirectional for the duration of the round:
+//!
+//! * a **push** transmission travels from the caller to the callee over an
+//!   *outgoing* channel;
+//! * a **pull** transmission travels from the callee back to the caller over
+//!   an *incoming* channel.
+//!
+//! Nodes decide whether to transmit using only local knowledge (the age of
+//! the rumour, their own state) — the *address-oblivious* restriction. The
+//! cost measure is the **number of rumour transmissions**; channel opening
+//! is free (it amortises over many concurrent rumours, which
+//! [`MultiRumorSimulation`] demonstrates).
+//!
+//! # Quick start
+//!
+//! ```
+//! use rand::{SeedableRng, rngs::SmallRng};
+//! use rrb_engine::{protocols::FloodPush, SimConfig, Simulation};
+//! use rrb_graph::{gen, NodeId};
+//!
+//! let mut rng = SmallRng::seed_from_u64(3);
+//! let g = gen::random_regular(256, 8, &mut rng)?;
+//! let sim = Simulation::new(&g, FloodPush::new(), SimConfig::default());
+//! let report = sim.run(NodeId::new(0), &mut rng);
+//! assert!(report.all_informed());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod choice;
+mod failure;
+mod multi;
+mod observation;
+mod protocol;
+mod report;
+mod simulation;
+mod topology;
+
+pub mod protocols;
+pub mod trace;
+
+pub use choice::{ChoicePolicy, ChoiceState};
+pub use failure::FailureModel;
+pub use multi::{MultiRumorReport, MultiRumorSimulation, RumorInjection, RumorOutcome};
+pub use observation::{Observation, RumorMeta};
+pub use protocol::{NodeView, Plan, Protocol, Round};
+pub use report::{RoundRecord, RunReport, StopReason};
+pub use simulation::{SimConfig, SimState, Simulation};
+pub use topology::Topology;

@@ -1,0 +1,447 @@
+use rand::Rng;
+
+use rrb_graph::NodeId;
+
+use crate::choice::{sample_targets, ChoiceState};
+use crate::{
+    NodeView, Observation, Plan, Protocol, Round, SimConfig, Topology,
+};
+
+/// One rumour to be injected into a [`MultiRumorSimulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RumorInjection {
+    /// Global round at which the rumour is created (its local time 0).
+    pub birth: Round,
+    /// Node that creates the rumour.
+    pub origin: NodeId,
+}
+
+/// Per-rumour outcome of a multi-rumour run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RumorOutcome {
+    /// Creation round.
+    pub birth: Round,
+    /// Creating node.
+    pub origin: NodeId,
+    /// Nodes informed of this rumour at the end.
+    pub informed: usize,
+    /// Global round at which every alive node knew this rumour, if reached.
+    pub full_coverage_at: Option<Round>,
+    /// Transmissions carrying this rumour (per-rumour accounting, the
+    /// paper's convention).
+    pub tx: u64,
+}
+
+impl RumorOutcome {
+    /// Rounds from creation to full coverage, if coverage was reached.
+    pub fn latency(&self) -> Option<Round> {
+        self.full_coverage_at.map(|at| at - self.birth)
+    }
+}
+
+/// Aggregate report of a multi-rumour run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiRumorReport {
+    /// Rounds executed.
+    pub rounds: Round,
+    /// Per-rumour outcomes, in injection order.
+    pub outcomes: Vec<RumorOutcome>,
+    /// Channels opened over the whole run.
+    pub channels: u64,
+    /// Channel-direction messages actually sent: rumours travelling the same
+    /// channel in the same direction in the same round are **combined** into
+    /// one message (§1.2: "the nodes can combine messages"). Comparing this
+    /// with [`total_rumor_tx`](Self::total_rumor_tx) exhibits the
+    /// amortisation that motivates the phone call model.
+    pub combined_messages: u64,
+    /// Per-rumour, per-node delivery times in **rumour-local** rounds
+    /// (`Some(0)` for the origin; global round = birth + local round).
+    /// Indexed `deliveries[rumor][node]`. Applications such as the
+    /// replicated database use this to replay update visibility.
+    pub deliveries: Vec<Vec<Option<Round>>>,
+}
+
+impl MultiRumorReport {
+    /// Sum of per-rumour transmissions (no combining).
+    pub fn total_rumor_tx(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.tx).sum()
+    }
+
+    /// `true` if every rumour reached every alive node.
+    pub fn all_delivered(&self) -> bool {
+        self.outcomes.iter().all(|o| o.full_coverage_at.is_some())
+    }
+
+    /// Mean per-rumour transmissions.
+    pub fn mean_tx_per_rumor(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            0.0
+        } else {
+            self.total_rumor_tx() as f64 / self.outcomes.len() as f64
+        }
+    }
+
+    /// Combining ratio `combined_messages / total_rumor_tx` (≤ 1; smaller is
+    /// better amortisation).
+    pub fn combining_ratio(&self) -> f64 {
+        let total = self.total_rumor_tx();
+        if total == 0 {
+            1.0
+        } else {
+            self.combined_messages as f64 / total as f64
+        }
+    }
+}
+
+/// Simulator for **many concurrent rumours** sharing one channel fabric.
+///
+/// Every node opens channels once per round (per the protocol's choice
+/// policy); each active rumour then runs the protocol's plan/update logic
+/// against those shared channels with its own *local* clock (`age = global
+/// round − birth`). This reproduces the situation the phone call model is
+/// designed for: "messages are generated with high frequency \[so\] the cost
+/// of establishing communication amortises nicely over all transmissions"
+/// (§1).
+///
+/// ```
+/// use rand::{SeedableRng, rngs::SmallRng};
+/// use rrb_engine::{protocols::FloodPushPull, MultiRumorSimulation, RumorInjection, SimConfig};
+/// use rrb_graph::{gen, NodeId};
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let g = gen::complete(64);
+/// let mut sim = MultiRumorSimulation::new(FloodPushPull::new(), SimConfig::default());
+/// for i in 0..4 {
+///     sim.inject(RumorInjection { birth: i, origin: NodeId::new(i as usize) });
+/// }
+/// let report = sim.run(&g, &mut rng);
+/// assert!(report.all_delivered());
+/// assert!(report.combining_ratio() <= 1.0);
+/// ```
+#[derive(Debug)]
+pub struct MultiRumorSimulation<P: Protocol> {
+    protocol: P,
+    config: SimConfig,
+    injections: Vec<RumorInjection>,
+}
+
+impl<P: Protocol> MultiRumorSimulation<P> {
+    /// Creates an empty multi-rumour simulation.
+    pub fn new(protocol: P, config: SimConfig) -> Self {
+        MultiRumorSimulation { protocol, config, injections: Vec::new() }
+    }
+
+    /// Schedules a rumour injection.
+    pub fn inject(&mut self, injection: RumorInjection) -> &mut Self {
+        self.injections.push(injection);
+        self
+    }
+
+    /// Number of scheduled rumours.
+    pub fn rumor_count(&self) -> usize {
+        self.injections.len()
+    }
+
+    /// Runs the simulation on a static topology until every rumour is
+    /// delivered-or-quiescent, or the round cap is hit.
+    pub fn run<T: Topology, R: Rng + ?Sized>(&self, topo: &T, rng: &mut R) -> MultiRumorReport {
+        let n = topo.node_count();
+        let alive = topo.alive_count();
+        let nr = self.injections.len();
+        let protocol = &self.protocol;
+        let failures = self.config.failures;
+
+        // Per-rumour node state.
+        let mut states: Vec<Vec<P::State>> = Vec::with_capacity(nr);
+        let mut informed_at: Vec<Vec<Option<Round>>> = Vec::with_capacity(nr);
+        let mut informed_counts: Vec<usize> = Vec::with_capacity(nr);
+        for inj in &self.injections {
+            assert!(inj.origin.index() < n, "rumor origin out of range");
+            let mut st: Vec<P::State> = (0..n).map(|_| protocol.init(false)).collect();
+            st[inj.origin.index()] = protocol.init(true);
+            states.push(st);
+            let mut ia = vec![None; n];
+            ia[inj.origin.index()] = Some(0);
+            informed_at.push(ia);
+            informed_counts.push(1);
+        }
+        let mut outcomes: Vec<RumorOutcome> = self
+            .injections
+            .iter()
+            .map(|inj| RumorOutcome {
+                birth: inj.birth,
+                origin: inj.origin,
+                informed: 1,
+                full_coverage_at: None,
+                tx: 0,
+            })
+            .collect();
+
+        let mut choice = ChoiceState::new(n, protocol.choice_policy());
+        let mut target_buf: Vec<NodeId> = Vec::new();
+        let mut call_offsets: Vec<u32> = Vec::new();
+        let mut call_targets: Vec<NodeId> = Vec::new();
+        let mut call_ok: Vec<bool> = Vec::new();
+        let mut push_used: Vec<bool> = Vec::new();
+        let mut pull_used: Vec<bool> = Vec::new();
+        let mut observations: Vec<Observation> =
+            (0..n).map(|_| Observation::default()).collect();
+        let mut plans: Vec<Plan> = vec![Plan::SILENT; n];
+
+        let mut channels_total = 0u64;
+        let mut combined_messages = 0u64;
+        let last_birth = self.injections.iter().map(|i| i.birth).max().unwrap_or(0);
+        let mut t: Round = 0;
+
+        loop {
+            // Stop checks.
+            if t >= self.config.max_rounds {
+                break;
+            }
+            if t >= last_birth {
+                let all_settled = (0..nr).all(|r| {
+                    let birth = self.injections[r].birth;
+                    if t < birth {
+                        return false;
+                    }
+                    let tl_next = t - birth + 1;
+                    let covered = outcomes[r].full_coverage_at.is_some();
+                    let quiescent = (0..n).all(|i| match informed_at[r][i] {
+                        Some(at) => protocol.is_quiescent(&states[r][i], at, tl_next),
+                        None => true,
+                    });
+                    (covered && self.config.stop_at_coverage) || quiescent
+                });
+                if all_settled && nr > 0 {
+                    break;
+                }
+                if nr == 0 {
+                    break;
+                }
+            }
+
+            t += 1;
+
+            // Shared channel fabric for this round.
+            call_offsets.clear();
+            call_targets.clear();
+            call_ok.clear();
+            call_offsets.push(0);
+            for i in 0..n {
+                let v = NodeId::new(i);
+                if topo.is_alive(v) {
+                    sample_targets(
+                        topo,
+                        v,
+                        protocol.choice_policy(),
+                        &mut choice,
+                        rng,
+                        &mut target_buf,
+                    );
+                    for &w in &target_buf {
+                        let ok = topo.is_alive(w) && failures.channel_ok(rng);
+                        call_targets.push(w);
+                        call_ok.push(ok);
+                    }
+                }
+                call_offsets.push(call_targets.len() as u32);
+            }
+            channels_total += call_targets.len() as u64;
+            push_used.clear();
+            push_used.resize(call_targets.len(), false);
+            pull_used.clear();
+            pull_used.resize(call_targets.len(), false);
+
+            // Run each active rumour over the shared fabric.
+            for r in 0..nr {
+                let birth = self.injections[r].birth;
+                if t <= birth {
+                    continue; // rumour not yet created (created *at* birth,
+                              // first communication round is birth+1)
+                }
+                let tl = t - birth;
+
+                for i in 0..n {
+                    plans[i] = Plan::SILENT;
+                    if let Some(at) = informed_at[r][i] {
+                        let v = NodeId::new(i);
+                        if topo.is_alive(v) {
+                            let view = NodeView {
+                                informed_at: at,
+                                is_creator: v == self.injections[r].origin,
+                                state: &states[r][i],
+                            };
+                            plans[i] = protocol.plan(view, tl);
+                        }
+                    }
+                }
+
+                for obs in observations.iter_mut() {
+                    obs.clear();
+                }
+                let mut tx = 0u64;
+                for i in 0..n {
+                    let begin = call_offsets[i] as usize;
+                    let end = call_offsets[i + 1] as usize;
+                    for c in begin..end {
+                        if !call_ok[c] {
+                            continue;
+                        }
+                        let w = call_targets[c];
+                        if plans[i].push {
+                            tx += 1;
+                            push_used[c] = true;
+                            if failures.transmission_ok(rng) {
+                                observations[w.index()].pushes.push(plans[i].meta);
+                            }
+                        }
+                        let callee_plan = plans[w.index()];
+                        if callee_plan.pull_serve {
+                            tx += 1;
+                            pull_used[c] = true;
+                            if failures.transmission_ok(rng) {
+                                observations[i].pulls.push(callee_plan.meta);
+                            }
+                        }
+                    }
+                }
+                outcomes[r].tx += tx;
+
+                for i in 0..n {
+                    let heard = observations[i].heard_rumor();
+                    if heard && informed_at[r][i].is_none() {
+                        informed_at[r][i] = Some(tl);
+                        informed_counts[r] += 1;
+                    }
+                    if heard || informed_at[r][i].is_some() {
+                        protocol.update(&mut states[r][i], informed_at[r][i], tl, &observations[i]);
+                    }
+                }
+
+                if outcomes[r].full_coverage_at.is_none() {
+                    let alive_informed = (0..n)
+                        .filter(|&i| {
+                            topo.is_alive(NodeId::new(i)) && informed_at[r][i].is_some()
+                        })
+                        .count();
+                    if alive_informed == alive {
+                        outcomes[r].full_coverage_at = Some(t);
+                    }
+                }
+                outcomes[r].informed = informed_counts[r];
+            }
+
+            combined_messages += push_used.iter().filter(|&&b| b).count() as u64;
+            combined_messages += pull_used.iter().filter(|&&b| b).count() as u64;
+        }
+
+        MultiRumorReport {
+            rounds: t,
+            outcomes,
+            channels: channels_total,
+            combined_messages,
+            deliveries: informed_at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::FloodPushPull;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rrb_graph::gen;
+
+    #[test]
+    fn single_rumor_matches_expectations() {
+        let g = gen::complete(32);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut sim = MultiRumorSimulation::new(FloodPushPull::new(), SimConfig::default());
+        sim.inject(RumorInjection { birth: 0, origin: NodeId::new(0) });
+        let report = sim.run(&g, &mut rng);
+        assert!(report.all_delivered());
+        assert_eq!(report.outcomes.len(), 1);
+        assert_eq!(report.outcomes[0].informed, 32);
+        assert!(report.outcomes[0].latency().unwrap() < 30);
+    }
+
+    #[test]
+    fn staggered_rumors_all_deliver() {
+        let g = gen::complete(48);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut sim = MultiRumorSimulation::new(FloodPushPull::new(), SimConfig::default());
+        for i in 0..6u32 {
+            sim.inject(RumorInjection { birth: i * 2, origin: NodeId::new(i as usize) });
+        }
+        assert_eq!(sim.rumor_count(), 6);
+        let report = sim.run(&g, &mut rng);
+        assert!(report.all_delivered());
+        for o in &report.outcomes {
+            assert!(o.full_coverage_at.unwrap() >= o.birth);
+        }
+    }
+
+    #[test]
+    fn combining_saves_messages_with_many_rumors() {
+        let g = gen::complete(32);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut sim = MultiRumorSimulation::new(FloodPushPull::new(), SimConfig::default());
+        // Many rumours born together: their transmissions share channels.
+        for i in 0..8 {
+            sim.inject(RumorInjection { birth: 0, origin: NodeId::new(i) });
+        }
+        let report = sim.run(&g, &mut rng);
+        assert!(report.all_delivered());
+        assert!(
+            report.combining_ratio() < 0.9,
+            "expected combining to save messages, ratio {}",
+            report.combining_ratio()
+        );
+        assert!(report.combined_messages <= report.total_rumor_tx());
+    }
+
+    #[test]
+    fn deliveries_match_outcomes() {
+        let g = gen::complete(24);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut sim = MultiRumorSimulation::new(FloodPushPull::new(), SimConfig::default());
+        sim.inject(RumorInjection { birth: 2, origin: NodeId::new(5) });
+        let report = sim.run(&g, &mut rng);
+        assert_eq!(report.deliveries.len(), 1);
+        let d = &report.deliveries[0];
+        assert_eq!(d[5], Some(0), "origin delivered at local round 0");
+        let delivered = d.iter().filter(|x| x.is_some()).count();
+        assert_eq!(delivered, report.outcomes[0].informed);
+        // Latest local delivery + birth equals the global coverage round.
+        let last_local = d.iter().flatten().max().unwrap();
+        assert_eq!(
+            report.outcomes[0].full_coverage_at.unwrap(),
+            2 + last_local
+        );
+    }
+
+    #[test]
+    fn empty_simulation_is_trivial() {
+        let g = gen::complete(8);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let sim = MultiRumorSimulation::new(FloodPushPull::new(), SimConfig::default());
+        let report = sim.run(&g, &mut rng);
+        assert_eq!(report.rounds, 0);
+        assert_eq!(report.total_rumor_tx(), 0);
+        assert!(report.all_delivered());
+        assert_eq!(report.combining_ratio(), 1.0);
+    }
+
+    #[test]
+    fn round_cap_respected() {
+        let g = gen::cycle(256);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let cfg = SimConfig::default().with_max_rounds(4);
+        let mut sim = MultiRumorSimulation::new(FloodPushPull::new(), cfg);
+        sim.inject(RumorInjection { birth: 0, origin: NodeId::new(0) });
+        let report = sim.run(&g, &mut rng);
+        assert_eq!(report.rounds, 4);
+        assert!(!report.all_delivered());
+    }
+}

@@ -1,0 +1,68 @@
+/// Metadata travelling with every rumour copy.
+///
+/// The phone call model allows the rumour to carry a small header; Karp et
+/// al.'s median-counter algorithm needs the sender's age and counter, and
+/// the paper's algorithm only needs the age (which equals the global round
+/// under a synchronous clock, §3: "the age of the message is nothing else
+/// than the current time step"). Address-obliviousness is preserved: the
+/// header never names nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RumorMeta {
+    /// Age of the rumour as counted by the sender (rounds since creation).
+    pub age: u32,
+    /// Protocol-specific counter (e.g. the median-counter phase of Karp et
+    /// al.); zero when unused.
+    pub counter: u32,
+}
+
+/// Everything a node observed during one round's exchanges, handed to
+/// [`Protocol::update`](crate::Protocol::update).
+#[derive(Debug, Clone, Default)]
+pub struct Observation {
+    /// Rumour copies that arrived via push (caller → this node).
+    pub pushes: Vec<RumorMeta>,
+    /// Rumour copies that arrived via pull (callee → this node, answering a
+    /// channel this node opened).
+    pub pulls: Vec<RumorMeta>,
+}
+
+impl Observation {
+    /// Total rumour copies received this round.
+    pub fn received(&self) -> usize {
+        self.pushes.len() + self.pulls.len()
+    }
+
+    /// `true` if any copy arrived this round.
+    pub fn heard_rumor(&self) -> bool {
+        self.received() > 0
+    }
+
+    /// Iterator over all received metadata, pushes first.
+    pub fn iter(&self) -> impl Iterator<Item = &RumorMeta> {
+        self.pushes.iter().chain(self.pulls.iter())
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.pushes.clear();
+        self.pulls.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_iteration() {
+        let mut obs = Observation::default();
+        assert!(!obs.heard_rumor());
+        obs.pushes.push(RumorMeta { age: 3, counter: 0 });
+        obs.pulls.push(RumorMeta { age: 5, counter: 2 });
+        assert_eq!(obs.received(), 2);
+        assert!(obs.heard_rumor());
+        let ages: Vec<u32> = obs.iter().map(|m| m.age).collect();
+        assert_eq!(ages, vec![3, 5]);
+        obs.clear();
+        assert_eq!(obs.received(), 0);
+    }
+}

@@ -1,0 +1,129 @@
+use crate::{ChoicePolicy, Observation, RumorMeta};
+
+/// Round counter. The rumour is created at time 0 and the first
+/// communication round is round 1, so a rumour's *age* during round `t`
+/// equals `t` (paper §3).
+pub type Round = u32;
+
+/// What a node decides to do in a round, produced by [`Protocol::plan`].
+///
+/// Only *informed* nodes are asked for a plan — an uninformed node has
+/// nothing to transmit. Note that `pull_serve` answers channels *opened by
+/// others towards this node*; in the phone call model every node keeps
+/// opening channels regardless of its informed status, so an uninformed
+/// caller can still receive via pull.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Plan {
+    /// Transmit the rumour over every outgoing channel (push).
+    pub push: bool,
+    /// Transmit the rumour over every incoming channel (pull).
+    pub pull_serve: bool,
+    /// Header attached to every copy sent this round.
+    pub meta: RumorMeta,
+}
+
+impl Plan {
+    /// A plan that transmits nothing.
+    pub const SILENT: Plan =
+        Plan { push: false, pull_serve: false, meta: RumorMeta { age: 0, counter: 0 } };
+
+    /// Push-only plan with the given header.
+    pub fn push_with(meta: RumorMeta) -> Plan {
+        Plan { push: true, pull_serve: false, meta }
+    }
+
+    /// Pull-serve-only plan with the given header.
+    pub fn pull_with(meta: RumorMeta) -> Plan {
+        Plan { push: false, pull_serve: true, meta }
+    }
+
+    /// Push-and-pull plan with the given header.
+    pub fn push_pull_with(meta: RumorMeta) -> Plan {
+        Plan { push: true, pull_serve: true, meta }
+    }
+
+    /// `true` if this plan transmits at all.
+    pub fn transmits(&self) -> bool {
+        self.push || self.pull_serve
+    }
+}
+
+/// Read-only view of a node handed to [`Protocol::plan`].
+#[derive(Debug, Clone, Copy)]
+pub struct NodeView<'a, S> {
+    /// Round in which this node first received the rumour (0 for the
+    /// creator). `plan` is only invoked on informed nodes, so this is the
+    /// actual reception round.
+    pub informed_at: Round,
+    /// Whether this node created the rumour.
+    pub is_creator: bool,
+    /// Protocol-specific state.
+    pub state: &'a S,
+}
+
+/// A gossip protocol in the (extended) random phone call model.
+///
+/// Implementations are **address-oblivious state machines**: the engine
+/// opens channels according to [`choice_policy`](Protocol::choice_policy),
+/// asks every informed node for a [`Plan`], performs the exchanges, and
+/// feeds each node the resulting [`Observation`]. All decisions may depend
+/// only on local state, the global round and rumour headers — never on
+/// partner identities, which is exactly the restriction of the paper's
+/// model (§1.2).
+///
+/// The paper's Algorithms 1 and 2 live in `rrb-core`; the classic baselines
+/// (push, pull, push&pull, median-counter, quasirandom) in `rrb-baselines`;
+/// trivially simple reference protocols in [`crate::protocols`].
+pub trait Protocol {
+    /// Protocol-specific per-node state.
+    type State: Clone + std::fmt::Debug;
+
+    /// Initial state; `creator` is true for the rumour's origin.
+    fn init(&self, creator: bool) -> Self::State;
+
+    /// Channel-opening policy used by **all** nodes, informed or not.
+    fn choice_policy(&self) -> ChoicePolicy;
+
+    /// Decide this round's transmissions for an informed node.
+    fn plan(&self, view: NodeView<'_, Self::State>, t: Round) -> Plan;
+
+    /// Digest this round's observation. Called for every node that received
+    /// at least one copy this round, *and* for every informed node (so
+    /// counter-based protocols can advance even in silent rounds); `informed_at`
+    /// is `Some` iff the node is informed after this round's exchanges.
+    fn update(
+        &self,
+        state: &mut Self::State,
+        informed_at: Option<Round>,
+        t: Round,
+        obs: &Observation,
+    );
+
+    /// `true` once the node will never transmit again in any round `>= t`.
+    /// Must be monotone in `t`; the engine uses it to terminate runs early
+    /// once every informed node is permanently silent.
+    fn is_quiescent(&self, state: &Self::State, view_informed_at: Round, t: Round) -> bool;
+
+    /// Upper bound on rounds the protocol is designed to run (its Monte
+    /// Carlo deadline), used as the default round cap; `None` means
+    /// "until the engine's configured cap".
+    fn deadline(&self) -> Option<Round> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_constructors() {
+        let meta = RumorMeta { age: 7, counter: 1 };
+        assert!(Plan::push_with(meta).push);
+        assert!(!Plan::push_with(meta).pull_serve);
+        assert!(Plan::pull_with(meta).pull_serve);
+        let both = Plan::push_pull_with(meta);
+        assert!(both.push && both.pull_serve && both.transmits());
+        assert!(!Plan::SILENT.transmits());
+    }
+}

@@ -1,0 +1,211 @@
+//! Minimal reference protocols used by the engine's own tests and as
+//! building blocks for examples. The paper's algorithms live in `rrb-core`,
+//! the literature baselines in `rrb-baselines`.
+
+use crate::{ChoicePolicy, NodeView, Observation, Plan, Protocol, Round, RumorMeta};
+
+/// Unbounded push flooding in the standard (single-choice) phone call
+/// model: every informed node pushes in every round, forever.
+///
+/// This is the textbook push protocol analysed by Frieze–Grimmett and
+/// Pittel; it covers a complete graph in `log2 n + ln n + O(1)` rounds but
+/// has no termination rule (hence the engine's coverage/cap stopping).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FloodPush {
+    policy: ChoicePolicy,
+}
+
+impl FloodPush {
+    /// Flooding in the standard model (one choice per round).
+    pub fn new() -> Self {
+        FloodPush { policy: ChoicePolicy::STANDARD }
+    }
+
+    /// Flooding with a custom choice policy.
+    pub fn with_policy(policy: ChoicePolicy) -> Self {
+        FloodPush { policy }
+    }
+}
+
+impl Protocol for FloodPush {
+    type State = ();
+
+    fn init(&self, _creator: bool) -> Self::State {}
+
+    fn choice_policy(&self) -> ChoicePolicy {
+        self.policy
+    }
+
+    fn plan(&self, view: NodeView<'_, Self::State>, t: Round) -> Plan {
+        Plan::push_with(RumorMeta { age: t.saturating_sub(view.informed_at), counter: 0 })
+    }
+
+    fn update(
+        &self,
+        _state: &mut Self::State,
+        _informed_at: Option<Round>,
+        _t: Round,
+        _obs: &Observation,
+    ) {
+    }
+
+    fn is_quiescent(&self, _state: &Self::State, _informed_at: Round, _t: Round) -> bool {
+        false
+    }
+}
+
+/// Unbounded pull flooding: every informed node answers every incoming
+/// channel in every round, forever.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FloodPull {
+    policy: ChoicePolicy,
+}
+
+impl FloodPull {
+    /// Pull flooding in the standard model.
+    pub fn new() -> Self {
+        FloodPull { policy: ChoicePolicy::STANDARD }
+    }
+
+    /// Pull flooding with a custom choice policy.
+    pub fn with_policy(policy: ChoicePolicy) -> Self {
+        FloodPull { policy }
+    }
+}
+
+impl Protocol for FloodPull {
+    type State = ();
+
+    fn init(&self, _creator: bool) -> Self::State {}
+
+    fn choice_policy(&self) -> ChoicePolicy {
+        self.policy
+    }
+
+    fn plan(&self, view: NodeView<'_, Self::State>, t: Round) -> Plan {
+        Plan::pull_with(RumorMeta { age: t.saturating_sub(view.informed_at), counter: 0 })
+    }
+
+    fn update(
+        &self,
+        _state: &mut Self::State,
+        _informed_at: Option<Round>,
+        _t: Round,
+        _obs: &Observation,
+    ) {
+    }
+
+    fn is_quiescent(&self, _state: &Self::State, _informed_at: Round, _t: Round) -> bool {
+        false
+    }
+}
+
+/// Unbounded push&pull flooding, the combination Karp et al. start from.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FloodPushPull {
+    policy: ChoicePolicy,
+}
+
+impl FloodPushPull {
+    /// Push&pull flooding in the standard model.
+    pub fn new() -> Self {
+        FloodPushPull { policy: ChoicePolicy::STANDARD }
+    }
+
+    /// Push&pull flooding with a custom choice policy.
+    pub fn with_policy(policy: ChoicePolicy) -> Self {
+        FloodPushPull { policy }
+    }
+}
+
+impl Protocol for FloodPushPull {
+    type State = ();
+
+    fn init(&self, _creator: bool) -> Self::State {}
+
+    fn choice_policy(&self) -> ChoicePolicy {
+        self.policy
+    }
+
+    fn plan(&self, view: NodeView<'_, Self::State>, t: Round) -> Plan {
+        Plan::push_pull_with(RumorMeta { age: t.saturating_sub(view.informed_at), counter: 0 })
+    }
+
+    fn update(
+        &self,
+        _state: &mut Self::State,
+        _informed_at: Option<Round>,
+        _t: Round,
+        _obs: &Observation,
+    ) {
+    }
+
+    fn is_quiescent(&self, _state: &Self::State, _informed_at: Round, _t: Round) -> bool {
+        false
+    }
+}
+
+/// A protocol that never transmits; useful for tests of the quiescence
+/// stopping rule and as a null baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SilentProtocol;
+
+impl Protocol for SilentProtocol {
+    type State = ();
+
+    fn init(&self, _creator: bool) -> Self::State {}
+
+    fn choice_policy(&self) -> ChoicePolicy {
+        ChoicePolicy::STANDARD
+    }
+
+    fn plan(&self, _view: NodeView<'_, Self::State>, _t: Round) -> Plan {
+        Plan::SILENT
+    }
+
+    fn update(
+        &self,
+        _state: &mut Self::State,
+        _informed_at: Option<Round>,
+        _t: Round,
+        _obs: &Observation,
+    ) {
+    }
+
+    fn is_quiescent(&self, _state: &Self::State, _informed_at: Round, _t: Round) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flood_variants_plan_correct_directions() {
+        let view = NodeView { informed_at: 2, is_creator: false, state: &() };
+        let p = FloodPush::new().plan(view, 5);
+        assert!(p.push && !p.pull_serve);
+        assert_eq!(p.meta.age, 3);
+        let p = FloodPull::new().plan(view, 5);
+        assert!(!p.push && p.pull_serve);
+        let p = FloodPushPull::new().plan(view, 5);
+        assert!(p.push && p.pull_serve);
+        let p = SilentProtocol.plan(view, 5);
+        assert!(!p.transmits());
+    }
+
+    #[test]
+    fn policies_are_configurable() {
+        let p = FloodPush::with_policy(ChoicePolicy::FOUR);
+        assert_eq!(p.choice_policy(), ChoicePolicy::FOUR);
+        let p = FloodPull::with_policy(ChoicePolicy::SEQUENTIAL);
+        assert_eq!(p.choice_policy(), ChoicePolicy::SEQUENTIAL);
+    }
+
+    #[test]
+    fn quiescence_flags() {
+        assert!(!FloodPush::new().is_quiescent(&(), 0, 100));
+        assert!(SilentProtocol.is_quiescent(&(), 0, 0));
+    }
+}

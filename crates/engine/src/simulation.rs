@@ -1,0 +1,652 @@
+use rand::Rng;
+
+use rrb_graph::NodeId;
+
+use crate::choice::{sample_targets, ChoiceState};
+use crate::report::StopReason;
+use crate::{
+    FailureModel, NodeView, Observation, Plan, Protocol, Round, RoundRecord, RunReport, Topology,
+};
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Hard cap on rounds (a protocol [`deadline`](Protocol::deadline)
+    /// tightens it further).
+    pub max_rounds: Round,
+    /// Failure injection for channels and transmissions.
+    pub failures: FailureModel,
+    /// Record a per-round [`RoundRecord`] trace in the report.
+    pub record_history: bool,
+    /// Stop as soon as every alive node is informed. Disable to measure the
+    /// *total* cost a protocol incurs until its own termination rule fires —
+    /// the distinction at the heart of the paper's message-complexity
+    /// comparison.
+    pub stop_at_coverage: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            max_rounds: 10_000,
+            failures: FailureModel::NONE,
+            record_history: false,
+            stop_at_coverage: true,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Config that runs the protocol to quiescence (or the round cap) even
+    /// after everyone is informed, counting the full message bill.
+    pub fn until_quiescent() -> Self {
+        SimConfig { stop_at_coverage: false, ..SimConfig::default() }
+    }
+
+    /// Builder-style: set the round cap.
+    pub fn with_max_rounds(mut self, cap: Round) -> Self {
+        self.max_rounds = cap;
+        self
+    }
+
+    /// Builder-style: set the failure model.
+    pub fn with_failures(mut self, failures: FailureModel) -> Self {
+        self.failures = failures;
+        self
+    }
+
+    /// Builder-style: enable per-round history recording.
+    pub fn with_history(mut self) -> Self {
+        self.record_history = true;
+        self
+    }
+}
+
+/// Convenience runner that owns a protocol and a reference to a static
+/// topology. For dynamic topologies (churn) drive [`SimState`] directly.
+#[derive(Debug)]
+pub struct Simulation<'a, T, P> {
+    topology: &'a T,
+    protocol: P,
+    config: SimConfig,
+}
+
+impl<'a, T: Topology, P: Protocol> Simulation<'a, T, P> {
+    /// Creates a runner for `protocol` over `topology`.
+    pub fn new(topology: &'a T, protocol: P, config: SimConfig) -> Self {
+        Simulation { topology, protocol, config }
+    }
+
+    /// Access to the configured protocol.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Runs a single broadcast started by `origin` and returns the report.
+    pub fn run<R: Rng + ?Sized>(&self, origin: NodeId, rng: &mut R) -> RunReport {
+        let mut state = SimState::new(&self.protocol, self.topology.node_count(), origin);
+        state.run_to_completion(self.topology, &self.protocol, self.config, rng);
+        state.into_report(self.topology, self.config)
+    }
+}
+
+/// Mutable state of an in-flight broadcast; step it manually to interleave
+/// topology mutations (churn) between rounds.
+///
+/// ```
+/// use rand::{SeedableRng, rngs::SmallRng};
+/// use rrb_engine::{protocols::FloodPush, SimConfig, SimState};
+/// use rrb_graph::{gen, NodeId};
+///
+/// let mut rng = SmallRng::seed_from_u64(9);
+/// let g = gen::complete(64);
+/// let proto = FloodPush::new();
+/// let mut sim = SimState::new(&proto, 64, NodeId::new(0));
+/// let cfg = SimConfig::default();
+/// while !sim.finished(&g, &proto, cfg) {
+///     sim.step(&g, &proto, cfg, &mut rng);
+///     // ... mutate a dynamic topology here ...
+/// }
+/// let report = sim.into_report(&g, cfg);
+/// assert!(report.all_informed());
+/// ```
+#[derive(Debug)]
+pub struct SimState<P: Protocol> {
+    states: Vec<P::State>,
+    informed_at: Vec<Option<Round>>,
+    /// Crash-stopped nodes (see [`FailureModel::node_crash`]): permanently
+    /// silent, deaf, and excluded from coverage accounting.
+    crashed: Vec<bool>,
+    creator: NodeId,
+    choice: ChoiceState,
+    round: Round,
+    push_tx: u64,
+    pull_tx: u64,
+    channels: u64,
+    informed_count: usize,
+    full_coverage_at: Option<Round>,
+    tx_at_coverage: Option<u64>,
+    stop: Option<StopReason>,
+    history: Vec<RoundRecord>,
+    // Scratch buffers reused across rounds.
+    call_offsets: Vec<u32>,
+    call_targets: Vec<NodeId>,
+    call_ok: Vec<bool>,
+    plans: Vec<Plan>,
+    observations: Vec<Observation>,
+    target_buf: Vec<NodeId>,
+}
+
+impl<P: Protocol> SimState<P> {
+    /// Initialises a broadcast of a rumour created by `origin` at time 0 on
+    /// a topology with `node_count` slots.
+    pub fn new(protocol: &P, node_count: usize, origin: NodeId) -> Self {
+        assert!(origin.index() < node_count, "origin out of range");
+        let mut states: Vec<P::State> =
+            (0..node_count).map(|_| protocol.init(false)).collect();
+        states[origin.index()] = protocol.init(true);
+        let mut informed_at = vec![None; node_count];
+        informed_at[origin.index()] = Some(0);
+        SimState {
+            states,
+            informed_at,
+            crashed: vec![false; node_count],
+            creator: origin,
+            choice: ChoiceState::new(node_count, protocol.choice_policy()),
+            round: 0,
+            push_tx: 0,
+            pull_tx: 0,
+            channels: 0,
+            informed_count: 1,
+            full_coverage_at: None,
+            tx_at_coverage: None,
+            stop: None,
+            history: Vec::new(),
+            call_offsets: Vec::new(),
+            call_targets: Vec::new(),
+            call_ok: Vec::new(),
+            plans: Vec::new(),
+            observations: (0..node_count).map(|_| Observation::default()).collect(),
+            target_buf: Vec::new(),
+        }
+    }
+
+    /// Current round (0 before the first step).
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Number of informed alive-or-dead slots.
+    pub fn informed_count(&self) -> usize {
+        self.informed_count
+    }
+
+    /// Round in which node `v` became informed, if it has.
+    pub fn informed_at(&self, v: NodeId) -> Option<Round> {
+        self.informed_at[v.index()]
+    }
+
+    /// Accommodates topology growth (new node slots join uninformed).
+    pub fn ensure_len(&mut self, protocol: &P, node_count: usize) {
+        while self.states.len() < node_count {
+            self.states.push(protocol.init(false));
+            self.informed_at.push(None);
+            self.crashed.push(false);
+            self.observations.push(Observation::default());
+        }
+        self.choice.ensure_len(node_count);
+    }
+
+    /// Effective round cap: protocol deadline if set, else the config cap.
+    fn round_cap(&self, protocol: &P, config: SimConfig) -> Round {
+        protocol.deadline().unwrap_or(config.max_rounds).min(config.max_rounds)
+    }
+
+    /// Whether the run has reached a stopping condition.
+    pub fn finished<T: Topology + ?Sized>(
+        &mut self,
+        topo: &T,
+        protocol: &P,
+        config: SimConfig,
+    ) -> bool {
+        if self.stop.is_some() {
+            return true;
+        }
+        let alive_informed = self.alive_informed(topo);
+        let alive = self.effective_alive(topo);
+        if config.stop_at_coverage && alive_informed == alive {
+            self.stop = Some(StopReason::FullCoverage);
+            return true;
+        }
+        // Quiescence: every informed node permanently silent means no rumour
+        // can ever move again. Checked before the cap so a protocol that went
+        // silent exactly at its deadline reports Quiescent, not RoundCap.
+        let t = self.round + 1;
+        let quiescent = (0..self.states.len()).all(|i| {
+            self.crashed[i]
+                || match self.informed_at[i] {
+                    Some(at) => protocol.is_quiescent(&self.states[i], at, t),
+                    None => true,
+                }
+        });
+        if quiescent {
+            self.stop = Some(StopReason::Quiescent);
+            return true;
+        }
+        if self.round >= self.round_cap(protocol, config) {
+            self.stop = Some(StopReason::RoundCap);
+            return true;
+        }
+        false
+    }
+
+    fn alive_informed<T: Topology + ?Sized>(&self, topo: &T) -> usize {
+        (0..self.states.len().min(topo.node_count()))
+            .filter(|&i| {
+                !self.crashed[i]
+                    && topo.is_alive(NodeId::new(i))
+                    && self.informed_at[i].is_some()
+            })
+            .count()
+    }
+
+    /// Alive nodes that have not crash-stopped — the coverage denominator.
+    fn effective_alive<T: Topology + ?Sized>(&self, topo: &T) -> usize {
+        (0..topo.node_count())
+            .filter(|&i| {
+                topo.is_alive(NodeId::new(i))
+                    && self.crashed.get(i).copied() != Some(true)
+            })
+            .count()
+    }
+
+    /// Number of crash-stopped nodes so far.
+    pub fn crashed_count(&self) -> usize {
+        self.crashed.iter().filter(|&&c| c).count()
+    }
+
+    /// Executes one synchronous round of the phone call model and returns
+    /// its record.
+    ///
+    /// Every alive node opens channels per the protocol's
+    /// [`ChoicePolicy`](crate::ChoicePolicy); informed nodes transmit per
+    /// their [`Plan`]; observations are digested at the end of the round.
+    /// Failed channels carry no transmissions (establishment failed — no
+    /// cost); failed transmissions are *counted but not delivered* (the copy
+    /// was sent and lost).
+    pub fn step<T: Topology + ?Sized, R: Rng + ?Sized>(
+        &mut self,
+        topo: &T,
+        protocol: &P,
+        config: SimConfig,
+        rng: &mut R,
+    ) -> RoundRecord {
+        let n = topo.node_count();
+        self.ensure_len(protocol, n);
+        self.round += 1;
+        let t = self.round;
+        let policy = protocol.choice_policy();
+        let failures = config.failures;
+
+        // Phase 0: crash-stop sampling (fail-stop nodes never recover).
+        if failures.node_crash > 0.0 {
+            for i in 0..n {
+                if !self.crashed[i]
+                    && topo.is_alive(NodeId::new(i))
+                    && failures.crashes_now(rng)
+                {
+                    self.crashed[i] = true;
+                }
+            }
+        }
+
+        // Phase a: every alive node opens channels.
+        self.call_offsets.clear();
+        self.call_targets.clear();
+        self.call_ok.clear();
+        self.call_offsets.push(0);
+        for i in 0..n {
+            let v = NodeId::new(i);
+            if topo.is_alive(v) && !self.crashed[i] {
+                sample_targets(topo, v, policy, &mut self.choice, rng, &mut self.target_buf);
+                for &w in &self.target_buf {
+                    // A channel to a dead (departed) or crashed neighbour
+                    // fails to establish; it costs nothing, carries nothing.
+                    let ok = topo.is_alive(w)
+                        && !self.crashed[w.index()]
+                        && failures.channel_ok(rng);
+                    self.call_targets.push(w);
+                    self.call_ok.push(ok);
+                }
+            }
+            self.call_offsets.push(self.call_targets.len() as u32);
+        }
+        let channels_this_round = self.call_targets.len() as u64;
+        self.channels += channels_this_round;
+
+        // Phase b: informed nodes decide their plans.
+        self.plans.clear();
+        self.plans.resize(n, Plan::SILENT);
+        for i in 0..n {
+            if self.crashed[i] {
+                continue;
+            }
+            if let Some(at) = self.informed_at[i] {
+                let v = NodeId::new(i);
+                if topo.is_alive(v) {
+                    let view = NodeView {
+                        informed_at: at,
+                        is_creator: v == self.creator,
+                        state: &self.states[i],
+                    };
+                    self.plans[i] = protocol.plan(view, t);
+                }
+            }
+        }
+
+        // Phase c: exchanges.
+        let mut push_tx = 0u64;
+        let mut pull_tx = 0u64;
+        for obs in self.observations.iter_mut() {
+            obs.clear();
+        }
+        for i in 0..n {
+            let begin = self.call_offsets[i] as usize;
+            let end = self.call_offsets[i + 1] as usize;
+            if begin == end {
+                continue;
+            }
+            let caller_plan = self.plans[i];
+            for c in begin..end {
+                if !self.call_ok[c] {
+                    continue;
+                }
+                let w = self.call_targets[c];
+                // push: caller -> callee.
+                if caller_plan.push {
+                    push_tx += 1;
+                    if failures.transmission_ok(rng) {
+                        self.observations[w.index()].pushes.push(caller_plan.meta);
+                    }
+                }
+                // pull: callee -> caller.
+                let callee_plan = self.plans[w.index()];
+                if callee_plan.pull_serve {
+                    pull_tx += 1;
+                    if failures.transmission_ok(rng) {
+                        self.observations[i].pulls.push(callee_plan.meta);
+                    }
+                }
+            }
+        }
+        self.push_tx += push_tx;
+        self.pull_tx += pull_tx;
+
+        // Phase d: digest observations, update informedness.
+        let mut newly_informed = 0usize;
+        for i in 0..n {
+            let heard = self.observations[i].heard_rumor();
+            if heard && self.informed_at[i].is_none() {
+                self.informed_at[i] = Some(t);
+                self.informed_count += 1;
+                newly_informed += 1;
+            }
+            if heard || self.informed_at[i].is_some() {
+                protocol.update(
+                    &mut self.states[i],
+                    self.informed_at[i],
+                    t,
+                    &self.observations[i],
+                );
+            }
+        }
+
+        // Phase e: coverage bookkeeping.
+        let alive = self.effective_alive(topo);
+        let alive_informed = self.alive_informed(topo);
+        if self.full_coverage_at.is_none() && alive_informed == alive {
+            self.full_coverage_at = Some(t);
+            self.tx_at_coverage = Some(self.push_tx + self.pull_tx);
+        }
+
+        let record = RoundRecord {
+            round: t,
+            informed: alive_informed,
+            newly_informed,
+            push_tx,
+            pull_tx,
+            channels: channels_this_round,
+        };
+        if config.record_history {
+            self.history.push(record);
+        }
+        record
+    }
+
+    /// Runs rounds until a stopping condition fires.
+    pub fn run_to_completion<T: Topology + ?Sized, R: Rng + ?Sized>(
+        &mut self,
+        topo: &T,
+        protocol: &P,
+        config: SimConfig,
+        rng: &mut R,
+    ) {
+        while !self.finished(topo, protocol, config) {
+            self.step(topo, protocol, config, rng);
+        }
+    }
+
+    /// Finalises the run into a [`RunReport`].
+    pub fn into_report<T: Topology + ?Sized>(self, topo: &T, _config: SimConfig) -> RunReport {
+        let alive = self.effective_alive(topo);
+        let alive_informed = self.alive_informed(topo);
+        RunReport {
+            node_count: topo.node_count(),
+            alive_count: alive,
+            informed_count: alive_informed,
+            rounds: self.round,
+            full_coverage_at: self.full_coverage_at,
+            tx_at_coverage: self.tx_at_coverage,
+            push_tx: self.push_tx,
+            pull_tx: self.pull_tx,
+            channels: self.channels,
+            stop: self.stop.unwrap_or(StopReason::RoundCap),
+            history: self.history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::{FloodPush, FloodPushPull, SilentProtocol};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rrb_graph::gen;
+
+    #[test]
+    fn flood_push_covers_complete_graph() {
+        let g = gen::complete(64);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let sim = Simulation::new(&g, FloodPush::new(), SimConfig::default());
+        let report = sim.run(NodeId::new(0), &mut rng);
+        assert!(report.all_informed());
+        assert_eq!(report.stop, StopReason::FullCoverage);
+        // Coverage of K64 by push takes ~log2(64)+ln(64) ≈ 10 rounds.
+        assert!(report.rounds < 40, "took {} rounds", report.rounds);
+        assert!(report.total_tx() > 0);
+    }
+
+    #[test]
+    fn silent_protocol_quiesces_immediately() {
+        let g = gen::complete(8);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let sim = Simulation::new(&g, SilentProtocol, SimConfig::default());
+        let report = sim.run(NodeId::new(3), &mut rng);
+        assert_eq!(report.informed_count, 1);
+        assert_eq!(report.stop, StopReason::Quiescent);
+        assert_eq!(report.total_tx(), 0);
+        assert_eq!(report.rounds, 0);
+    }
+
+    #[test]
+    fn round_cap_stops_run() {
+        let g = gen::cycle(1000); // slow topology
+        let mut rng = SmallRng::seed_from_u64(3);
+        let cfg = SimConfig::default().with_max_rounds(5);
+        let sim = Simulation::new(&g, FloodPush::new(), cfg);
+        let report = sim.run(NodeId::new(0), &mut rng);
+        assert_eq!(report.stop, StopReason::RoundCap);
+        assert_eq!(report.rounds, 5);
+        assert!(!report.all_informed());
+        // Push along a cycle moves at most 1 hop per side per round, plus the
+        // origin: at most 11 informed after 5 rounds.
+        assert!(report.informed_count <= 11);
+    }
+
+    #[test]
+    fn history_recording() {
+        let g = gen::complete(32);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let cfg = SimConfig::default().with_history();
+        let sim = Simulation::new(&g, FloodPushPull::new(), cfg);
+        let report = sim.run(NodeId::new(0), &mut rng);
+        assert_eq!(report.history.len(), report.rounds as usize);
+        // Informed counts must be non-decreasing.
+        let mut last = 0;
+        for rec in &report.history {
+            assert!(rec.informed >= last);
+            last = rec.informed;
+        }
+        assert_eq!(last, 32);
+        // Totals match the sum of the per-round records.
+        let push_sum: u64 = report.history.iter().map(|r| r.push_tx).sum();
+        let pull_sum: u64 = report.history.iter().map(|r| r.pull_tx).sum();
+        assert_eq!(push_sum, report.push_tx);
+        assert_eq!(pull_sum, report.pull_tx);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = gen::complete(32);
+        let cfg = SimConfig::default().with_history();
+        let run = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            Simulation::new(&g, FloodPushPull::new(), cfg).run(NodeId::new(0), &mut rng)
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b);
+        let c = run(8);
+        assert!(a != c || a.rounds == c.rounds); // different seed almost surely differs
+    }
+
+    #[test]
+    fn transmission_failures_are_counted_but_not_delivered() {
+        let g = gen::complete(16);
+        let mut rng = SmallRng::seed_from_u64(5);
+        // With 99% transmission loss coverage takes many transmissions.
+        let cfg = SimConfig::default()
+            .with_failures(FailureModel::transmissions(0.9))
+            .with_max_rounds(2000);
+        let sim = Simulation::new(&g, FloodPush::new(), cfg);
+        let report = sim.run(NodeId::new(0), &mut rng);
+        assert!(report.all_informed());
+        // Far more transmissions than the failure-free case needs.
+        assert!(report.total_tx() > 16 * 4);
+    }
+
+    #[test]
+    fn channel_failures_slow_coverage() {
+        let g = gen::complete(32);
+        let run = |p: f64, seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let cfg = SimConfig::default()
+                .with_failures(if p > 0.0 {
+                    FailureModel::channels(p)
+                } else {
+                    FailureModel::NONE
+                })
+                .with_max_rounds(5000);
+            Simulation::new(&g, FloodPush::new(), cfg).run(NodeId::new(0), &mut rng)
+        };
+        let mut slow = 0u32;
+        let mut fast = 0u32;
+        for seed in 0..10 {
+            fast += run(0.0, seed).rounds;
+            slow += run(0.5, seed).rounds;
+        }
+        assert!(slow > fast, "failures should slow coverage: {slow} vs {fast}");
+    }
+
+    #[test]
+    fn crashed_nodes_are_excluded_from_coverage() {
+        // A crash can kill the creator before it spreads (a legitimate
+        // Monte-Carlo failure), so aggregate over seeds: accounting must be
+        // exact in every run, and most runs must both crash someone and
+        // still inform all survivors.
+        let g = gen::complete(64);
+        let cfg = SimConfig::default()
+            .with_failures(FailureModel::crashes(0.02))
+            .with_max_rounds(500);
+        let proto = FloodPushPull::new();
+        let mut crashed_and_covered = 0;
+        for seed in 0..8 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut sim = SimState::new(&proto, 64, NodeId::new(0));
+            sim.run_to_completion(&g, &proto, cfg, &mut rng);
+            let crashed = sim.crashed_count();
+            let report = sim.into_report(&g, cfg);
+            assert_eq!(report.alive_count, 64 - crashed, "accounting broke (seed {seed})");
+            // Either the rumour died with the crashed creator (coverage 0)
+            // or every survivor learned it.
+            assert!(
+                report.all_informed() || report.informed_count == 0,
+                "partial coverage {} impossible on K64 without caps (seed {seed})",
+                report.coverage()
+            );
+            if crashed > 0 && report.all_informed() {
+                crashed_and_covered += 1;
+            }
+        }
+        assert!(
+            crashed_and_covered >= 4,
+            "only {crashed_and_covered}/8 seeds crashed someone and still covered"
+        );
+    }
+
+    #[test]
+    fn crashes_can_kill_the_broadcast_origin_gracefully() {
+        // Extreme crash rate: the run must still terminate cleanly.
+        let g = gen::complete(16);
+        let mut rng = SmallRng::seed_from_u64(10);
+        let cfg = SimConfig::default()
+            .with_failures(FailureModel::crashes(0.4))
+            .with_max_rounds(200);
+        let report =
+            Simulation::new(&g, FloodPushPull::new(), cfg).run(NodeId::new(0), &mut rng);
+        assert!(report.rounds <= 200);
+        assert!(report.coverage() <= 1.0);
+    }
+
+    #[test]
+    fn creator_view_is_flagged() {
+        // The creator is informed at round 0 and FloodPush starts pushing in
+        // round 1.
+        let g = gen::complete(4);
+        let proto = FloodPush::new();
+        let mut sim = SimState::new(&proto, 4, NodeId::new(2));
+        assert_eq!(sim.informed_at(NodeId::new(2)), Some(0));
+        assert_eq!(sim.informed_at(NodeId::new(0)), None);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let rec = sim.step(&g, &proto, SimConfig::default(), &mut rng);
+        assert!(rec.push_tx >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "origin out of range")]
+    fn origin_must_be_in_range() {
+        let proto = FloodPush::new();
+        let _ = SimState::<FloodPush>::new(&proto, 4, NodeId::new(9));
+    }
+}

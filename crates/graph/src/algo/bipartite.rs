@@ -1,0 +1,114 @@
+use std::collections::VecDeque;
+
+use crate::{Graph, NodeId};
+
+/// Tests bipartiteness by BFS 2-colouring; returns the colouring when the
+/// graph is bipartite, `None` otherwise.
+///
+/// Relevant to the spectral toolkit: for a bipartite `d`-regular graph the
+/// adjacency spectrum is symmetric and `−d` is an eigenvalue, so
+/// [`second_eigenvalue`](crate::spectral::second_eigenvalue) — which
+/// reports the mixing-lemma constant `max(|λ₂|, |λ_n|)` — returns `d`.
+/// Random regular graphs with `d ≥ 3` contain odd cycles w.h.p., and this
+/// check certifies it on samples.
+///
+/// A self-loop makes a graph non-bipartite (an odd cycle of length 1).
+///
+/// ```
+/// use rrb_graph::{algo, gen};
+/// assert!(algo::bipartition(&gen::cycle(8)).is_some());
+/// assert!(algo::bipartition(&gen::cycle(7)).is_none());
+/// assert!(algo::bipartition(&gen::hypercube(4)).is_some());
+/// ```
+pub fn bipartition(g: &Graph) -> Option<Vec<bool>> {
+    let n = g.node_count();
+    let mut color: Vec<Option<bool>> = vec![None; n];
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if color[start].is_some() {
+            continue;
+        }
+        color[start] = Some(false);
+        queue.push_back(NodeId::new(start));
+        while let Some(u) = queue.pop_front() {
+            let cu = color[u.index()].expect("queued nodes are coloured");
+            for &w in g.neighbors(u) {
+                match color[w.index()] {
+                    None => {
+                        color[w.index()] = Some(!cu);
+                        queue.push_back(w);
+                    }
+                    Some(cw) => {
+                        if cw == cu {
+                            return None; // odd cycle (self-loops included)
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Some(color.into_iter().map(|c| c.unwrap_or(false)).collect())
+}
+
+/// `true` iff the graph admits a proper 2-colouring.
+pub fn is_bipartite(g: &Graph) -> bool {
+    bipartition(g).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::gen;
+
+    #[test]
+    fn even_structures_are_bipartite() {
+        for g in [gen::cycle(10), gen::hypercube(5), gen::path(7), gen::star(6)] {
+            let coloring = bipartition(&g).expect("should be bipartite");
+            for (u, v) in g.edges() {
+                assert_ne!(coloring[u.index()], coloring[v.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn odd_cycles_and_cliques_are_not() {
+        assert!(!is_bipartite(&gen::cycle(9)));
+        assert!(!is_bipartite(&gen::complete(4)));
+    }
+
+    #[test]
+    fn self_loop_breaks_bipartiteness() {
+        let g = graph_from_edges(2, &[(0, 1), (1, 1)]).unwrap();
+        assert!(!is_bipartite(&g));
+    }
+
+    #[test]
+    fn disconnected_components_colour_independently() {
+        let g = graph_from_edges(5, &[(0, 1), (2, 3), (3, 4), (4, 2)]).unwrap();
+        // Second component is a triangle.
+        assert!(!is_bipartite(&g));
+        let g2 = graph_from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(is_bipartite(&g2));
+    }
+
+    #[test]
+    fn random_regular_d3_is_rarely_bipartite() {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut bipartite = 0;
+        for seed in 0..8 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = gen::random_regular(128, 3, &mut rng).unwrap();
+            if is_bipartite(&g) {
+                bipartite += 1;
+            }
+        }
+        assert_eq!(bipartite, 0, "random regular graphs have odd cycles w.h.p.");
+    }
+
+    #[test]
+    fn empty_graph_is_bipartite() {
+        assert!(is_bipartite(&gen::complete(0)));
+        assert_eq!(bipartition(&gen::complete(0)), Some(vec![]));
+    }
+}

@@ -1,0 +1,122 @@
+use crate::{Graph, NodeId};
+
+/// Result of a connected-components decomposition.
+///
+/// Labels are dense: component ids are `0..component_count` in order of
+/// first discovery by node index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentLabels {
+    labels: Vec<u32>,
+    count: usize,
+}
+
+impl ComponentLabels {
+    /// Component id of node `v`.
+    pub fn label(&self, v: NodeId) -> usize {
+        self.labels[v.index()] as usize
+    }
+
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Size of each component, indexed by component id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    pub fn largest(&self) -> usize {
+        self.sizes().into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Decomposes `g` into connected components with an iterative DFS.
+pub fn connected_components(g: &Graph) -> ComponentLabels {
+    let n = g.node_count();
+    const UNSEEN: u32 = u32::MAX;
+    let mut labels = vec![UNSEEN; n];
+    let mut count = 0usize;
+    let mut stack: Vec<NodeId> = Vec::new();
+    for start in 0..n {
+        if labels[start] != UNSEEN {
+            continue;
+        }
+        let id = count as u32;
+        count += 1;
+        labels[start] = id;
+        stack.push(NodeId::new(start));
+        while let Some(u) = stack.pop() {
+            for &w in g.neighbors(u) {
+                if labels[w.index()] == UNSEEN {
+                    labels[w.index()] = id;
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    ComponentLabels { labels, count }
+}
+
+/// `true` iff `g` is connected (the empty graph counts as connected).
+///
+/// Random `d`-regular graphs with `d >= 3` are connected w.h.p. (Bollobás),
+/// which §1.2 of the paper relies on; the generators' tests assert it.
+pub fn is_connected(g: &Graph) -> bool {
+    connected_components(g).count() <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::gen;
+
+    #[test]
+    fn single_component() {
+        let g = gen::cycle(5);
+        let cc = connected_components(&g);
+        assert_eq!(cc.count(), 1);
+        assert_eq!(cc.largest(), 5);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn two_components() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let cc = connected_components(&g);
+        assert_eq!(cc.count(), 2);
+        let mut sizes = cc.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 3]);
+        assert_eq!(cc.label(NodeId::new(0)), cc.label(NodeId::new(2)));
+        assert_ne!(cc.label(NodeId::new(0)), cc.label(NodeId::new(4)));
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn isolated_nodes_are_components() {
+        let g = graph_from_edges(4, &[]).unwrap();
+        let cc = connected_components(&g);
+        assert_eq!(cc.count(), 4);
+        assert_eq!(cc.largest(), 1);
+    }
+
+    #[test]
+    fn empty_graph_connected() {
+        let g = gen::complete(0);
+        assert!(is_connected(&g));
+        assert_eq!(connected_components(&g).count(), 0);
+    }
+
+    #[test]
+    fn self_loops_do_not_split() {
+        let g = graph_from_edges(2, &[(0, 0), (0, 1)]).unwrap();
+        assert!(is_connected(&g));
+    }
+}

@@ -1,0 +1,137 @@
+//! Structural summaries of generated graphs.
+//!
+//! These reports back the sanity tables in `EXPERIMENTS.md`: before trusting
+//! broadcast measurements on a generated topology we record its degree
+//! statistics, simplicity defects (expected under the raw pairing model) and
+//! connectivity.
+
+use crate::{algo, Graph};
+
+/// Aggregate degree statistics of a graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree (`2m/n`).
+    pub mean: f64,
+    /// `Some(d)` when the graph is `d`-regular.
+    pub regular: Option<usize>,
+}
+
+/// Full structural report; see [`analyze`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphReport {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of undirected edges (self-loops count once).
+    pub edges: usize,
+    /// Degree summary.
+    pub degrees: DegreeStats,
+    /// Number of self-loop edges.
+    pub self_loops: usize,
+    /// Surplus parallel edges.
+    pub multi_edge_excess: usize,
+    /// Whether the graph is simple.
+    pub simple: bool,
+    /// Whether the graph is connected.
+    pub connected: bool,
+    /// Number of connected components.
+    pub components: usize,
+    /// Size of the largest component.
+    pub largest_component: usize,
+}
+
+impl GraphReport {
+    /// Fraction of edges that are defects (self-loops or surplus parallels);
+    /// the pairing model predicts `O(d/n + d²/n)` of these.
+    pub fn defect_rate(&self) -> f64 {
+        if self.edges == 0 {
+            0.0
+        } else {
+            (self.self_loops + self.multi_edge_excess) as f64 / self.edges as f64
+        }
+    }
+}
+
+/// Computes a [`GraphReport`] for `g` in `O(n + m log m)`.
+///
+/// ```
+/// let g = rrb_graph::gen::complete(6);
+/// let r = rrb_graph::analysis::analyze(&g);
+/// assert!(r.simple && r.connected);
+/// assert_eq!(r.degrees.regular, Some(5));
+/// ```
+pub fn analyze(g: &Graph) -> GraphReport {
+    let cc = algo::connected_components(g);
+    let degrees = DegreeStats {
+        min: g.min_degree(),
+        max: g.max_degree(),
+        mean: if g.node_count() == 0 {
+            0.0
+        } else {
+            2.0 * g.edge_count() as f64 / g.node_count() as f64
+        },
+        regular: g.regular_degree(),
+    };
+    GraphReport {
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        degrees,
+        self_loops: g.self_loop_count(),
+        multi_edge_excess: g.multi_edge_excess(),
+        simple: g.is_simple(),
+        connected: cc.count() <= 1,
+        components: cc.count(),
+        largest_component: cc.largest(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::gen;
+
+    #[test]
+    fn report_on_complete_graph() {
+        let r = analyze(&gen::complete(8));
+        assert_eq!(r.nodes, 8);
+        assert_eq!(r.edges, 28);
+        assert_eq!(r.degrees.regular, Some(7));
+        assert!((r.degrees.mean - 7.0).abs() < 1e-12);
+        assert_eq!(r.defect_rate(), 0.0);
+        assert!(r.connected);
+    }
+
+    #[test]
+    fn report_flags_defects() {
+        let g = graph_from_edges(3, &[(0, 0), (1, 2), (1, 2)]).unwrap();
+        let r = analyze(&g);
+        assert_eq!(r.self_loops, 1);
+        assert_eq!(r.multi_edge_excess, 1);
+        assert!(!r.simple);
+        assert!((r.defect_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_on_empty_graph() {
+        let r = analyze(&gen::complete(0));
+        assert_eq!(r.nodes, 0);
+        assert_eq!(r.degrees.mean, 0.0);
+        assert_eq!(r.defect_rate(), 0.0);
+        assert_eq!(r.components, 0);
+    }
+
+    #[test]
+    fn configuration_model_defect_rate_is_small() {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(12);
+        let g = gen::configuration_model(2000, 8, &mut rng).unwrap();
+        let r = analyze(&g);
+        // Expected self-loops ≈ (d-1)/2 ≈ 3.5, multi-edges ≈ (d²-1)/4 ≈ 16,
+        // out of 8000 edges: well under 2%.
+        assert!(r.defect_rate() < 0.02, "defect rate {}", r.defect_rate());
+    }
+}

@@ -1,0 +1,330 @@
+use crate::NodeId;
+
+/// An immutable undirected (multi)graph in compressed sparse row form.
+///
+/// `Graph` is the workhorse topology type of the workspace. It supports
+/// parallel edges and self-loops because the paper's input distribution —
+/// the configuration model of §1.2 — produces both with probability
+/// `1 - e^{-O(d^2)}`, and the paper analyses the broadcasting algorithm
+/// directly on that raw output.
+///
+/// Degree convention: a self-loop at `v` contributes **2** to `deg(v)`,
+/// mirroring the two stubs it consumes in the pairing process. With this
+/// convention `sum(deg) == 2 * edge_count()` always holds, which the engine
+/// relies on for stub accounting.
+///
+/// ```
+/// use rrb_graph::{Graph, GraphBuilder, NodeId};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+/// b.add_edge(NodeId::new(1), NodeId::new(2)).unwrap();
+/// b.add_edge(NodeId::new(2), NodeId::new(2)).unwrap(); // self-loop
+/// let g: Graph = b.build();
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 3);
+/// assert_eq!(g.degree(NodeId::new(2)), 3); // one edge + one self-loop
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// CSR row offsets; `offsets[v]..offsets[v+1]` indexes `targets`.
+    offsets: Vec<u32>,
+    /// Flattened adjacency; undirected edges appear from both endpoints,
+    /// self-loops appear twice in their endpoint's row.
+    targets: Vec<NodeId>,
+    /// Canonicalised edge list (`u <= v`), one entry per undirected edge,
+    /// preserving multiplicity.
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(
+        offsets: Vec<u32>,
+        targets: Vec<NodeId>,
+        edges: Vec<(NodeId, NodeId)>,
+    ) -> Self {
+        debug_assert_eq!(*offsets.last().unwrap_or(&0) as usize, targets.len());
+        debug_assert_eq!(targets.len(), edges.len() * 2);
+        Graph { offsets, targets, edges }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of undirected edges (a self-loop counts as one edge).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` if the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.node_count() == 0
+    }
+
+    /// Degree of `v` (self-loops count twice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let i = v.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Neighbour multiset of `v` as a slice (self-loops appear twice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let i = v.index();
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> NeighborIter {
+        NeighborIter { next: 0, end: self.node_count() as u32 }
+    }
+
+    /// Canonicalised edge list (`u <= v`), one entry per undirected edge.
+    #[inline]
+    pub fn edges(&self) -> EdgeIter<'_> {
+        EdgeIter { inner: self.edges.iter() }
+    }
+
+    /// Slice view of the canonicalised edge list.
+    #[inline]
+    pub fn edge_slice(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Iterator over node degrees in index order.
+    pub fn degrees(&self) -> impl Iterator<Item = usize> + '_ {
+        self.offsets.windows(2).map(|w| (w[1] - w[0]) as usize)
+    }
+
+    /// Maximum degree, or 0 for an empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.degrees().max().unwrap_or(0)
+    }
+
+    /// Minimum degree, or 0 for an empty graph.
+    pub fn min_degree(&self) -> usize {
+        self.degrees().min().unwrap_or(0)
+    }
+
+    /// Returns `Some(d)` if every node has the same degree `d`.
+    pub fn regular_degree(&self) -> Option<usize> {
+        let mut it = self.degrees();
+        let first = it.next()?;
+        it.all(|d| d == first).then_some(first)
+    }
+
+    /// Number of self-loop edges.
+    pub fn self_loop_count(&self) -> usize {
+        self.edges.iter().filter(|(u, v)| u == v).count()
+    }
+
+    /// Number of surplus parallel edges (an edge with multiplicity `k`
+    /// contributes `k - 1`).
+    pub fn multi_edge_excess(&self) -> usize {
+        if self.edges.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.edges.clone();
+        sorted.sort_unstable();
+        sorted.windows(2).filter(|w| w[0] == w[1]).count()
+    }
+
+    /// `true` iff the graph has no self-loops and no parallel edges.
+    pub fn is_simple(&self) -> bool {
+        self.self_loop_count() == 0 && self.multi_edge_excess() == 0
+    }
+
+    /// Total number of stubs (half-edges); equals `sum(deg) == 2 * m`.
+    #[inline]
+    pub fn stub_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// `true` iff `u` and `v` are joined by at least one edge.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        // Scan the smaller adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(a).contains(&b)
+    }
+
+    /// Multiplicity of the edge `{u, v}` (2-per-loop convention folded back:
+    /// a single self-loop at `v` yields `edge_multiplicity(v, v) == 1`).
+    pub fn edge_multiplicity(&self, u: NodeId, v: NodeId) -> usize {
+        let occurrences = self.neighbors(u).iter().filter(|&&w| w == v).count();
+        if u == v {
+            occurrences / 2
+        } else {
+            occurrences
+        }
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.node_count())
+            .field("edges", &self.edge_count())
+            .field("min_degree", &self.min_degree())
+            .field("max_degree", &self.max_degree())
+            .field("simple", &self.is_simple())
+            .finish()
+    }
+}
+
+/// Iterator over node ids, returned by [`Graph::nodes`].
+#[derive(Debug, Clone)]
+pub struct NeighborIter {
+    next: u32,
+    end: u32,
+}
+
+impl Iterator for NeighborIter {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.next < self.end {
+            let id = NodeId::from_u32(self.next);
+            self.next += 1;
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.end - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for NeighborIter {}
+
+/// Iterator over canonicalised undirected edges, returned by [`Graph::edges`].
+#[derive(Debug, Clone)]
+pub struct EdgeIter<'a> {
+    inner: std::slice::Iter<'a, (NodeId, NodeId)>,
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().copied()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for EdgeIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use crate::{GraphBuilder, NodeId};
+
+    fn triangle_with_loop() -> crate::Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        b.add_edge(NodeId::new(1), NodeId::new(2)).unwrap();
+        b.add_edge(NodeId::new(2), NodeId::new(0)).unwrap();
+        b.add_edge(NodeId::new(0), NodeId::new(0)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = triangle_with_loop();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.stub_count(), 8);
+        assert_eq!(g.degree(NodeId::new(0)), 4); // two triangle edges + loop(2)
+        assert_eq!(g.degree(NodeId::new(1)), 2);
+        assert_eq!(g.degrees().sum::<usize>(), 2 * g.edge_count());
+    }
+
+    #[test]
+    fn self_loop_appears_twice_in_adjacency() {
+        let g = triangle_with_loop();
+        let zero = NodeId::new(0);
+        let self_refs = g.neighbors(zero).iter().filter(|&&w| w == zero).count();
+        assert_eq!(self_refs, 2);
+        assert_eq!(g.edge_multiplicity(zero, zero), 1);
+    }
+
+    #[test]
+    fn simplicity_detection() {
+        let g = triangle_with_loop();
+        assert!(!g.is_simple());
+        assert_eq!(g.self_loop_count(), 1);
+        assert_eq!(g.multi_edge_excess(), 0);
+
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        b.add_edge(NodeId::new(1), NodeId::new(0)).unwrap();
+        let g2 = b.build();
+        assert_eq!(g2.multi_edge_excess(), 1);
+        assert!(!g2.is_simple());
+    }
+
+    #[test]
+    fn has_edge_and_multiplicity() {
+        let g = triangle_with_loop();
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(g.has_edge(NodeId::new(1), NodeId::new(0)));
+        assert!(!g.has_edge(NodeId::new(1), NodeId::new(1)));
+        assert_eq!(g.edge_multiplicity(NodeId::new(0), NodeId::new(1)), 1);
+    }
+
+    #[test]
+    fn edge_iter_is_canonical() {
+        let g = triangle_with_loop();
+        for (u, v) in g.edges() {
+            assert!(u <= v);
+        }
+        assert_eq!(g.edges().len(), 4);
+    }
+
+    #[test]
+    fn regular_detection() {
+        let mut b = GraphBuilder::new(4);
+        // 4-cycle: 2-regular.
+        for i in 0..4u32 {
+            b.add_edge(NodeId::from_u32(i), NodeId::from_u32((i + 1) % 4)).unwrap();
+        }
+        let g = b.build();
+        assert_eq!(g.regular_degree(), Some(2));
+        assert!(g.is_simple());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert!(g.is_empty());
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.regular_degree(), None);
+        assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let g = triangle_with_loop();
+        let s = format!("{g:?}");
+        assert!(s.contains("Graph"));
+        assert!(s.contains("nodes"));
+    }
+}

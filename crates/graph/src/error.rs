@@ -1,0 +1,110 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction and generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The requested degree sequence has an odd sum, so no graph (even a
+    /// multigraph) can realise it: every edge consumes exactly two stubs.
+    OddStubCount {
+        /// Sum of the requested degrees.
+        stub_sum: usize,
+    },
+    /// A regular graph with `degree >= node_count` was requested; a simple
+    /// graph can have degree at most `n - 1`.
+    DegreeTooLarge {
+        /// Requested degree.
+        degree: usize,
+        /// Number of nodes.
+        node_count: usize,
+    },
+    /// The degree sequence fails the Erdős–Gallai condition and therefore is
+    /// not realisable as a *simple* graph.
+    NotGraphical,
+    /// Randomised generation (e.g. repair of the pairing model into a simple
+    /// graph) did not converge within the attempt budget.
+    GenerationFailed {
+        /// Number of attempts made before giving up.
+        attempts: usize,
+    },
+    /// An edge endpoint referenced a node outside `0..node_count`.
+    NodeOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of nodes in the graph under construction.
+        node_count: usize,
+    },
+    /// An operation required a non-empty graph.
+    EmptyGraph,
+    /// A parameter was outside its meaningful domain (e.g. a probability
+    /// not in `\[0, 1\]`).
+    InvalidParameter {
+        /// Human-readable description of the violated requirement.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::OddStubCount { stub_sum } => {
+                write!(f, "degree sum {stub_sum} is odd; stubs cannot be paired")
+            }
+            GraphError::DegreeTooLarge { degree, node_count } => write!(
+                f,
+                "degree {degree} is not realisable on {node_count} nodes as a simple graph"
+            ),
+            GraphError::NotGraphical => {
+                write!(f, "degree sequence violates the Erdős–Gallai condition")
+            }
+            GraphError::GenerationFailed { attempts } => {
+                write!(f, "random generation failed to converge after {attempts} attempts")
+            }
+            GraphError::NodeOutOfRange { index, node_count } => {
+                write!(f, "node index {index} out of range for graph with {node_count} nodes")
+            }
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+            GraphError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let cases: Vec<(GraphError, &str)> = vec![
+            (GraphError::OddStubCount { stub_sum: 9 }, "9"),
+            (
+                GraphError::DegreeTooLarge { degree: 10, node_count: 5 },
+                "10",
+            ),
+            (GraphError::NotGraphical, "Erd"),
+            (GraphError::GenerationFailed { attempts: 3 }, "3"),
+            (
+                GraphError::NodeOutOfRange { index: 7, node_count: 4 },
+                "7",
+            ),
+            (GraphError::EmptyGraph, "non-empty"),
+            (
+                GraphError::InvalidParameter { what: "p must lie in [0,1]" },
+                "[0,1]",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "message {msg:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let err: Box<dyn Error> = Box::new(GraphError::EmptyGraph);
+        assert!(err.to_string().contains("non-empty"));
+    }
+}

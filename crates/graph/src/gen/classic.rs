@@ -1,0 +1,168 @@
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Complete graph `K_n`: every pair of distinct nodes is adjacent.
+///
+/// This is the topology of the classic rumour-spreading results the paper
+/// builds on (Frieze–Grimmett, Pittel, Karp et al.), used by the push/pull
+/// crossover experiment (E5).
+///
+/// ```
+/// let g = rrb_graph::gen::complete(6);
+/// assert_eq!(g.regular_degree(), Some(5));
+/// assert_eq!(g.edge_count(), 15);
+/// ```
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1) * n / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(NodeId::new(u), NodeId::new(v)).expect("in range");
+        }
+    }
+    b.build()
+}
+
+/// Cycle `C_n` (`n >= 3` gives the usual simple cycle; `n == 2` degenerates
+/// to a double edge, `n == 1` to a self-loop, matching the multigraph
+/// convention).
+pub fn cycle(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n);
+    if n == 1 {
+        b.add_edge(NodeId::new(0), NodeId::new(0)).expect("in range");
+    } else {
+        for u in 0..n {
+            b.add_edge(NodeId::new(u), NodeId::new((u + 1) % n)).expect("in range");
+        }
+    }
+    b.build()
+}
+
+/// Path `P_n` on `n` nodes (`n - 1` edges).
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for u in 1..n {
+        b.add_edge(NodeId::new(u - 1), NodeId::new(u)).expect("in range");
+    }
+    b.build()
+}
+
+/// Star `K_{1,n-1}`: node 0 is adjacent to all others.
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for u in 1..n {
+        b.add_edge(NodeId::new(0), NodeId::new(u)).expect("in range");
+    }
+    b.build()
+}
+
+/// Hypercube `Q_dim` on `2^dim` nodes; nodes are adjacent iff their indices
+/// differ in exactly one bit. `dim`-regular; one of the bounded-degree
+/// benchmark classes from Feige et al. \[17\] cited in §1.1.
+///
+/// ```
+/// let q3 = rrb_graph::gen::hypercube(3);
+/// assert_eq!(q3.node_count(), 8);
+/// assert_eq!(q3.regular_degree(), Some(3));
+/// ```
+pub fn hypercube(dim: u32) -> Graph {
+    let n = 1usize << dim;
+    let mut b = GraphBuilder::with_capacity(n, n * dim as usize / 2);
+    for u in 0..n {
+        for bit in 0..dim {
+            let v = u ^ (1 << bit);
+            if u < v {
+                b.add_edge(NodeId::new(u), NodeId::new(v)).expect("in range");
+            }
+        }
+    }
+    b.build()
+}
+
+/// 2-dimensional torus (wrap-around grid) with `rows × cols` nodes;
+/// 4-regular when both sides exceed 2.
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    let id = |r: usize, c: usize| NodeId::new(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if cols > 1 {
+                b.add_edge(id(r, c), id(r, (c + 1) % cols)).expect("in range");
+            }
+            if rows > 1 {
+                b.add_edge(id(r, c), id((r + 1) % rows, c)).expect("in range");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn complete_graph_shape() {
+        let g = complete(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(g.regular_degree(), Some(4));
+        assert!(g.is_simple());
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn complete_degenerate() {
+        assert_eq!(complete(0).node_count(), 0);
+        assert_eq!(complete(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(7);
+        assert_eq!(g.edge_count(), 7);
+        assert_eq!(g.regular_degree(), Some(2));
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn cycle_degenerate() {
+        let g1 = cycle(1);
+        assert_eq!(g1.self_loop_count(), 1);
+        let g2 = cycle(2);
+        assert_eq!(g2.edge_count(), 2);
+        assert_eq!(g2.multi_edge_excess(), 1);
+    }
+
+    #[test]
+    fn path_and_star() {
+        let p = path(5);
+        assert_eq!(p.edge_count(), 4);
+        assert_eq!(p.degree(NodeId::new(0)), 1);
+        assert_eq!(p.degree(NodeId::new(2)), 2);
+        let s = star(6);
+        assert_eq!(s.degree(NodeId::new(0)), 5);
+        assert!(s.degrees().skip(1).all(|d| d == 1));
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.regular_degree(), Some(4));
+        assert!(g.is_simple());
+        assert!(algo::is_connected(&g));
+        // Antipodal distance equals the dimension.
+        let dist = algo::bfs_distances(&g, NodeId::new(0));
+        assert_eq!(dist[15], Some(4));
+    }
+
+    #[test]
+    fn torus_shape() {
+        let g = torus(4, 5);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.regular_degree(), Some(4));
+        assert!(g.is_simple());
+        assert!(algo::is_connected(&g));
+    }
+}

@@ -1,0 +1,93 @@
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Cartesian product `G □ H`.
+///
+/// Nodes are pairs `(u, i)` with `u ∈ V(G)`, `i ∈ V(H)`, laid out as
+/// `u * |V(H)| + i`. Two nodes `(u, i)`, `(v, j)` are adjacent iff
+/// `u == v` and `{i, j} ∈ E(H)`, or `i == j` and `{u, v} ∈ E(G)`.
+///
+/// The conclusions of the paper (§5) name `G(n,d) □ K5` as a graph with
+/// expansion and connectivity similar to a random regular graph on which the
+/// multiple-choice model yields **no** notable improvement — experiment E11
+/// reproduces that claim with this constructor.
+///
+/// Degrees add: if `G` is `d_G`-regular and `H` is `d_H`-regular, the
+/// product is `(d_G + d_H)`-regular.
+///
+/// ```
+/// use rrb_graph::gen::{cartesian_product, complete, cycle};
+/// let g = cartesian_product(&cycle(4), &complete(5));
+/// assert_eq!(g.node_count(), 20);
+/// assert_eq!(g.regular_degree(), Some(2 + 4));
+/// ```
+pub fn cartesian_product(g: &Graph, h: &Graph) -> Graph {
+    let ng = g.node_count();
+    let nh = h.node_count();
+    let n = ng * nh;
+    let id = |u: usize, i: usize| NodeId::new(u * nh + i);
+    let mut b =
+        GraphBuilder::with_capacity(n, g.edge_count() * nh + h.edge_count() * ng);
+    // G-edges replicated per H-node.
+    for (u, v) in g.edges() {
+        for i in 0..nh {
+            b.add_edge(id(u.index(), i), id(v.index(), i)).expect("in range");
+        }
+    }
+    // H-edges replicated per G-node.
+    for (i, j) in h.edges() {
+        for u in 0..ng {
+            b.add_edge(id(u, i.index()), id(u, j.index())).expect("in range");
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+    use crate::gen::{complete, cycle, path};
+
+    #[test]
+    fn product_of_paths_is_grid() {
+        let g = cartesian_product(&path(3), &path(2));
+        assert_eq!(g.node_count(), 6);
+        // Grid 3x2 has 3*1 + 2*2 = 7 edges.
+        assert_eq!(g.edge_count(), 7);
+        assert!(g.is_simple());
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn regular_factors_give_regular_product() {
+        let g = cartesian_product(&cycle(6), &complete(5));
+        assert_eq!(g.regular_degree(), Some(6));
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn k5_layers_are_cliques() {
+        let g = cartesian_product(&cycle(4), &complete(5));
+        // Within layer u=0, nodes 0..5 form a K5.
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                assert!(g.has_edge(NodeId::new(i), NodeId::new(j)));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_factor_gives_empty_product() {
+        let g = cartesian_product(&complete(0), &complete(5));
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn product_distances_add_on_known_case() {
+        // Distance in a product is the sum of coordinate distances.
+        let g = cartesian_product(&path(4), &path(4));
+        let d = algo::bfs_distances(&g, NodeId::new(0));
+        // Node (3,3) has index 3*4+3 = 15, distance 3+3.
+        assert_eq!(d[15], Some(6));
+    }
+}

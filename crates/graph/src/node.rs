@@ -1,0 +1,106 @@
+use std::fmt;
+
+/// Identifier of a node (vertex) in a [`Graph`](crate::Graph).
+///
+/// `NodeId` is a thin newtype over a `u32` index. Graphs in this workspace
+/// are dense and index their vertices `0..n`, so a 32-bit index is always
+/// sufficient (the paper's experiments top out well below `2^32` nodes) and
+/// keeps adjacency arrays compact.
+///
+/// ```
+/// use rrb_graph::NodeId;
+/// let v = NodeId::new(42);
+/// assert_eq!(v.index(), 42);
+/// assert_eq!(format!("{v}"), "v42");
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in a `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "node index overflows u32");
+        NodeId(index as u32)
+    }
+
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` representation.
+    #[inline]
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Creates a node id from a raw `u32`.
+    #[inline]
+    pub fn from_u32(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> Self {
+        id.index()
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({})", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let v = NodeId::new(17);
+        assert_eq!(v.index(), 17);
+        assert_eq!(v.as_u32(), 17);
+        assert_eq!(NodeId::from_u32(17), v);
+        assert_eq!(NodeId::from(17u32), v);
+        assert_eq!(u32::from(v), 17);
+        assert_eq!(usize::from(v), 17);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::default(), NodeId::new(0));
+    }
+
+    #[test]
+    fn debug_and_display_are_nonempty() {
+        assert_eq!(format!("{:?}", NodeId::new(3)), "NodeId(3)");
+        assert_eq!(format!("{}", NodeId::new(3)), "v3");
+    }
+}

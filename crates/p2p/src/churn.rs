@@ -1,0 +1,139 @@
+use rand::Rng;
+
+use crate::{Overlay, OverlayError};
+
+/// Stochastic membership churn driver.
+///
+/// Each application step performs a random number of joins and leaves with
+/// the configured expected rates (fractional rates accumulate across steps,
+/// so `leaves_per_step = 0.25` departs one node every four steps on
+/// average). A floor on the alive population prevents the overlay from
+/// collapsing mid-experiment.
+///
+/// This models the dynamics §1 of the paper attributes to P2P networks
+/// ("the structure … changes dynamically due to clients joining or leaving
+/// the network") and drives robustness experiment E10.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnProcess {
+    /// Expected joins per step.
+    pub joins_per_step: f64,
+    /// Expected leaves per step.
+    pub leaves_per_step: f64,
+    /// Never drop below this many alive nodes.
+    pub min_alive: usize,
+    join_debt: f64,
+    leave_debt: f64,
+}
+
+/// Counters of churn events actually applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChurnStats {
+    /// Nodes that joined.
+    pub joins: u64,
+    /// Nodes that left.
+    pub leaves: u64,
+}
+
+impl ChurnProcess {
+    /// Creates a churn process with symmetric join/leave rates.
+    pub fn symmetric(rate_per_step: f64, min_alive: usize) -> Self {
+        ChurnProcess {
+            joins_per_step: rate_per_step,
+            leaves_per_step: rate_per_step,
+            min_alive,
+            join_debt: 0.0,
+            leave_debt: 0.0,
+        }
+    }
+
+    /// Creates a churn process with distinct rates.
+    pub fn new(joins_per_step: f64, leaves_per_step: f64, min_alive: usize) -> Self {
+        ChurnProcess {
+            joins_per_step,
+            leaves_per_step,
+            min_alive,
+            join_debt: 0.0,
+            leave_debt: 0.0,
+        }
+    }
+
+    /// Applies one step of churn to `overlay`, returning the events applied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates overlay maintenance failures (they leave the overlay in a
+    /// consistent state; partially applied events are reported).
+    pub fn step<R: Rng + ?Sized>(
+        &mut self,
+        overlay: &mut Overlay,
+        rng: &mut R,
+    ) -> Result<ChurnStats, OverlayError> {
+        let mut stats = ChurnStats::default();
+        self.join_debt += self.joins_per_step;
+        self.leave_debt += self.leaves_per_step;
+        while self.join_debt >= 1.0 {
+            self.join_debt -= 1.0;
+            overlay.join(rng)?;
+            stats.joins += 1;
+        }
+        while self.leave_debt >= 1.0 {
+            self.leave_debt -= 1.0;
+            if rrb_engine::Topology::alive_count(overlay) <= self.min_alive {
+                break;
+            }
+            let victim = overlay.random_alive(rng);
+            overlay.leave(victim, rng)?;
+            stats.leaves += 1;
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rrb_engine::Topology;
+
+    #[test]
+    fn symmetric_churn_keeps_size_stable() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut o = Overlay::random(64, 6, &mut rng).unwrap();
+        let mut churn = ChurnProcess::symmetric(0.5, 16);
+        let mut total = ChurnStats::default();
+        for _ in 0..100 {
+            let s = churn.step(&mut o, &mut rng).unwrap();
+            total.joins += s.joins;
+            total.leaves += s.leaves;
+            o.check_invariants().unwrap();
+        }
+        assert_eq!(total.joins, 50);
+        assert_eq!(total.leaves, 50);
+        assert_eq!(o.alive_count(), 64);
+    }
+
+    #[test]
+    fn fractional_rates_accumulate() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut o = Overlay::random(32, 4, &mut rng).unwrap();
+        let mut churn = ChurnProcess::new(0.25, 0.0, 8);
+        let mut joins = 0;
+        for _ in 0..8 {
+            joins += churn.step(&mut o, &mut rng).unwrap().joins;
+        }
+        assert_eq!(joins, 2);
+        assert_eq!(o.alive_count(), 34);
+    }
+
+    #[test]
+    fn floor_prevents_collapse() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut o = Overlay::random(16, 4, &mut rng).unwrap();
+        let mut churn = ChurnProcess::new(0.0, 2.0, 12);
+        for _ in 0..50 {
+            churn.step(&mut o, &mut rng).unwrap();
+        }
+        assert_eq!(o.alive_count(), 12, "floor must hold");
+    }
+}

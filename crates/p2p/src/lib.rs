@@ -1,0 +1,42 @@
+//! Peer-to-peer substrate for the `rrb` reproduction.
+//!
+//! The paper motivates its results with P2P systems (§1): overlays built as
+//! random regular graphs, maintained under churn by Markov processes
+//! \[5, 16, 27, 29, 32\], running broadcast for applications such as
+//! replicated-database maintenance \[7\]. This crate provides:
+//!
+//! * [`Overlay`] — a mutable near-regular random overlay implementing the
+//!   engine's [`Topology`](rrb_engine::Topology): nodes join by splicing
+//!   into random edges (regularity-preserving) and leave by re-pairing
+//!   their neighbours' stubs, with a flip-style rewiring chain
+//!   ([`Overlay::rewire`]) that re-randomises the topology between events,
+//!   in the spirit of Mahlmann–Schindelhauer \[29\].
+//! * [`ChurnProcess`] — a stochastic join/leave driver used by the
+//!   robustness experiments (E10).
+//! * [`ReplicatedDb`] — the flagship application: a versioned key-value
+//!   store whose updates ride on broadcast rumours; convergence and
+//!   staleness are measured from the engine's delivery traces (E14).
+//!
+//! ```
+//! use rand::{SeedableRng, rngs::SmallRng};
+//! use rrb_p2p::Overlay;
+//! use rrb_engine::Topology;
+//!
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let mut overlay = Overlay::random(128, 8, &mut rng)?;
+//! let newcomer = overlay.join(&mut rng)?;
+//! overlay.leave(newcomer, &mut rng)?;
+//! assert_eq!(overlay.alive_count(), 128);
+//! # Ok::<(), rrb_p2p::OverlayError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod churn;
+mod db;
+mod overlay;
+
+pub use churn::{ChurnProcess, ChurnStats};
+pub use db::{DbReport, ReplicatedDb, Update};
+pub use overlay::{Overlay, OverlayError};

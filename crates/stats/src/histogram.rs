@@ -1,0 +1,155 @@
+use std::fmt;
+
+/// Fixed-width histogram over a closed range, with ASCII rendering.
+///
+/// Used by the experiment harness for degree distributions (e.g. the heavy
+/// tail of preferential-attachment graphs in E16) and latency profiles.
+///
+/// ```
+/// use rrb_stats::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// for v in [1.0, 1.5, 2.0, 7.0, 9.9, 11.0] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.count(), 6);
+/// assert_eq!(h.overflow(), 1);      // 11.0 is out of range
+/// assert_eq!(h.bin_counts()[0], 2); // 1.0, 1.5
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, value: f64) {
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let ix = ((value - self.lo) / width) as usize;
+            let ix = ix.min(self.bins.len() - 1);
+            self.bins[ix] += 1;
+        }
+    }
+
+    /// Adds every observation from an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Total observations, including out-of-range ones.
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Per-bin counts.
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range end.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// `[lo, hi)` bounds of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len(), "bin index out of range");
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        for (i, &count) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_range(i);
+            let bar = "#".repeat((count * 50 / max) as usize);
+            writeln!(f, "[{lo:>9.2}, {hi:>9.2}) {count:>8} |{bar}")?;
+        }
+        if self.underflow > 0 {
+            writeln!(f, "{:>22} {:>8}", "< range", self.underflow)?;
+        }
+        if self.overflow > 0 {
+            writeln!(f, "{:>22} {:>8}", ">= range", self.overflow)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_and_bounds() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.extend([0.0, 0.5, 5.0, 9.99]);
+        assert_eq!(h.bin_counts()[0], 2);
+        assert_eq!(h.bin_counts()[5], 1);
+        assert_eq!(h.bin_counts()[9], 1);
+        assert_eq!(h.bin_range(0), (0.0, 1.0));
+        assert_eq!(h.bin_range(9), (9.0, 10.0));
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn out_of_range_tracking() {
+        let mut h = Histogram::new(1.0, 2.0, 4);
+        h.extend([0.0, 1.5, 2.0, 3.0]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn display_renders_bars() {
+        let mut h = Histogram::new(0.0, 4.0, 2);
+        h.extend([0.5, 0.6, 3.0]);
+        let out = h.to_string();
+        assert!(out.contains('#'));
+        assert!(out.lines().count() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn rejects_zero_bins() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be non-empty")]
+    fn rejects_empty_range() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+}

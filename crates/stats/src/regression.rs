@@ -1,0 +1,153 @@
+/// Result of an ordinary-least-squares fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination (1 = perfect linear fit).
+    pub r_squared: f64,
+}
+
+impl Fit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Ordinary least squares over paired samples.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or fewer than two points.
+pub fn linear_regression(xs: &[f64], ys: &[f64]) -> Fit {
+    assert_eq!(xs.len(), ys.len(), "paired samples must have equal length");
+    assert!(xs.len() >= 2, "regression needs at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mx) * (x - mx);
+        sxy += (x - mx) * (y - my);
+        syy += (y - my) * (y - my);
+    }
+    let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 || sxx == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Fit { slope, intercept, r_squared }
+}
+
+/// Fits `y ≈ a·log2(n) + b` — the shape of the paper's `O(log n)` runtime
+/// claim (Theorems 2–3). A high `r_squared` with stable slope across the
+/// size ladder certifies logarithmic growth.
+///
+/// # Panics
+///
+/// Panics on length mismatch, fewer than two points, or non-positive sizes.
+pub fn fit_log2(ns: &[f64], ys: &[f64]) -> Fit {
+    let xs: Vec<f64> = ns
+        .iter()
+        .map(|&n| {
+            assert!(n > 0.0, "sizes must be positive");
+            n.log2()
+        })
+        .collect();
+    linear_regression(&xs, ys)
+}
+
+/// Fits `y ≈ a·log2(log2(n)) + b` — the shape of the paper's
+/// `O(n log log n)` transmission claim, applied to per-node counts.
+///
+/// # Panics
+///
+/// Panics on length mismatch, fewer than two points, or sizes `<= 2`.
+pub fn fit_loglog2(ns: &[f64], ys: &[f64]) -> Fit {
+    let xs: Vec<f64> = ns
+        .iter()
+        .map(|&n| {
+            assert!(n > 2.0, "sizes must exceed 2 for log log");
+            n.log2().log2()
+        })
+        .collect();
+    linear_regression(&xs, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0];
+        let fit = linear_regression(&xs, &ys);
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(10.0) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_high_r2() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0 + ((x * 7.7).sin())).collect();
+        let fit = linear_regression(&xs, &ys);
+        assert!((fit.slope - 3.0).abs() < 0.05);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn constant_y_is_perfectly_fit() {
+        let fit = linear_regression(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn log_fit_recovers_logarithmic_growth() {
+        // y = 3·log2(n) + 2 exactly.
+        let ns: Vec<f64> = (10..=20).map(|e| (1u64 << e) as f64).collect();
+        let ys: Vec<f64> = ns.iter().map(|n| 3.0 * n.log2() + 2.0).collect();
+        let fit = fit_log2(&ns, &ys);
+        assert!((fit.slope - 3.0).abs() < 1e-9);
+        assert!((fit.intercept - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loglog_fit_recovers_doubly_log_growth() {
+        let ns: Vec<f64> = (10..=20).map(|e| (1u64 << e) as f64).collect();
+        let ys: Vec<f64> = ns.iter().map(|n| 4.0 * n.log2().log2() + 1.0).collect();
+        let fit = fit_loglog2(&ns, &ys);
+        assert!((fit.slope - 4.0).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn loglog_distinguishes_log_growth() {
+        // Per-node cost growing like log2(n) looks *superlinear* against
+        // log2 log2(n): the slope blows up with n, unlike a true loglog law.
+        let ns: Vec<f64> = (10..=20).map(|e| (1u64 << e) as f64).collect();
+        let log_ys: Vec<f64> = ns.iter().map(|n| n.log2()).collect();
+        let fit = fit_loglog2(&ns, &log_ys);
+        // Slope far above what a genuine loglog curve (slope ~1 per unit)
+        // would produce for these sizes.
+        assert!(fit.slope > 10.0, "slope {}", fit.slope);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn rejects_mismatched_lengths() {
+        let _ = linear_regression(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_point() {
+        let _ = linear_regression(&[1.0], &[1.0]);
+    }
+}

@@ -1,0 +1,170 @@
+use std::fmt;
+
+/// Five-number-style summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for n < 2).
+    pub sd: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median (mean of the middle two for even n).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Summarises a slice. Empty slices yield the zero summary.
+    pub fn from_slice(values: &[f64]) -> Self {
+        let n = values.len();
+        if n == 0 {
+            return Summary { n: 0, mean: 0.0, sd: 0.0, min: 0.0, max: 0.0, median: 0.0 };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Summary {
+            n,
+            mean,
+            sd: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+        }
+    }
+
+    /// Summarises any iterator of numbers convertible to `f64`.
+    pub fn from_iter<I, V>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<f64>,
+    {
+        let values: Vec<f64> = iter.into_iter().map(Into::into).collect();
+        Summary::from_slice(&values)
+    }
+
+    /// Standard error of the mean (`sd / sqrt(n)`).
+    pub fn sem(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sd / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Normal-approximation 95% confidence half-width around the mean.
+    pub fn ci95(&self) -> f64 {
+        1.96 * self.sem()
+    }
+
+    /// `p`-quantile of the sample by linear interpolation, `p` in `\[0, 1\]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `\[0, 1\]`.
+    pub fn quantile(values: &[f64], p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile p must be in [0,1]");
+        if values.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let pos = p * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3} ± {:.3} (n={}, min={:.3}, med={:.3}, max={:.3})",
+            self.mean,
+            self.ci95(),
+            self.n,
+            self.min,
+            self.median,
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        // Sample sd of 1,2,3,4 = sqrt(5/3).
+        assert!((s.sd - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odd_median() {
+        let s = Summary::from_slice(&[5.0, 1.0, 3.0]);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = Summary::from_slice(&[]);
+        assert_eq!(e.n, 0);
+        assert_eq!(e.sem(), 0.0);
+        let s = Summary::from_slice(&[7.0]);
+        assert_eq!(s.sd, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn from_iter_accepts_integers() {
+        let s = Summary::from_iter([1u32, 2, 3]);
+        assert_eq!(s.n, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(Summary::quantile(&v, 0.0), 1.0);
+        assert_eq!(Summary::quantile(&v, 1.0), 5.0);
+        assert_eq!(Summary::quantile(&v, 0.5), 3.0);
+        assert!((Summary::quantile(&v, 0.25) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile p")]
+    fn quantile_rejects_bad_p() {
+        let _ = Summary::quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0]);
+        let out = s.to_string();
+        assert!(out.contains("n=3"));
+        assert!(out.contains('±'));
+    }
+}

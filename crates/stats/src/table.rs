@@ -1,0 +1,141 @@
+use std::fmt;
+
+/// Minimal ASCII table renderer used by the experiment binaries to print
+/// paper-style result tables.
+///
+/// ```
+/// use rrb_stats::Table;
+///
+/// let mut t = Table::new(vec!["n", "rounds", "tx/node"]);
+/// t.row(vec!["1024".into(), "21.3".into(), "18.2".into()]);
+/// t.row(vec!["2048".into(), "23.1".into(), "19.0".into()]);
+/// let out = t.to_string();
+/// assert!(out.contains("rounds"));
+/// assert!(out.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Convenience: append a row of displayable values.
+    pub fn row_display<D: fmt::Display>(&mut self, cells: Vec<D>) -> &mut Self {
+        self.row(cells.into_iter().map(|c| c.to_string()).collect())
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.chars().count());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "+")?;
+            for w in &widths {
+                write!(f, "{}+", "-".repeat(w + 2))?;
+            }
+            writeln!(f)
+        };
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (cell, w) in cells.iter().zip(&widths) {
+                write!(f, " {cell:>w$} |", w = w)?;
+            }
+            writeln!(f)
+        };
+        sep(f)?;
+        line(f, &self.headers)?;
+        sep(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        sep(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22222".into()]);
+        let out = t.to_string();
+        let lines: Vec<&str> = out.lines().collect();
+        // +sep, header, +sep, 2 rows, +sep.
+        assert_eq!(lines.len(), 6);
+        // All lines share the same width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{out}");
+        assert!(out.contains("longer"));
+    }
+
+    #[test]
+    fn row_display_formats_values() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row_display(vec![1.5, 2.25]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert!(t.to_string().contains("2.25"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn empty_table_still_renders_headers() {
+        let t = Table::new(vec!["h1", "h2"]);
+        assert!(t.is_empty());
+        let out = t.to_string();
+        assert!(out.contains("h1"));
+        assert_eq!(out.lines().count(), 4);
+    }
+}

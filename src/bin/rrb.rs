@@ -1,0 +1,336 @@
+//! `rrb` — command-line driver for the broadcast simulator.
+//!
+//! Runs any built-in protocol over any built-in topology and prints the
+//! run report (optionally the per-round trace), without writing a line of
+//! Rust. Examples:
+//!
+//! ```text
+//! rrb --topology regular --n 8192 --d 8 --protocol four-choice
+//! rrb --topology gnp --n 4096 --d 24 --protocol median-counter --seeds 5
+//! rrb --topology complete --n 1024 --protocol push --budget 3.0 --trace
+//! rrb --topology pa --n 4096 --d 4 --protocol quasirandom
+//! rrb --topology regular --n 8192 --d 8 --protocol four-choice \
+//!     --channel-failures 0.2 --alpha 2.5
+//! ```
+
+use std::process::ExitCode;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rrb::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Options {
+    topology: String,
+    protocol: String,
+    n: usize,
+    d: usize,
+    alpha: f64,
+    budget: f64,
+    seeds: u64,
+    seed: u64,
+    trace: bool,
+    channel_failures: f64,
+    transmission_failures: f64,
+    crash_rate: f64,
+    choices: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            topology: "regular".into(),
+            protocol: "four-choice".into(),
+            n: 1 << 12,
+            d: 8,
+            alpha: 1.5,
+            budget: 3.0,
+            seeds: 1,
+            seed: 42,
+            trace: false,
+            channel_failures: 0.0,
+            transmission_failures: 0.0,
+            crash_rate: 0.0,
+            choices: 4,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--topology" => o.topology = take("--topology")?,
+            "--protocol" => o.protocol = take("--protocol")?,
+            "--n" => o.n = take("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--d" => o.d = take("--d")?.parse().map_err(|e| format!("--d: {e}"))?,
+            "--alpha" => o.alpha = take("--alpha")?.parse().map_err(|e| format!("--alpha: {e}"))?,
+            "--budget" => o.budget = take("--budget")?.parse().map_err(|e| format!("--budget: {e}"))?,
+            "--seeds" => o.seeds = take("--seeds")?.parse().map_err(|e| format!("--seeds: {e}"))?,
+            "--seed" => o.seed = take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--choices" => {
+                o.choices = take("--choices")?.parse().map_err(|e| format!("--choices: {e}"))?
+            }
+            "--channel-failures" => {
+                o.channel_failures =
+                    take("--channel-failures")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--transmission-failures" => {
+                o.transmission_failures =
+                    take("--transmission-failures")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--crashes" => {
+                o.crash_rate = take("--crashes")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--trace" => o.trace = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument {other}\n\n{}", usage())),
+        }
+    }
+    if o.choices == 0 || o.choices > 16 {
+        return Err("--choices must be in 1..=16".into());
+    }
+    Ok(o)
+}
+
+fn usage() -> String {
+    "usage: rrb [options]\n\
+     --topology   regular | config | gnp | complete | hypercube | torus | pa  (default regular)\n\
+     --protocol   four-choice | sequential | push | pull | push-pull | push-then-pull |\n\
+                  median-counter | quasirandom                                (default four-choice)\n\
+     --n N        number of nodes (default 4096; rounded for hypercube/torus)\n\
+     --d D        degree / expected degree / PA attachment (default 8)\n\
+     --alpha A    four-choice schedule constant (default 1.5)\n\
+     --budget C   age budget multiplier c (push/pull/push-pull run c·log2 n) (default 3.0)\n\
+     --choices K  distinct choices per round for four-choice (default 4)\n\
+     --seeds S    independent runs (default 1)\n\
+     --seed X     base RNG seed (default 42)\n\
+     --channel-failures P / --transmission-failures P / --crashes P\n\
+     --trace      print the per-round trace of the first run"
+        .into()
+}
+
+fn build_graph(o: &Options, rng: &mut SmallRng) -> Result<Graph, String> {
+    match o.topology.as_str() {
+        "regular" => gen::random_regular(o.n, o.d, rng).map_err(|e| e.to_string()),
+        "config" => gen::configuration_model(o.n, o.d, rng).map_err(|e| e.to_string()),
+        "gnp" => {
+            let p = o.d as f64 / (o.n.max(2) as f64 - 1.0);
+            gen::gnp(o.n, p, rng).map_err(|e| e.to_string())
+        }
+        "complete" => Ok(gen::complete(o.n)),
+        "hypercube" => {
+            let dim = (o.n as f64).log2().round() as u32;
+            Ok(gen::hypercube(dim))
+        }
+        "torus" => {
+            let side = (o.n as f64).sqrt().round() as usize;
+            Ok(gen::torus(side, side))
+        }
+        "pa" => gen::preferential_attachment(o.n, o.d, rng).map_err(|e| e.to_string()),
+        other => Err(format!("unknown topology {other}\n\n{}", usage())),
+    }
+}
+
+fn run_one(o: &Options, g: &Graph, rng: &mut SmallRng, record: bool) -> Result<RunReport, String> {
+    let mut config = SimConfig::until_quiescent();
+    if o.channel_failures > 0.0 {
+        config.failures.channel_failure = o.channel_failures;
+    }
+    if o.transmission_failures > 0.0 {
+        config.failures.transmission_failure = o.transmission_failures;
+    }
+    if o.crash_rate > 0.0 {
+        config.failures.node_crash = o.crash_rate;
+    }
+    if record {
+        config = config.with_history();
+    }
+    let origin = NodeId::new(rng.gen_range(0..g.node_count()));
+    let report = match o.protocol.as_str() {
+        "four-choice" => {
+            let alg = FourChoice::builder(o.n, o.d)
+                .alpha(o.alpha)
+                .choice_policy(ChoicePolicy::Distinct(o.choices))
+                .build();
+            Simulation::new(g, alg, config).run(origin, rng)
+        }
+        "sequential" => {
+            let alg = SequentialFourChoice::for_graph(o.n, o.d);
+            Simulation::new(g, alg, config).run(origin, rng)
+        }
+        "push" => {
+            let alg = Budgeted::for_size(GossipMode::Push, o.n, o.budget);
+            Simulation::new(g, alg, config).run(origin, rng)
+        }
+        "pull" => {
+            let alg = Budgeted::for_size(GossipMode::Pull, o.n, o.budget);
+            Simulation::new(g, alg, config).run(origin, rng)
+        }
+        "push-pull" => {
+            let alg = Budgeted::for_size(GossipMode::PushPull, o.n, o.budget);
+            Simulation::new(g, alg, config).run(origin, rng)
+        }
+        "push-then-pull" => {
+            let alg = PushThenPull::for_size(o.n);
+            Simulation::new(g, alg, config).run(origin, rng)
+        }
+        "median-counter" => {
+            let alg = MedianCounter::for_size(o.n);
+            Simulation::new(g, alg, config).run(origin, rng)
+        }
+        "quasirandom" => {
+            let alg = QuasirandomPush::unbounded();
+            Simulation::new(g, alg, config).run(origin, rng)
+        }
+        other => return Err(format!("unknown protocol {other}\n\n{}", usage())),
+    };
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut rounds = Vec::new();
+    let mut txs = Vec::new();
+    let mut coverages = Vec::new();
+    for s in 0..options.seeds {
+        let mut rng = SmallRng::seed_from_u64(options.seed.wrapping_add(s));
+        let g = match build_graph(&options, &mut rng) {
+            Ok(g) => g,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let record = options.trace && s == 0;
+        let report = match run_one(&options, &g, &mut rng, record) {
+            Ok(r) => r,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if record {
+            let mut t = Table::new(vec!["round", "informed", "new", "push", "pull"]);
+            for rec in &report.history {
+                t.row_display(vec![
+                    rec.round as u64,
+                    rec.informed as u64,
+                    rec.newly_informed as u64,
+                    rec.push_tx,
+                    rec.pull_tx,
+                ]);
+            }
+            println!("{t}");
+        }
+        rounds.push(report.full_coverage_at.unwrap_or(report.rounds) as f64);
+        txs.push(report.tx_per_node());
+        coverages.push(report.coverage());
+    }
+
+    let rs = Summary::from_slice(&rounds);
+    let ts = Summary::from_slice(&txs);
+    let cs = Summary::from_slice(&coverages);
+    println!(
+        "{} on {} (n={}, d={}), {} run(s):",
+        options.protocol, options.topology, options.n, options.d, options.seeds
+    );
+    println!("  coverage        {:.4} (min {:.4})", cs.mean, cs.min);
+    println!("  rounds          {:.1} ± {:.1}", rs.mean, rs.ci95());
+    println!("  tx per node     {:.2} ± {:.2}", ts.mean, ts.ci95());
+    println!(
+        "  reference       log2 n = {:.1}, loglog2 n = {:.1}",
+        (options.n as f64).log2(),
+        (options.n as f64).log2().log2()
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_parse() {
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(o.protocol, "four-choice");
+        assert_eq!(o.n, 4096);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let o = parse_args(&args(&[
+            "--topology", "gnp", "--n", "100", "--d", "5", "--alpha", "2.0", "--seeds", "3",
+            "--trace", "--channel-failures", "0.1", "--choices", "3",
+        ]))
+        .unwrap();
+        assert_eq!(o.topology, "gnp");
+        assert_eq!(o.n, 100);
+        assert_eq!(o.d, 5);
+        assert_eq!(o.alpha, 2.0);
+        assert_eq!(o.seeds, 3);
+        assert!(o.trace);
+        assert_eq!(o.channel_failures, 0.1);
+        assert_eq!(o.choices, 3);
+    }
+
+    #[test]
+    fn unknown_flag_errors() {
+        assert!(parse_args(&args(&["--bogus"])).is_err());
+        assert!(parse_args(&args(&["--n"])).is_err());
+        assert!(parse_args(&args(&["--choices", "0"])).is_err());
+    }
+
+    #[test]
+    fn graphs_build_for_every_topology() {
+        for topo in ["regular", "config", "gnp", "complete", "hypercube", "torus", "pa"] {
+            let mut o = Options::default();
+            o.topology = topo.into();
+            o.n = 64;
+            o.d = 4;
+            let mut rng = SmallRng::seed_from_u64(1);
+            let g = build_graph(&o, &mut rng).unwrap_or_else(|e| panic!("{topo}: {e}"));
+            assert!(g.node_count() > 0, "{topo} empty");
+        }
+    }
+
+    #[test]
+    fn every_protocol_runs() {
+        for proto in [
+            "four-choice",
+            "sequential",
+            "push",
+            "pull",
+            "push-pull",
+            "push-then-pull",
+            "median-counter",
+            "quasirandom",
+        ] {
+            let mut o = Options::default();
+            o.protocol = proto.into();
+            o.n = 128;
+            o.d = 6;
+            let mut rng = SmallRng::seed_from_u64(2);
+            let g = build_graph(&o, &mut rng).unwrap();
+            let report = run_one(&o, &g, &mut rng, false)
+                .unwrap_or_else(|e| panic!("{proto}: {e}"));
+            assert!(report.coverage() > 0.9, "{proto}: coverage {}", report.coverage());
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! # rrb — Randomised Broadcasting in Random Regular Networks
+//!
+//! A full reproduction of *Efficient Randomised Broadcasting in Random
+//! Regular Networks with Applications in Peer-to-Peer Systems* (Berenbrink,
+//! Elsässer, Friedetzky; PODC 2008, journal version Distributed Computing
+//! 29(5), 2016).
+//!
+//! The paper shows that letting every node of the random phone call model
+//! open channels to **four distinct neighbours** per round (instead of one)
+//! drops the message cost of `O(log n)`-time broadcast on random `d`-regular
+//! graphs from `Θ(n·log n)` — provably necessary in the standard model
+//! (Theorem 1: `Ω(n·log n/log d)`) — to `O(n·log log n)` (Theorems 2–3).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`graph`] — CSR multigraphs, the configuration model, classic
+//!   topologies, spectral diagnostics;
+//! * [`engine`] — the synchronous phone-call-model simulator (k-choice,
+//!   sequential-memory and quasirandom channel policies, failure injection,
+//!   multi-rumour amortisation);
+//! * [`core`] — the paper's Algorithms 1 and 2 plus the sequentialised
+//!   variant;
+//! * [`baselines`] — push/pull/push&pull floods, Karp et al.'s
+//!   median-counter, quasirandom push;
+//! * [`p2p`] — churn overlay and the replicated-database application;
+//! * [`stats`] — summaries, log/log-log fits, tables for the experiment
+//!   harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rand::{SeedableRng, rngs::SmallRng};
+//! use rrb::prelude::*;
+//!
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let n = 1 << 10;
+//! let g = gen::random_regular(n, 8, &mut rng)?;
+//!
+//! // The paper's four-choice algorithm...
+//! let four = Simulation::new(&g, FourChoice::for_graph(n, 8), SimConfig::until_quiescent())
+//!     .run(NodeId::new(0), &mut rng);
+//! // ...versus classic push in the standard model.
+//! let push = Simulation::new(
+//!     &g,
+//!     Budgeted::for_size(GossipMode::Push, n, 4.0),
+//!     SimConfig::until_quiescent(),
+//! )
+//! .run(NodeId::new(0), &mut rng);
+//!
+//! assert!(four.all_informed() && push.all_informed());
+//! // The headline: exponentially fewer transmissions per node.
+//! assert!(four.tx_per_node() < push.tx_per_node());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rrb_baselines as baselines;
+pub use rrb_core as core;
+pub use rrb_engine as engine;
+pub use rrb_graph as graph;
+pub use rrb_p2p as p2p;
+pub use rrb_stats as stats;
+
+/// One-stop imports for examples and downstream experiments.
+pub mod prelude {
+    pub use rrb_baselines::{Budgeted, GossipMode, MedianCounter, PushThenPull, QuasirandomPush};
+    pub use rrb_core::{
+        AlgorithmVariant, DegreeRegime, FourChoice, Phase, PhaseSchedule, SequentialFourChoice,
+    };
+    pub use rrb_engine::{
+        ChoicePolicy, FailureModel, MultiRumorSimulation, Plan, Protocol, Round,
+        RumorInjection, RunReport, SimConfig, SimState, Simulation, StopReason, Topology,
+    };
+    pub use rrb_graph::{algo, gen, spectral, Graph, GraphBuilder, NodeId};
+    pub use rrb_p2p::{ChurnProcess, Overlay, ReplicatedDb};
+    pub use rrb_stats::{fit_log2, fit_loglog2, Summary, Table};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let schedule = PhaseSchedule::new(1 << 10, 2.0, AlgorithmVariant::SmallDegree);
+        assert!(schedule.end() > 0);
+        let _ = ChoicePolicy::FOUR;
+    }
+}

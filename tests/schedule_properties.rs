@@ -1,0 +1,125 @@
+//! Property-based integration tests over the algorithm schedule and the
+//! engine's conservation laws.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rrb::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every round of a schedule belongs to exactly one phase, phases come
+    /// in order, and the boundaries match the paper's formulas.
+    #[test]
+    fn schedule_partitions_rounds(
+        exp in 5u32..24,
+        alpha in 1.0f64..4.0,
+        large in any::<bool>(),
+    ) {
+        let n = 1usize << exp;
+        let variant = if large {
+            AlgorithmVariant::LargeDegree
+        } else {
+            AlgorithmVariant::SmallDegree
+        };
+        let s = PhaseSchedule::new(n, alpha, variant);
+        prop_assert!(s.phase1_end() >= 1);
+        prop_assert!(s.phase2_end() > s.phase1_end());
+        prop_assert!(s.phase3_end() > s.phase2_end());
+        prop_assert!(s.end() >= s.phase3_end());
+        // Boundary formulas (log base 2, loglog clamped at 1).
+        let log_n = (n as f64).log2();
+        let loglog = log_n.log2().max(1.0);
+        prop_assert_eq!(s.phase1_end(), (alpha * log_n).ceil() as u32);
+        prop_assert_eq!(s.phase2_end(), (alpha * (log_n + loglog)).ceil() as u32);
+        if !large {
+            prop_assert_eq!(s.phase3_end(), s.phase2_end() + 1);
+        }
+        // Each round maps to exactly one phase, in order.
+        let mut prev = 0u8;
+        for t in 1..=s.end() + 3 {
+            let rank = match s.phase(t) {
+                Phase::One => 1,
+                Phase::Two => 2,
+                Phase::Three => 3,
+                Phase::Four => 4,
+                Phase::Done => 5,
+            };
+            prop_assert!(rank >= prev, "phase regressed at t={}", t);
+            prev = rank;
+        }
+        prop_assert_eq!(prev, 5);
+    }
+
+    /// The informed set never shrinks and transmissions are conserved
+    /// between the per-round history and the totals.
+    #[test]
+    fn engine_conservation_laws(
+        exp in 6u32..9,
+        d in 4usize..8,
+        seed in any::<u64>(),
+    ) {
+        let n = 1usize << exp;
+        prop_assume!(n * d % 2 == 0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = gen::random_regular(n, d, &mut rng).unwrap();
+        let alg = FourChoice::for_graph(n, d);
+        let report = Simulation::new(&g, alg, SimConfig::until_quiescent().with_history())
+            .run(NodeId::new(0), &mut rng);
+        let mut last = 1usize;
+        for rec in &report.history {
+            prop_assert!(rec.informed >= last, "informed set shrank");
+            prop_assert_eq!(
+                rec.informed,
+                last + rec.newly_informed,
+                "newly_informed inconsistent"
+            );
+            last = rec.informed;
+        }
+        let push: u64 = report.history.iter().map(|r| r.push_tx).sum();
+        let pull: u64 = report.history.iter().map(|r| r.pull_tx).sum();
+        prop_assert_eq!(push, report.push_tx);
+        prop_assert_eq!(pull, report.pull_tx);
+        let channels: u64 = report.history.iter().map(|r| r.channels).sum();
+        prop_assert_eq!(channels, report.channels);
+    }
+
+    /// Overlay churn preserves the structural invariants for any event mix.
+    #[test]
+    fn overlay_survives_arbitrary_event_sequences(
+        events in prop::collection::vec(any::<bool>(), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut o = Overlay::random(24, 4, &mut rng).unwrap();
+        for &join in &events {
+            if join {
+                o.join(&mut rng).unwrap();
+            } else if o.alive_count() > 4 {
+                let v = o.random_alive(&mut rng);
+                o.leave(v, &mut rng).unwrap();
+            }
+            if let Err(e) = o.check_invariants() {
+                prop_assert!(false, "invariant broken: {}", e);
+            }
+        }
+    }
+
+    /// Budgeted protocols never transmit past their budget: total tx is
+    /// bounded by alive · fanout · (max_age + 1).
+    #[test]
+    fn budget_bounds_transmissions(
+        exp in 6u32..9,
+        budget in 2u32..20,
+        seed in any::<u64>(),
+    ) {
+        let n = 1usize << exp;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = gen::random_regular(n, 4, &mut rng).unwrap();
+        let p = Budgeted::new(GossipMode::Push, budget);
+        let report = Simulation::new(&g, p, SimConfig::until_quiescent())
+            .run(NodeId::new(0), &mut rng);
+        prop_assert!(report.total_tx() <= (n as u64) * (budget as u64 + 1));
+    }
+}
