@@ -8,7 +8,7 @@
 //! gracefully with the churn rate rather than collapsing.
 
 use rand::Rng;
-use rrb_bench::{rng_for, ExpConfig};
+use rrb_bench::{replicate, ExpConfig};
 use rrb_core::FourChoice;
 use rrb_engine::{SimConfig, SimState, Topology};
 use rrb_graph::NodeId;
@@ -32,13 +32,10 @@ fn main() {
         "tx/node",
     ]);
     for (i, &rate) in rates.iter().enumerate() {
-        let mut coverages = Vec::new();
-        let mut successes = Vec::new();
-        let mut rounds_v = Vec::new();
-        let mut txs = Vec::new();
-        for seed in 0..cfg.seeds {
-            let mut rng = rng_for(EXPERIMENT, i as u64, seed);
-            let mut overlay = Overlay::random(n, d, &mut rng).expect("overlay");
+        // Each seed runs its own churn trajectory on the rayon pool; the
+        // per-seed RNG stream makes the outcome thread-count invariant.
+        let per_seed = replicate(EXPERIMENT, i as u64, cfg.seeds, |_, rng| {
+            let mut overlay = Overlay::random(n, d, rng).expect("overlay");
             let alg = FourChoice::for_graph(n, d);
             let mut churn = ChurnProcess::symmetric(rate, n / 2);
             let config = SimConfig::until_quiescent();
@@ -48,16 +45,22 @@ fn main() {
             };
             let mut sim = SimState::new(&alg, Topology::node_count(&overlay), origin);
             while !sim.finished(&overlay, &alg, config) {
-                sim.step(&overlay, &alg, config, &mut rng);
-                churn.step(&mut overlay, &mut rng).expect("churn");
-                overlay.rewire(rate.ceil() as usize * 2, &mut rng);
+                sim.step(&overlay, &alg, config, rng);
+                churn.step(&mut overlay, rng).expect("churn");
+                overlay.rewire(rate.ceil() as usize * 2, rng);
             }
             let report = sim.into_report(&overlay, config);
-            coverages.push(report.coverage());
-            successes.push(if report.all_informed() { 1.0 } else { 0.0 });
-            rounds_v.push(report.rounds as f64);
-            txs.push(report.tx_per_node());
-        }
+            (
+                report.coverage(),
+                if report.all_informed() { 1.0 } else { 0.0 },
+                report.rounds as f64,
+                report.tx_per_node(),
+            )
+        });
+        let coverages: Vec<f64> = per_seed.iter().map(|r| r.0).collect();
+        let successes: Vec<f64> = per_seed.iter().map(|r| r.1).collect();
+        let rounds_v: Vec<f64> = per_seed.iter().map(|r| r.2).collect();
+        let txs: Vec<f64> = per_seed.iter().map(|r| r.3).collect();
         table.row(vec![
             format!("{rate:.0}"),
             format!("{:.4}", Summary::from_slice(&coverages).mean),

@@ -14,7 +14,7 @@
 //! fail or slow down. We also report the phase-1 growth factor — the
 //! quantity Lemma 1 bounds — on both topologies.
 
-use rrb_bench::{rng_for, ExpConfig};
+use rrb_bench::{replicate, ExpConfig};
 use rrb_core::FourChoice;
 use rrb_engine::{SimConfig, Simulation};
 use rrb_graph::{gen, Graph, NodeId};
@@ -67,27 +67,26 @@ fn main() {
             [("G(n, 12)", regular), ("G(n/5, 8) □ K5", product)].into_iter().enumerate()
         {
             let alg = FourChoice::builder(product_n, product_d).alpha(alpha).build();
-            let mut successes = Vec::new();
-            let mut coverages = Vec::new();
-            let mut rounds = Vec::new();
-            let mut growths = Vec::new();
-            for seed in 0..cfg.seeds {
-                let mut rng = rng_for(EXPERIMENT, (ai * 2 + ti) as u64, seed);
-                let g = make(&mut rng);
+            let per_seed = replicate(EXPERIMENT, (ai * 2 + ti) as u64, cfg.seeds, |_, rng| {
+                let g = make(rng);
                 let report = Simulation::new(
                     &g,
                     alg,
                     SimConfig::until_quiescent().with_history(),
                 )
-                .run(NodeId::new(0), &mut rng);
-                successes.push(if report.all_informed() { 1.0 } else { 0.0 });
-                coverages.push(report.coverage());
-                rounds.push(report.full_coverage_at.unwrap_or(report.rounds) as f64);
-                let gf = growth_factor(&report.history, product_n);
-                if gf.is_finite() {
-                    growths.push(gf);
-                }
-            }
+                .run(NodeId::new(0), rng);
+                (
+                    if report.all_informed() { 1.0 } else { 0.0 },
+                    report.coverage(),
+                    report.full_coverage_at.unwrap_or(report.rounds) as f64,
+                    growth_factor(&report.history, product_n),
+                )
+            });
+            let successes: Vec<f64> = per_seed.iter().map(|r| r.0).collect();
+            let coverages: Vec<f64> = per_seed.iter().map(|r| r.1).collect();
+            let rounds: Vec<f64> = per_seed.iter().map(|r| r.2).collect();
+            let growths: Vec<f64> =
+                per_seed.iter().map(|r| r.3).filter(|g| g.is_finite()).collect();
             table.row(vec![
                 format!("{alpha:.2}"),
                 label.into(),

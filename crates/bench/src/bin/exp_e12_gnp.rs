@@ -4,7 +4,7 @@
 //! graphs. The paper's contribution extends this to sparse *regular*
 //! graphs; here we confirm the G(n,p) side with the same implementation.
 
-use rrb_bench::{mean_of, mean_rounds_to_coverage, run_seeds, success_rate, ExpConfig};
+use rrb_bench::{mean_of, mean_rounds_to_coverage, run_replicated, success_rate, ExpConfig};
 use rrb_core::FourChoice;
 use rrb_engine::SimConfig;
 use rrb_graph::gen;
@@ -33,7 +33,7 @@ fn main() {
         let expected_degree = c * (n as f64).log2();
         let p = expected_degree / (n as f64 - 1.0);
         let alg = FourChoice::for_graph(n, expected_degree.round() as usize);
-        let reports = run_seeds(
+        let reports = run_replicated(
             |rng| gen::gnp(n, p, rng).expect("generation"),
             &alg,
             SimConfig::until_quiescent(),

@@ -6,7 +6,7 @@
 //! compare success, rounds and transmissions — showing each variant is
 //! sound in its own regime and what the auto-selector picks.
 
-use rrb_bench::{mean_of, mean_rounds_to_coverage, run_seeds, success_rate, ExpConfig};
+use rrb_bench::{mean_of, mean_rounds_to_coverage, run_replicated, success_rate, ExpConfig};
 use rrb_core::{AlgorithmVariant, DegreeRegime, FourChoice};
 use rrb_engine::SimConfig;
 use rrb_graph::gen;
@@ -41,7 +41,7 @@ fn main() {
         .enumerate()
         {
             let alg = FourChoice::builder(n, d).regime(variant).build();
-            let reports = run_seeds(
+            let reports = run_replicated(
                 |rng| gen::random_regular(n, d, rng).expect("generation"),
                 &alg,
                 SimConfig::until_quiescent(),

@@ -9,7 +9,7 @@
 //! and combining savings.
 
 use rrb_baselines::{Budgeted, GossipMode};
-use rrb_bench::{rng_for, ExpConfig};
+use rrb_bench::{replicate, ExpConfig};
 use rrb_core::FourChoice;
 use rrb_engine::{Protocol, SimConfig};
 use rrb_graph::gen;
@@ -18,7 +18,7 @@ use rrb_stats::{Summary, Table};
 
 const EXPERIMENT: u64 = 14;
 
-fn run_engine<P: Protocol + Clone>(
+fn run_engine<P: Protocol + Clone + Sync>(
     name: &str,
     proto: P,
     updates: usize,
@@ -26,33 +26,31 @@ fn run_engine<P: Protocol + Clone>(
     d: usize,
     cfg: &ExpConfig,
     cfg_ix: u64,
-    table: &mut Table,
-) {
-    let mut conv = Vec::new();
-    let mut lat = Vec::new();
-    let mut cost = Vec::new();
-    let mut savings = Vec::new();
-    for seed in 0..cfg.seeds {
-        let mut rng = rng_for(EXPERIMENT, cfg_ix, seed);
-        let g = gen::random_regular(n, d, &mut rng).expect("generation");
+) -> Vec<String> {
+    let per_seed = replicate(EXPERIMENT, cfg_ix, cfg.seeds, |_, rng| {
+        let g = gen::random_regular(n, d, rng).expect("generation");
         let mut db = ReplicatedDb::new(proto.clone(), SimConfig::until_quiescent());
-        db.push_random_updates(&g, updates, 8, 32, &mut rng);
-        let report = db.run(&g, &mut rng);
-        conv.push(if report.converged { 1.0 } else { 0.0 });
-        if let Some(l) = report.mean_latency() {
-            lat.push(l);
-        }
-        cost.push(report.tx_per_update_per_node(n));
-        savings.push(report.combining_savings());
-    }
-    table.row(vec![
+        db.push_random_updates(&g, updates, 8, 32, rng);
+        let report = db.run(&g, rng);
+        (
+            if report.converged { 1.0 } else { 0.0 },
+            report.mean_latency(),
+            report.tx_per_update_per_node(n),
+            report.combining_savings(),
+        )
+    });
+    let conv: Vec<f64> = per_seed.iter().map(|r| r.0).collect();
+    let lat: Vec<f64> = per_seed.iter().filter_map(|r| r.1).collect();
+    let cost: Vec<f64> = per_seed.iter().map(|r| r.2).collect();
+    let savings: Vec<f64> = per_seed.iter().map(|r| r.3).collect();
+    vec![
         updates.to_string(),
         name.into(),
         format!("{:.2}", Summary::from_slice(&conv).mean),
         format!("{:.1}", Summary::from_slice(&lat).mean),
         format!("{:.2}", Summary::from_slice(&cost).mean),
         format!("{:.1}%", Summary::from_slice(&savings).mean * 100.0),
-    ]);
+    ]
 }
 
 fn main() {
@@ -75,7 +73,7 @@ fn main() {
         "combining savings",
     ]);
     for (i, &u) in streams.iter().enumerate() {
-        run_engine(
+        table.row(run_engine(
             "four-choice",
             FourChoice::for_graph(n, d),
             u,
@@ -83,9 +81,8 @@ fn main() {
             d,
             &cfg,
             i as u64 * 2,
-            &mut table,
-        );
-        run_engine(
+        ));
+        table.row(run_engine(
             "push (budget)",
             Budgeted::for_size(GossipMode::Push, n, 3.0),
             u,
@@ -93,8 +90,7 @@ fn main() {
             d,
             &cfg,
             i as u64 * 2 + 1,
-            &mut table,
-        );
+        ));
     }
     println!("{table}");
     println!(

@@ -6,7 +6,7 @@
 //! We measure λ on sampled graphs (pairing model, repaired simple) and
 //! audit the mixing lemma on random cuts.
 
-use rrb_bench::{rng_for, ExpConfig};
+use rrb_bench::{replicate, ExpConfig};
 use rrb_graph::{gen, spectral};
 use rrb_stats::{Summary, Table};
 
@@ -27,27 +27,25 @@ fn main() {
         "mixing ok",
     ]);
     for (di, &d) in degrees.iter().enumerate() {
-        let mut lambdas = Vec::new();
-        let mut max_devs = Vec::new();
-        let mut mixing_ok = 0usize;
-        let mut mixing_total = 0usize;
-        for seed in 0..cfg.seeds {
-            let mut rng = rng_for(EXPERIMENT, di as u64, seed);
-            let g = gen::random_regular(n, d, &mut rng).expect("generation");
-            let l2 = spectral::second_eigenvalue(&g, 600, &mut rng).expect("power iteration");
-            lambdas.push(l2.value);
-            let samples =
-                spectral::expander_mixing_deviation(&g, 24, &mut rng).expect("mixing");
+        let per_seed = replicate(EXPERIMENT, di as u64, cfg.seeds, |_, rng| {
+            let g = gen::random_regular(n, d, rng).expect("generation");
+            let l2 = spectral::second_eigenvalue(&g, 600, rng).expect("power iteration");
+            let samples = spectral::expander_mixing_deviation(&g, 24, rng).expect("mixing");
             let mut worst: f64 = 0.0;
+            let mut ok = 0usize;
+            let total = samples.len();
             for s in samples {
                 worst = worst.max(s.normalized_deviation);
-                mixing_total += 1;
                 if s.normalized_deviation <= l2.value * 1.02 + 1e-9 {
-                    mixing_ok += 1;
+                    ok += 1;
                 }
             }
-            max_devs.push(worst);
-        }
+            (l2.value, worst, ok, total)
+        });
+        let lambdas: Vec<f64> = per_seed.iter().map(|r| r.0).collect();
+        let max_devs: Vec<f64> = per_seed.iter().map(|r| r.1).collect();
+        let mixing_ok: usize = per_seed.iter().map(|r| r.2).sum();
+        let mixing_total: usize = per_seed.iter().map(|r| r.3).sum();
         let ls = Summary::from_slice(&lambdas);
         let ramanujan = 2.0 * ((d - 1) as f64).sqrt();
         table.row(vec![

@@ -8,7 +8,7 @@
 //! We compare plain push (memoryless), memory-1 push (avoid the last
 //! choice, \[8\]'s protocol) and memory-3 push on PA graphs across sizes.
 
-use rrb_bench::{mean_rounds_to_coverage, run_seeds, success_rate, ExpConfig};
+use rrb_bench::{mean_rounds_to_coverage, run_replicated, success_rate, ExpConfig};
 use rrb_engine::{protocols::FloodPush, ChoicePolicy, SimConfig};
 use rrb_graph::gen;
 use rrb_stats::Table;
@@ -44,7 +44,7 @@ fn main() {
         .enumerate()
         {
             let proto = FloodPush::with_policy(policy);
-            let reports = run_seeds(
+            let reports = run_replicated(
                 |rng| gen::preferential_attachment(n, m, rng).expect("generation"),
                 &proto,
                 SimConfig::default().with_max_rounds(10_000),

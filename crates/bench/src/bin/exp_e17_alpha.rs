@@ -5,7 +5,7 @@
 //! milestone and coverage collapses; above it cost grows linearly in α
 //! (the Phase-2 term 4·α·log log n dominates).
 
-use rrb_bench::{mean_of, mean_rounds_to_coverage, run_seeds, success_rate, ExpConfig};
+use rrb_bench::{mean_of, mean_rounds_to_coverage, run_replicated, success_rate, ExpConfig};
 use rrb_core::FourChoice;
 use rrb_engine::SimConfig;
 use rrb_graph::gen;
@@ -25,7 +25,7 @@ fn main() {
     ]);
     for (i, &alpha) in alphas.iter().enumerate() {
         let alg = FourChoice::builder(n, d).alpha(alpha).build();
-        let reports = run_seeds(
+        let reports = run_replicated(
             |rng| gen::random_regular(n, d, rng).expect("generation"),
             &alg,
             SimConfig::until_quiescent(),

@@ -14,7 +14,7 @@
 //! The ablated variants are implemented against the public engine API,
 //! which doubles as an extensibility demonstration.
 
-use rrb_bench::{mean_of, mean_rounds_to_coverage, run_seeds, success_rate, ExpConfig};
+use rrb_bench::{mean_of, mean_rounds_to_coverage, run_replicated, success_rate, ExpConfig};
 use rrb_core::{FourChoice, Phase, PhaseSchedule};
 use rrb_engine::{
     ChoicePolicy, NodeView, Observation, Plan, Protocol, Round, RumorMeta, SimConfig,
@@ -89,7 +89,7 @@ fn main() {
     let mut table = Table::new(vec!["variant", "success", "rounds", "tx/node"]);
 
     // Reference: the paper's Algorithm 1.
-    let reports = run_seeds(
+    let reports = run_replicated(
         |rng| gen::random_regular(n, d, rng).expect("generation"),
         &reference,
         SimConfig::until_quiescent(),
@@ -121,7 +121,7 @@ fn main() {
             3,
         ),
     ] {
-        let reports = run_seeds(
+        let reports = run_replicated(
             |rng| gen::random_regular(n, d, rng).expect("generation"),
             &variant,
             SimConfig::until_quiescent(),

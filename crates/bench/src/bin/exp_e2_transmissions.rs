@@ -8,7 +8,7 @@
 //! columns.
 
 use rrb_baselines::{Budgeted, GossipMode, MedianCounter};
-use rrb_bench::{mean_of, run_seeds, success_rate, ExpConfig};
+use rrb_bench::{mean_of, run_replicated, success_rate, ExpConfig};
 use rrb_core::FourChoice;
 use rrb_engine::{Protocol, RunReport, SimConfig};
 use rrb_graph::gen;
@@ -17,7 +17,7 @@ use rrb_stats::{fit_log2, fit_loglog2, Table};
 const EXPERIMENT: u64 = 2;
 const D: usize = 8;
 
-fn sweep<P: Protocol + Clone>(
+fn sweep<P: Protocol + Clone + Sync>(
     cfg: &ExpConfig,
     make: impl Fn(usize) -> P,
     config_base: u64,
@@ -28,7 +28,7 @@ fn sweep<P: Protocol + Clone>(
     let mut all = Vec::new();
     for &e in exponents {
         let n = 1usize << e;
-        let reports = run_seeds(
+        let reports = run_replicated(
             |rng| gen::random_regular(n, D, rng).expect("generation"),
             &make(n),
             SimConfig::until_quiescent(),

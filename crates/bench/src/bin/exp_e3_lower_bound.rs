@@ -10,7 +10,7 @@
 //! below, showing the separation is a *model* property.
 
 use rrb_baselines::{Budgeted, GossipMode};
-use rrb_bench::{mean_of, run_seeds, success_rate, ExpConfig};
+use rrb_bench::{mean_of, run_replicated, success_rate, ExpConfig};
 use rrb_core::FourChoice;
 use rrb_engine::SimConfig;
 use rrb_graph::gen;
@@ -43,7 +43,7 @@ fn main() {
             ("push&pull", Budgeted::for_size(GossipMode::PushPull, n, 2.5)),
         ];
         for (pi, (name, proto)) in protos.into_iter().enumerate() {
-            let reports = run_seeds(
+            let reports = run_replicated(
                 |rng| gen::random_regular(n, d, rng).expect("generation"),
                 &proto,
                 SimConfig::until_quiescent(),
@@ -65,7 +65,7 @@ fn main() {
         }
         // The paper's algorithm for contrast (different model: 4 choices).
         let alg = FourChoice::for_graph(n, d);
-        let reports = run_seeds(
+        let reports = run_replicated(
             |rng| gen::random_regular(n, d, rng).expect("generation"),
             &alg,
             SimConfig::until_quiescent(),

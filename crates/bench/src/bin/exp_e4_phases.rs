@@ -10,7 +10,7 @@
 //! * Phase 3 (single pull step) informs every node with < 4 uninformed
 //!   neighbours; Phase 4 mops up the rest.
 
-use rrb_bench::{rng_for, ExpConfig};
+use rrb_bench::{replicate, ExpConfig};
 use rrb_core::FourChoice;
 use rrb_engine::{SimConfig, Simulation};
 use rrb_graph::{gen, NodeId};
@@ -25,24 +25,14 @@ fn main() {
     let alg = FourChoice::builder(n, d).force_small_degree().build();
     let s = *alg.schedule();
 
-    let mut informed_p1 = Vec::new();
-    let mut uninformed_p2 = Vec::new();
-    let mut coverage_round = Vec::new();
-    let mut p1_growth = Vec::new();
-    let mut p2_decay = Vec::new();
-
-    for seed in 0..cfg.seeds {
-        let mut rng = rng_for(EXPERIMENT, 0, seed);
-        let g = gen::random_regular(n, d, &mut rng).expect("generation");
+    let per_seed = replicate(EXPERIMENT, 0, cfg.seeds, |_, rng| {
+        let g = gen::random_regular(n, d, rng).expect("generation");
         let report = Simulation::new(&g, alg, SimConfig::until_quiescent().with_history())
-            .run(NodeId::new(0), &mut rng);
+            .run(NodeId::new(0), rng);
         let hist = &report.history;
         let at = |round: u32| -> usize {
             hist.iter().find(|r| r.round == round).map(|r| r.informed).unwrap_or(0)
         };
-        informed_p1.push(at(s.phase1_end()) as f64);
-        uninformed_p2.push((n - at(s.phase2_end())) as f64);
-        coverage_round.push(report.full_coverage_at.unwrap_or(report.rounds) as f64);
 
         // Mean growth factor of |I| over the early exponential stretch
         // (while fewer than n/8 informed).
@@ -52,9 +42,8 @@ fn main() {
                 factors.push(w[1].informed as f64 / w[0].informed as f64);
             }
         }
-        if !factors.is_empty() {
-            p1_growth.push(factors.iter().sum::<f64>() / factors.len() as f64);
-        }
+        let growth = (!factors.is_empty())
+            .then(|| factors.iter().sum::<f64>() / factors.len() as f64);
         // Mean per-round shrink factor of |H| during Phase 2.
         let mut decays = Vec::new();
         for w in hist.windows(2) {
@@ -65,10 +54,21 @@ fn main() {
                 decays.push((n - w[1].informed) as f64 / (n - w[0].informed) as f64);
             }
         }
-        if !decays.is_empty() {
-            p2_decay.push(decays.iter().sum::<f64>() / decays.len() as f64);
-        }
-    }
+        let decay =
+            (!decays.is_empty()).then(|| decays.iter().sum::<f64>() / decays.len() as f64);
+        (
+            at(s.phase1_end()) as f64,
+            (n - at(s.phase2_end())) as f64,
+            report.full_coverage_at.unwrap_or(report.rounds) as f64,
+            growth,
+            decay,
+        )
+    });
+    let informed_p1: Vec<f64> = per_seed.iter().map(|r| r.0).collect();
+    let uninformed_p2: Vec<f64> = per_seed.iter().map(|r| r.1).collect();
+    let coverage_round: Vec<f64> = per_seed.iter().map(|r| r.2).collect();
+    let p1_growth: Vec<f64> = per_seed.iter().filter_map(|r| r.3).collect();
+    let p2_decay: Vec<f64> = per_seed.iter().filter_map(|r| r.4).collect();
 
     println!("E4: phase milestones at n = {n}, d = {d} ({} seeds)\n", cfg.seeds);
     let mut table = Table::new(vec!["milestone", "measured (mean ± ci95)", "paper's claim"]);

@@ -7,7 +7,7 @@
 //! full coverage. Push wins (a); pull wins (b) by an exponential margin
 //! (O(log log n) vs Θ(log n) tail).
 
-use rrb_bench::{rng_for, ExpConfig};
+use rrb_bench::{replicate, ExpConfig};
 use rrb_engine::protocols::{FloodPull, FloodPush};
 use rrb_engine::{Protocol, SimConfig, Simulation};
 use rrb_graph::{gen, NodeId};
@@ -15,19 +15,16 @@ use rrb_stats::{Summary, Table};
 
 const EXPERIMENT: u64 = 5;
 
-fn trace<P: Protocol + Clone>(
+fn trace<P: Protocol + Clone + Sync>(
     n: usize,
     proto: P,
     config_ix: u64,
     seeds: u64,
 ) -> (Vec<f64>, Vec<f64>) {
-    let mut to_half = Vec::new();
-    let mut half_to_full = Vec::new();
-    for seed in 0..seeds {
-        let mut rng = rng_for(EXPERIMENT, config_ix, seed);
+    let per_seed = replicate(EXPERIMENT, config_ix, seeds, |_, rng| {
         let g = gen::complete(n);
         let report = Simulation::new(&g, proto.clone(), SimConfig::default().with_history())
-            .run(NodeId::new(0), &mut rng);
+            .run(NodeId::new(0), rng);
         let half_round = report
             .history
             .iter()
@@ -35,10 +32,9 @@ fn trace<P: Protocol + Clone>(
             .map(|r| r.round)
             .unwrap_or(report.rounds);
         let full_round = report.full_coverage_at.unwrap_or(report.rounds);
-        to_half.push(half_round as f64);
-        half_to_full.push((full_round - half_round) as f64);
-    }
-    (to_half, half_to_full)
+        (half_round as f64, (full_round - half_round) as f64)
+    });
+    per_seed.into_iter().unzip()
 }
 
 fn main() {

@@ -6,7 +6,7 @@
 //! coverage round, and transmissions. The interesting regime is whether the
 //! pull phase + active phase still rescue the k = 2, 3 variants.
 
-use rrb_bench::{mean_of, mean_rounds_to_coverage, run_seeds, success_rate, ExpConfig};
+use rrb_bench::{mean_of, mean_rounds_to_coverage, run_replicated, success_rate, ExpConfig};
 use rrb_core::FourChoice;
 use rrb_engine::{ChoicePolicy, SimConfig};
 use rrb_graph::gen;
@@ -31,7 +31,7 @@ fn main() {
         let alg = FourChoice::builder(n, d)
             .choice_policy(ChoicePolicy::Distinct(k))
             .build();
-        let reports = run_seeds(
+        let reports = run_replicated(
             |rng| gen::random_regular(n, d, rng).expect("generation"),
             &alg,
             SimConfig::until_quiescent(),

@@ -5,7 +5,7 @@
 //! We run both variants on the same graphs and compare rounds (expect a 4×
 //! stretch) and transmissions per node (expect parity within noise).
 
-use rrb_bench::{mean_of, mean_rounds_to_coverage, run_seeds, success_rate, ExpConfig};
+use rrb_bench::{mean_of, mean_rounds_to_coverage, run_replicated, success_rate, ExpConfig};
 use rrb_core::{FourChoice, SequentialFourChoice};
 use rrb_engine::SimConfig;
 use rrb_graph::gen;
@@ -33,7 +33,7 @@ fn main() {
         let n = 1usize << e;
         let par = FourChoice::for_graph(n, d);
         let seq = SequentialFourChoice::from_parallel(&par);
-        let par_reports = run_seeds(
+        let par_reports = run_replicated(
             |rng| gen::random_regular(n, d, rng).expect("generation"),
             &par,
             SimConfig::until_quiescent(),
@@ -41,7 +41,7 @@ fn main() {
             e as u64 * 2,
             cfg.seeds,
         );
-        let seq_reports = run_seeds(
+        let seq_reports = run_replicated(
             |rng| gen::random_regular(n, d, rng).expect("generation"),
             &seq,
             SimConfig::until_quiescent(),

@@ -7,7 +7,7 @@
 //! destroying coverage; as a tuning companion we also show that raising α
 //! restores coverage under heavier failures.
 
-use rrb_bench::{mean_of, mean_rounds_to_coverage, run_seeds, success_rate, ExpConfig};
+use rrb_bench::{mean_of, mean_rounds_to_coverage, run_replicated, success_rate, ExpConfig};
 use rrb_core::FourChoice;
 use rrb_engine::{FailureModel, SimConfig};
 use rrb_graph::gen;
@@ -32,7 +32,7 @@ fn main() {
         for (i, &p) in rates.iter().enumerate() {
             let failures = if p == 0.0 { FailureModel::NONE } else { mk(p) };
             let alg = FourChoice::builder(n, d).alpha(alpha).build();
-            let reports = run_seeds(
+            let reports = run_replicated(
                 |rng| gen::random_regular(n, d, rng).expect("generation"),
                 &alg,
                 SimConfig::until_quiescent().with_failures(failures),

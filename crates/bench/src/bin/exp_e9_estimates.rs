@@ -6,7 +6,7 @@
 //! scaling in log n̂), because every phase length is Θ(log n) with
 //! α absorbing the constant.
 
-use rrb_bench::{mean_of, mean_rounds_to_coverage, run_seeds, success_rate, ExpConfig};
+use rrb_bench::{mean_of, mean_rounds_to_coverage, run_replicated, success_rate, ExpConfig};
 use rrb_core::FourChoice;
 use rrb_engine::SimConfig;
 use rrb_graph::gen;
@@ -32,7 +32,7 @@ fn main() {
     for (i, &(f, label)) in factors.iter().enumerate() {
         let n_est = ((n as f64) * f) as usize;
         let alg = FourChoice::for_graph(n_est, d);
-        let reports = run_seeds(
+        let reports = run_replicated(
             |rng| gen::random_regular(n, d, rng).expect("generation"),
             &alg,
             SimConfig::until_quiescent(),

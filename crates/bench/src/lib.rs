@@ -3,14 +3,34 @@
 //! Every experiment reproduces one quantitative claim of the paper (see
 //! `DESIGN.md` §4 for the index and `EXPERIMENTS.md` for recorded results).
 //! The binaries accept `--quick` to shrink the size ladder and seed count
-//! for smoke-testing; default parameters produce the tables recorded in
-//! `EXPERIMENTS.md`.
+//! for smoke-testing, `--seeds N` to set the replication count and
+//! `--threads N` to bound the worker pool; default parameters produce the
+//! tables recorded in `EXPERIMENTS.md`.
+//!
+//! # Parallel seed replication
+//!
+//! Independent seed replications fan out over a rayon thread pool via
+//! [`run_replicated`] (engine runs producing [`RunReport`]s) and
+//! [`replicate`] (arbitrary per-seed measurement closures). Each seed draws
+//! its RNG from the deterministic [`rng_for`] stream keyed by
+//! `(experiment, configuration, seed)`, so results are **identical for
+//! every thread count** — parallelism changes only wall-clock, never
+//! numbers. Reports come back in seed order.
+//!
+//! # Perf trajectory
+//!
+//! [`BenchRecorder`] captures per-configuration wall-clock, rounds and
+//! transmission counts and serialises them to `BENCH_engine.json` (see
+//! `exp_e1_runtime`), giving future engine work a baseline to beat.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::time::Instant;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 use rrb_engine::{Protocol, RunReport, SimConfig, Simulation, Topology};
 use rrb_graph::NodeId;
@@ -22,20 +42,29 @@ pub struct ExpConfig {
     pub quick: bool,
     /// Number of independent seeds per configuration.
     pub seeds: u64,
+    /// Worker threads for seed replication (`--threads N`; `None` = all
+    /// available cores).
+    pub threads: Option<usize>,
 }
 
 impl ExpConfig {
-    /// Parses `--quick` and `--seeds N` from `std::env::args`.
+    /// Parses `--quick`, `--seeds N` and `--threads N` from
+    /// `std::env::args`, installing the requested global thread pool.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
+        fn flag_value<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1))
+                .and_then(|s| s.parse().ok())
+        }
         let quick = args.iter().any(|a| a == "--quick");
-        let seeds = args
-            .iter()
-            .position(|a| a == "--seeds")
-            .and_then(|i| args.get(i + 1))
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(if quick { 3 } else { 10 });
-        ExpConfig { quick, seeds }
+        let seeds = flag_value(&args, "--seeds").unwrap_or(if quick { 3 } else { 10 });
+        let threads = flag_value::<usize>(&args, "--threads").map(|t| t.max(1));
+        if let Some(t) = threads {
+            let _ = rayon::ThreadPoolBuilder::new().num_threads(t).build_global();
+        }
+        ExpConfig { quick, seeds, threads }
     }
 
     /// The exponent ladder for n = 2^e sweeps: shorter under `--quick`.
@@ -60,9 +89,32 @@ pub fn rng_for(experiment: u64, config_ix: u64, seed: u64) -> SmallRng {
     SmallRng::seed_from_u64(z)
 }
 
-/// Runs `protocol` once per seed from a random origin and returns the
-/// reports.
-pub fn run_seeds<T, P, F>(
+/// Fans an arbitrary per-seed measurement out over the rayon pool.
+///
+/// Each seed gets its own [`rng_for`] stream, so the outcome vector (in
+/// seed order) is byte-identical regardless of thread count. This is the
+/// building block for experiments whose per-seed work is more than a single
+/// engine run (churn loops, replicated-DB runs, spectral audits, ...).
+pub fn replicate<T, F>(experiment: u64, config_ix: u64, seeds: u64, per_seed: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64, &mut SmallRng) -> T + Sync,
+{
+    (0..seeds)
+        .into_par_iter()
+        .map(|s| {
+            let mut rng = rng_for(experiment, config_ix, s);
+            per_seed(s, &mut rng)
+        })
+        .collect()
+}
+
+/// Runs `protocol` once per seed from a random origin, replications fanned
+/// out over the rayon pool, and returns the reports in seed order.
+///
+/// Determinism contract: report `i` depends only on
+/// `(experiment, config_ix, seed i)` — never on the thread schedule.
+pub fn run_replicated<T, P, F>(
     topo_for_seed: F,
     protocol: &P,
     config: SimConfig,
@@ -72,22 +124,39 @@ pub fn run_seeds<T, P, F>(
 ) -> Vec<RunReport>
 where
     T: Topology,
-    P: Protocol + Clone,
-    F: Fn(&mut SmallRng) -> T,
+    P: Protocol + Clone + Sync,
+    F: Fn(&mut SmallRng) -> T + Sync,
 {
-    (0..seeds)
-        .map(|s| {
-            let mut rng = rng_for(experiment, config_ix, s);
-            let topo = topo_for_seed(&mut rng);
-            let origin = loop {
-                let i = rng.gen_range(0..topo.node_count());
-                if topo.is_alive(NodeId::new(i)) {
-                    break NodeId::new(i);
-                }
-            };
-            Simulation::new(&topo, protocol.clone(), config).run(origin, &mut rng)
-        })
-        .collect()
+    replicate(experiment, config_ix, seeds, |_, rng| {
+        let topo = topo_for_seed(rng);
+        let origin = loop {
+            let i = rng.gen_range(0..topo.node_count());
+            if topo.is_alive(NodeId::new(i)) {
+                break NodeId::new(i);
+            }
+        };
+        Simulation::new(&topo, protocol.clone(), config).run(origin, rng)
+    })
+}
+
+/// Like [`run_replicated`], additionally timing the configuration's total
+/// wall-clock (milliseconds).
+pub fn run_replicated_timed<T, P, F>(
+    topo_for_seed: F,
+    protocol: &P,
+    config: SimConfig,
+    experiment: u64,
+    config_ix: u64,
+    seeds: u64,
+) -> (Vec<RunReport>, f64)
+where
+    T: Topology,
+    P: Protocol + Clone + Sync,
+    F: Fn(&mut SmallRng) -> T + Sync,
+{
+    let start = Instant::now();
+    let reports = run_replicated(topo_for_seed, protocol, config, experiment, config_ix, seeds);
+    (reports, start.elapsed().as_secs_f64() * 1e3)
 }
 
 /// Mean of a per-report metric.
@@ -108,6 +177,124 @@ pub fn mean_rounds_to_coverage(reports: &[RunReport]) -> f64 {
     mean_of(reports, |r| r.full_coverage_at.unwrap_or(r.rounds) as f64)
 }
 
+/// One timed configuration in a [`BenchRecorder`].
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Configuration label (e.g. `"d8_n1024"`).
+    pub label: String,
+    /// Node count.
+    pub n: usize,
+    /// Seeds replicated.
+    pub seeds: u64,
+    /// Wall-clock for the whole configuration, milliseconds.
+    pub wall_ms: f64,
+    /// Mean rounds to coverage across the replications.
+    pub mean_rounds: f64,
+    /// Mean total transmissions across the replications.
+    pub mean_transmissions: f64,
+    /// Fraction of replications reaching full coverage.
+    pub success_rate: f64,
+}
+
+/// Collects per-configuration engine timings and writes the
+/// machine-readable `BENCH_engine.json` perf-trajectory file.
+#[derive(Debug)]
+pub struct BenchRecorder {
+    experiment: String,
+    quick: bool,
+    entries: Vec<BenchEntry>,
+    started: Instant,
+}
+
+impl BenchRecorder {
+    /// Starts recording for the named experiment.
+    pub fn new(experiment: impl Into<String>, quick: bool) -> Self {
+        BenchRecorder {
+            experiment: experiment.into(),
+            quick,
+            entries: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one timed configuration.
+    pub fn record(
+        &mut self,
+        label: impl Into<String>,
+        n: usize,
+        seeds: u64,
+        wall_ms: f64,
+        reports: &[RunReport],
+    ) {
+        self.entries.push(BenchEntry {
+            label: label.into(),
+            n,
+            seeds,
+            wall_ms,
+            mean_rounds: mean_rounds_to_coverage(reports),
+            mean_transmissions: mean_of(reports, |r| r.total_tx() as f64),
+            success_rate: success_rate(reports),
+        });
+    }
+
+    /// Recorded entries so far.
+    pub fn entries(&self) -> &[BenchEntry] {
+        &self.entries
+    }
+
+    /// Serialises the record as JSON (schema `rrb-bench-engine-v1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"rrb-bench-engine-v1\",\n");
+        out.push_str(&format!("  \"experiment\": {},\n", json_string(&self.experiment)));
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str(&format!("  \"threads\": {},\n", rayon::current_num_threads()));
+        out.push_str(&format!(
+            "  \"total_wall_ms\": {:.3},\n",
+            self.started.elapsed().as_secs_f64() * 1e3
+        ));
+        out.push_str("  \"configs\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"label\": {}, \"n\": {}, \"seeds\": {}, \"wall_ms\": {:.3}, \
+                 \"mean_rounds\": {:.3}, \"mean_transmissions\": {:.3}, \
+                 \"success_rate\": {:.4}}}{}\n",
+                json_string(&e.label),
+                e.n,
+                e.seeds,
+                e.wall_ms,
+                e.mean_rounds,
+                e.mean_transmissions,
+                e.success_rate,
+                if i + 1 < self.entries.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON record to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,8 +311,8 @@ mod tests {
     }
 
     #[test]
-    fn run_seeds_produces_reports() {
-        let reports = run_seeds(
+    fn run_replicated_produces_reports() {
+        let reports = run_replicated(
             |rng| gen::random_regular(128, 4, rng).unwrap(),
             &FloodPushPull::new(),
             SimConfig::default(),
@@ -140,10 +327,65 @@ mod tests {
     }
 
     #[test]
+    fn run_replicated_is_thread_count_invariant() {
+        let run_with = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    run_replicated(
+                        |rng| gen::random_regular(256, 8, rng).unwrap(),
+                        &FloodPushPull::new(),
+                        SimConfig::default().with_history(),
+                        7,
+                        3,
+                        8,
+                    )
+                })
+        };
+        let sequential = run_with(1);
+        let parallel = run_with(8);
+        assert_eq!(sequential, parallel, "reports depend on the thread schedule");
+    }
+
+    #[test]
+    fn replicate_preserves_seed_order() {
+        let out = replicate(9, 0, 16, |seed, rng| (seed, rng.gen::<u64>()));
+        for (i, (seed, _)) in out.iter().enumerate() {
+            assert_eq!(*seed, i as u64);
+        }
+        let again = replicate(9, 0, 16, |seed, rng| (seed, rng.gen::<u64>()));
+        assert_eq!(out, again);
+    }
+
+    #[test]
     fn quick_config_shrinks_ladder() {
-        let full = ExpConfig { quick: false, seeds: 10 };
-        let quick = ExpConfig { quick: true, seeds: 3 };
+        let full = ExpConfig { quick: false, seeds: 10, threads: None };
+        let quick = ExpConfig { quick: true, seeds: 3, threads: None };
         assert_eq!(full.size_exponents(10..=15), vec![10, 11, 12, 13, 14, 15]);
         assert_eq!(quick.size_exponents(10..=15), vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn recorder_emits_valid_shape() {
+        let reports = run_replicated(
+            |rng| gen::random_regular(64, 4, rng).unwrap(),
+            &FloodPushPull::new(),
+            SimConfig::default(),
+            1,
+            0,
+            2,
+        );
+        let mut rec = BenchRecorder::new("unit_test", true);
+        rec.record("d4_n64", 64, 2, 1.25, &reports);
+        let json = rec.to_json();
+        assert!(json.contains("\"schema\": \"rrb-bench-engine-v1\""));
+        assert!(json.contains("\"label\": \"d4_n64\""));
+        assert!(json.contains("\"success_rate\": 1.0000"));
+        assert_eq!(rec.entries().len(), 1);
+        // Balanced braces — cheap structural sanity for the hand-rolled JSON.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
     }
 }

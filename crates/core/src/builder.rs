@@ -81,6 +81,16 @@ impl FourChoiceBuilder {
 }
 
 #[cfg(test)]
+impl FourChoice {
+    /// Test helper exposing the policy without going through the Protocol
+    /// trait.
+    pub(crate) fn choice_policy_public(&self) -> ChoicePolicy {
+        use rrb_engine::Protocol as _;
+        self.choice_policy()
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use crate::AlgorithmVariant;
@@ -113,15 +123,5 @@ mod tests {
             .choice_policy(ChoicePolicy::Distinct(2))
             .build();
         assert_eq!(alg.choice_policy_public(), ChoicePolicy::Distinct(2));
-    }
-}
-
-#[cfg(test)]
-impl FourChoice {
-    /// Test helper exposing the policy without going through the Protocol
-    /// trait.
-    pub(crate) fn choice_policy_public(&self) -> ChoicePolicy {
-        use rrb_engine::Protocol as _;
-        self.choice_policy()
     }
 }

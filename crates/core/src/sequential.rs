@@ -52,7 +52,7 @@ impl SequentialFourChoice {
 
     /// The parallel-model block a sequential round belongs to (1-based).
     fn block_of(t: Round) -> Round {
-        (t + BLOCK - 1) / BLOCK
+        t.div_ceil(BLOCK)
     }
 }
 

@@ -64,23 +64,29 @@ pub struct ChoiceState {
     /// `u32::MAX` marks "not yet initialised" (the random start offset is
     /// drawn on first use).
     cursor: Vec<u32>,
+    /// Reusable scratch for Floyd sampling with fanout above the stack
+    /// threshold (empty — and allocation-free — for the common small
+    /// fanouts).
+    floyd_scratch: Vec<usize>,
 }
 
 impl ChoiceState {
     /// Creates choice bookkeeping for `n` nodes under `policy`.
     pub fn new(n: usize, policy: ChoicePolicy) -> Self {
+        let base = ChoiceState {
+            recent: Vec::new(),
+            window: 0,
+            cursor: Vec::new(),
+            floyd_scratch: Vec::new(),
+        };
         match policy {
-            ChoicePolicy::Distinct(_) => {
-                ChoiceState { recent: Vec::new(), window: 0, cursor: Vec::new() }
-            }
+            ChoicePolicy::Distinct(_) => base,
             ChoicePolicy::SequentialMemory { window } => ChoiceState {
                 recent: vec![Vec::with_capacity(window); n],
                 window,
-                cursor: Vec::new(),
+                ..base
             },
-            ChoicePolicy::Cyclic => {
-                ChoiceState { recent: Vec::new(), window: 0, cursor: vec![u32::MAX; n] }
-            }
+            ChoicePolicy::Cyclic => ChoiceState { cursor: vec![u32::MAX; n], ..base },
         }
     }
 
@@ -137,18 +143,33 @@ pub fn sample_targets<T: Topology + ?Sized, R: Rng + ?Sized>(
                 out.extend_from_slice(stubs);
                 return;
             }
-            // Floyd's algorithm: k distinct indices from 0..deg.
-            let mut picked: [usize; 16] = [usize::MAX; 16];
-            debug_assert!(k <= 16, "fanout larger than 16 is unsupported");
-            let mut count = 0usize;
-            for j in (deg - k)..deg {
-                let t = rng.gen_range(0..=j);
-                let idx = if picked[..count].contains(&t) { j } else { t };
-                picked[count] = idx;
-                count += 1;
-            }
-            for &idx in &picked[..count] {
-                out.push(stubs[idx]);
+            // Floyd's algorithm: k distinct indices from 0..deg. Fanouts up
+            // to 16 (every policy the paper studies) run on a stack array;
+            // larger fanouts use a reusable heap scratch — same algorithm,
+            // same RNG draws, no silent corruption past the threshold.
+            if k <= 16 {
+                let mut picked: [usize; 16] = [usize::MAX; 16];
+                let mut count = 0usize;
+                for j in (deg - k)..deg {
+                    let t = rng.gen_range(0..=j);
+                    let idx = if picked[..count].contains(&t) { j } else { t };
+                    picked[count] = idx;
+                    count += 1;
+                }
+                for &idx in &picked[..count] {
+                    out.push(stubs[idx]);
+                }
+            } else {
+                let picked = &mut state.floyd_scratch;
+                picked.clear();
+                for j in (deg - k)..deg {
+                    let t = rng.gen_range(0..=j);
+                    let idx = if picked.contains(&t) { j } else { t };
+                    picked.push(idx);
+                }
+                for &idx in picked.iter() {
+                    out.push(stubs[idx]);
+                }
             }
         }
         ChoicePolicy::Cyclic => {
@@ -267,6 +288,96 @@ mod tests {
     }
 
     #[test]
+    fn sequential_memory_four_steps_match_one_distinct4_step() {
+        // Footnote 2: four consecutive SequentialMemory { window: 3 } steps
+        // simulate one Distinct(4) step. Two checks on a random regular
+        // graph: (a) every 4-step block picks 4 *distinct* neighbours (the
+        // window forbids repeats), and (b) the per-neighbour marginal hit
+        // rate over many blocks matches Distinct(4)'s uniform 4/d.
+        let mut gen_rng = SmallRng::seed_from_u64(100);
+        let d = 12usize;
+        let g = gen::random_regular(64, d, &mut gen_rng).unwrap();
+        let v = NodeId::new(0);
+        let blocks = 4000usize;
+
+        let policy = ChoicePolicy::SEQUENTIAL;
+        let mut rng = SmallRng::seed_from_u64(101);
+        let mut state = ChoiceState::new(64, policy);
+        let mut out = Vec::new();
+        let mut seq_hits = std::collections::HashMap::new();
+        for _ in 0..blocks {
+            let mut block = Vec::with_capacity(4);
+            for _ in 0..4 {
+                sample_targets(&g, v, policy, &mut state, &mut rng, &mut out);
+                assert_eq!(out.len(), 1);
+                block.push(out[0]);
+            }
+            let mut sorted = block.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "window-3 block repeated a neighbour: {block:?}");
+            for w in block {
+                *seq_hits.entry(w).or_insert(0usize) += 1;
+            }
+        }
+
+        let policy4 = ChoicePolicy::FOUR;
+        let mut rng4 = SmallRng::seed_from_u64(102);
+        let mut state4 = ChoiceState::new(64, policy4);
+        let mut four_hits = std::collections::HashMap::new();
+        for _ in 0..blocks {
+            sample_targets(&g, v, policy4, &mut state4, &mut rng4, &mut out);
+            assert_eq!(out.len(), 4);
+            for &w in &out {
+                *four_hits.entry(w).or_insert(0usize) += 1;
+            }
+        }
+
+        // Both policies select each neighbour with marginal probability
+        // 4/d = 1/3 per block; allow 4-sigma Monte-Carlo slack.
+        let expected = blocks as f64 * 4.0 / d as f64;
+        let sigma = (blocks as f64 * (4.0 / d as f64) * (1.0 - 4.0 / d as f64)).sqrt();
+        for &w in g.neighbors(v) {
+            let s = *seq_hits.get(&w).unwrap_or(&0) as f64;
+            let f = *four_hits.get(&w).unwrap_or(&0) as f64;
+            assert!(
+                (s - expected).abs() < 4.0 * sigma,
+                "sequential marginal off for {w}: {s} vs {expected}"
+            );
+            assert!(
+                (f - expected).abs() < 4.0 * sigma,
+                "distinct4 marginal off for {w}: {f} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_memory_respects_window_on_regular_graph() {
+        // No neighbour may repeat within `window` consecutive rounds, for
+        // windows other than the paper's default too.
+        let mut gen_rng = SmallRng::seed_from_u64(103);
+        let g = gen::random_regular(32, 8, &mut gen_rng).unwrap();
+        for window in [1usize, 2, 5] {
+            let policy = ChoicePolicy::SequentialMemory { window };
+            let mut rng = SmallRng::seed_from_u64(104 + window as u64);
+            let mut state = ChoiceState::new(32, policy);
+            let mut out = Vec::new();
+            let mut history: Vec<NodeId> = Vec::new();
+            for _ in 0..200 {
+                sample_targets(&g, NodeId::new(3), policy, &mut state, &mut rng, &mut out);
+                let recent: Vec<NodeId> =
+                    history.iter().rev().take(window).copied().collect();
+                assert!(
+                    !recent.contains(&out[0]),
+                    "window {window} violated: picked {} from {recent:?}",
+                    out[0]
+                );
+                history.push(out[0]);
+            }
+        }
+    }
+
+    #[test]
     fn sequential_memory_falls_back_when_degree_small() {
         // Degree 2 with window 3: after two rounds every neighbour is
         // "recent"; the sampler must still return something.
@@ -315,6 +426,41 @@ mod tests {
             firsts.insert(out[0]);
         }
         assert!(firsts.len() > 5, "start offsets look deterministic: {firsts:?}");
+    }
+
+    #[test]
+    fn distinct_fanout_above_stack_threshold_is_sound() {
+        // Regression: Distinct(k) with k > 16 used to overflow a fixed
+        // 16-slot stack array (guarded only by a debug_assert). The heap
+        // fallback must return k distinct in-range stubs.
+        let g = gen::complete(64);
+        let mut rng = SmallRng::seed_from_u64(17);
+        for k in [17usize, 24, 32, 48] {
+            let policy = ChoicePolicy::Distinct(k);
+            let mut state = ChoiceState::new(64, policy);
+            let mut out = Vec::new();
+            for _ in 0..25 {
+                sample_targets(&g, NodeId::new(5), policy, &mut state, &mut rng, &mut out);
+                assert_eq!(out.len(), k, "wrong sample size for k = {k}");
+                let mut sorted = out.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), k, "duplicates for k = {k}: {out:?}");
+                assert!(out.iter().all(|s| s.index() < 64 && *s != NodeId::new(5)));
+            }
+        }
+    }
+
+    #[test]
+    fn large_fanout_saturates_small_degree() {
+        // deg <= k keeps returning the whole stub list, k > 16 included.
+        let g = gen::complete(10);
+        let mut rng = SmallRng::seed_from_u64(18);
+        let policy = ChoicePolicy::Distinct(20);
+        let mut state = ChoiceState::new(10, policy);
+        let mut out = Vec::new();
+        sample_targets(&g, NodeId::new(0), policy, &mut state, &mut rng, &mut out);
+        assert_eq!(out.len(), 9);
     }
 
     #[test]

@@ -22,6 +22,38 @@
 //! is free (it amortises over many concurrent rumours, which
 //! [`MultiRumorSimulation`] demonstrates).
 //!
+//! # Engine architecture: the flat-arena round engine
+//!
+//! The per-round data flow is allocation-free in steady state. Each
+//! [`SimState::step`] runs five phases over reusable flat buffers:
+//!
+//! 1. **Crash sampling** (skipped unless the model injects crashes).
+//! 2. **Channel opening** — every alive node's call targets are appended to
+//!    one flat `call_targets` buffer indexed CSR-style by `call_offsets`.
+//! 3. **Plan decisions** — an explicit *informed-node index list* means only
+//!    informed nodes are visited (`O(informed)`, not `O(n)`); everyone else
+//!    keeps a standing `SILENT` plan.
+//! 4. **Exchanges** — receipts go into a single CSR-style *observation
+//!    arena* (flat metadata buffer + offsets over the receivers actually
+//!    touched this round) instead of per-node `Vec<RumorMeta>` pairs. A
+//!    **zero-failure fast path** skips every per-call Bernoulli draw when
+//!    the model injects no channel/transmission failures, so failure-free
+//!    experiments never touch the failure RNG (the stream is identical
+//!    either way — zero-probability draws short-circuit).
+//! 5. **Digest** — receivers are visited via the arena's touched list and
+//!    silent informed nodes via the index list: `O(receipts + informed)`.
+//!
+//! All buffers (arena, call lists, plans, scratch observation) are reused
+//! across rounds; once warm, a round performs **no heap allocation** —
+//! asserted by the `steady_state_rounds_do_not_allocate` test via
+//! capacity-stability fingerprints.
+//!
+//! Seed replication parallelism lives one layer up in `rrb-bench`
+//! (`run_replicated` fans independent seeds over a rayon pool with
+//! deterministic per-seed RNG streams); regenerate the engine's perf
+//! trajectory with `cargo run --release --bin exp_e1_runtime -- --quick`
+//! (writes `BENCH_engine.json`).
+//!
 //! # Quick start
 //!
 //! ```

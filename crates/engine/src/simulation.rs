@@ -3,6 +3,7 @@ use rand::Rng;
 use rrb_graph::NodeId;
 
 use crate::choice::{sample_targets, ChoiceState};
+use crate::observation::ObservationArena;
 use crate::report::StopReason;
 use crate::{
     FailureModel, NodeView, Observation, Plan, Protocol, Round, RoundRecord, RunReport, Topology,
@@ -124,16 +125,23 @@ pub struct SimState<P: Protocol> {
     pull_tx: u64,
     channels: u64,
     informed_count: usize,
+    crashed_count: usize,
     full_coverage_at: Option<Round>,
     tx_at_coverage: Option<u64>,
     stop: Option<StopReason>,
     history: Vec<RoundRecord>,
-    // Scratch buffers reused across rounds.
+    /// Indices of informed nodes in discovery order — lets the plan,
+    /// quiescence and coverage phases iterate `O(informed)` instead of
+    /// `O(n)`.
+    informed: Vec<u32>,
+    // Scratch buffers reused across rounds (allocation-free once warm).
     call_offsets: Vec<u32>,
     call_targets: Vec<NodeId>,
     call_ok: Vec<bool>,
     plans: Vec<Plan>,
-    observations: Vec<Observation>,
+    arena: ObservationArena,
+    scratch_obs: Observation,
+    empty_obs: Observation,
     target_buf: Vec<NodeId>,
 }
 
@@ -147,6 +155,8 @@ impl<P: Protocol> SimState<P> {
         states[origin.index()] = protocol.init(true);
         let mut informed_at = vec![None; node_count];
         informed_at[origin.index()] = Some(0);
+        let mut informed = Vec::with_capacity(node_count);
+        informed.push(origin.index() as u32);
         SimState {
             states,
             informed_at,
@@ -158,15 +168,19 @@ impl<P: Protocol> SimState<P> {
             pull_tx: 0,
             channels: 0,
             informed_count: 1,
+            crashed_count: 0,
             full_coverage_at: None,
             tx_at_coverage: None,
             stop: None,
             history: Vec::new(),
-            call_offsets: Vec::new(),
+            informed,
+            call_offsets: Vec::with_capacity(node_count + 1),
             call_targets: Vec::new(),
             call_ok: Vec::new(),
-            plans: Vec::new(),
-            observations: (0..node_count).map(|_| Observation::default()).collect(),
+            plans: vec![Plan::SILENT; node_count],
+            arena: ObservationArena::new(node_count),
+            scratch_obs: Observation::default(),
+            empty_obs: Observation::default(),
             target_buf: Vec::new(),
         }
     }
@@ -192,8 +206,9 @@ impl<P: Protocol> SimState<P> {
             self.states.push(protocol.init(false));
             self.informed_at.push(None);
             self.crashed.push(false);
-            self.observations.push(Observation::default());
+            self.plans.push(Plan::SILENT);
         }
+        self.arena.ensure_len(node_count);
         self.choice.ensure_len(node_count);
     }
 
@@ -221,8 +236,11 @@ impl<P: Protocol> SimState<P> {
         // Quiescence: every informed node permanently silent means no rumour
         // can ever move again. Checked before the cap so a protocol that went
         // silent exactly at its deadline reports Quiescent, not RoundCap.
+        // Uninformed nodes are vacuously quiescent, so only the informed
+        // index list needs scanning.
         let t = self.round + 1;
-        let quiescent = (0..self.states.len()).all(|i| {
+        let quiescent = self.informed.iter().all(|&i| {
+            let i = i as usize;
             self.crashed[i]
                 || match self.informed_at[i] {
                     Some(at) => protocol.is_quiescent(&self.states[i], at, t),
@@ -241,17 +259,24 @@ impl<P: Protocol> SimState<P> {
     }
 
     fn alive_informed<T: Topology + ?Sized>(&self, topo: &T) -> usize {
-        (0..self.states.len().min(topo.node_count()))
-            .filter(|&i| {
-                !self.crashed[i]
-                    && topo.is_alive(NodeId::new(i))
-                    && self.informed_at[i].is_some()
+        // Every informed node is on the index list, so this is O(informed).
+        let n = topo.node_count();
+        self.informed
+            .iter()
+            .filter(|&&i| {
+                let i = i as usize;
+                i < n && !self.crashed[i] && topo.is_alive(NodeId::new(i))
             })
             .count()
     }
 
     /// Alive nodes that have not crash-stopped — the coverage denominator.
     fn effective_alive<T: Topology + ?Sized>(&self, topo: &T) -> usize {
+        if self.crashed_count == 0 {
+            // Nothing has crashed: the topology's own alive count is exact
+            // (O(1) for static graphs), skipping the O(n) scan per round.
+            return topo.alive_count();
+        }
         (0..topo.node_count())
             .filter(|&i| {
                 topo.is_alive(NodeId::new(i))
@@ -262,7 +287,29 @@ impl<P: Protocol> SimState<P> {
 
     /// Number of crash-stopped nodes so far.
     pub fn crashed_count(&self) -> usize {
-        self.crashed.iter().filter(|&&c| c).count()
+        self.crashed_count
+    }
+
+    /// Heap capacities of every per-round scratch buffer. Once the engine is
+    /// warm these must stay constant round over round — the arena refactor's
+    /// "steady-state rounds allocate nothing" guarantee, asserted by tests.
+    #[doc(hidden)]
+    pub fn scratch_capacities(&self) -> Vec<usize> {
+        let arena = self.arena.capacities();
+        vec![
+            self.call_offsets.capacity(),
+            self.call_targets.capacity(),
+            self.call_ok.capacity(),
+            self.plans.capacity(),
+            self.target_buf.capacity(),
+            self.informed.capacity(),
+            self.scratch_obs.pushes.capacity(),
+            self.scratch_obs.pulls.capacity(),
+            arena[0],
+            arena[1],
+            arena[2],
+            arena[3],
+        ]
     }
 
     /// Executes one synchronous round of the phone call model and returns
@@ -287,8 +334,15 @@ impl<P: Protocol> SimState<P> {
         let t = self.round;
         let policy = protocol.choice_policy();
         let failures = config.failures;
+        // Channel/transmission failures are the only per-call Bernoulli
+        // draws; crash-stop sampling is a separate per-node phase, so a
+        // crash-only model still takes the draw-free exchange fast path.
+        let fast_path =
+            failures.channel_failure == 0.0 && failures.transmission_failure == 0.0;
 
         // Phase 0: crash-stop sampling (fail-stop nodes never recover).
+        // Gated on its own probability, independent of `fast_path`: a
+        // crash-only model draws here but still skips the per-call draws.
         if failures.node_crash > 0.0 {
             for i in 0..n {
                 if !self.crashed[i]
@@ -296,85 +350,121 @@ impl<P: Protocol> SimState<P> {
                     && failures.crashes_now(rng)
                 {
                     self.crashed[i] = true;
+                    self.crashed_count += 1;
                 }
             }
         }
 
-        // Phase a: every alive node opens channels.
+        // Phase a: every alive node opens channels. On the fast path a
+        // channel is usable iff the callee slot is alive and uncrashed, so
+        // unusable channels are counted but never materialised and the
+        // per-channel Bernoulli draw is skipped (`FailureModel::NONE` draws
+        // nothing from the RNG either way — the streams stay identical).
         self.call_offsets.clear();
         self.call_targets.clear();
         self.call_ok.clear();
         self.call_offsets.push(0);
+        let mut channels_this_round = 0u64;
         for i in 0..n {
             let v = NodeId::new(i);
             if topo.is_alive(v) && !self.crashed[i] {
                 sample_targets(topo, v, policy, &mut self.choice, rng, &mut self.target_buf);
+                channels_this_round += self.target_buf.len() as u64;
                 for &w in &self.target_buf {
                     // A channel to a dead (departed) or crashed neighbour
                     // fails to establish; it costs nothing, carries nothing.
-                    let ok = topo.is_alive(w)
-                        && !self.crashed[w.index()]
-                        && failures.channel_ok(rng);
-                    self.call_targets.push(w);
-                    self.call_ok.push(ok);
+                    let callee_ok = topo.is_alive(w) && !self.crashed[w.index()];
+                    if fast_path {
+                        if callee_ok {
+                            self.call_targets.push(w);
+                        }
+                    } else {
+                        let ok = callee_ok && failures.channel_ok(rng);
+                        self.call_targets.push(w);
+                        self.call_ok.push(ok);
+                    }
                 }
             }
             self.call_offsets.push(self.call_targets.len() as u32);
         }
-        let channels_this_round = self.call_targets.len() as u64;
         self.channels += channels_this_round;
 
-        // Phase b: informed nodes decide their plans.
-        self.plans.clear();
-        self.plans.resize(n, Plan::SILENT);
-        for i in 0..n {
-            if self.crashed[i] {
-                continue;
-            }
-            if let Some(at) = self.informed_at[i] {
-                let v = NodeId::new(i);
-                if topo.is_alive(v) {
+        // Phase b: informed nodes decide their plans. Only the informed
+        // index list is visited; everyone else keeps a standing SILENT plan,
+        // so this phase is O(informed), not O(n).
+        for &i in &self.informed {
+            let i = i as usize;
+            let v = NodeId::new(i);
+            self.plans[i] = match self.informed_at[i] {
+                Some(at) if !self.crashed[i] && topo.is_alive(v) => {
                     let view = NodeView {
                         informed_at: at,
                         is_creator: v == self.creator,
                         state: &self.states[i],
                     };
-                    self.plans[i] = protocol.plan(view, t);
+                    protocol.plan(view, t)
                 }
-            }
+                _ => Plan::SILENT,
+            };
         }
 
-        // Phase c: exchanges.
+        // Phase c: exchanges, recorded into the flat observation arena.
         let mut push_tx = 0u64;
         let mut pull_tx = 0u64;
-        for obs in self.observations.iter_mut() {
-            obs.clear();
-        }
-        for i in 0..n {
-            let begin = self.call_offsets[i] as usize;
-            let end = self.call_offsets[i + 1] as usize;
-            if begin == end {
-                continue;
-            }
-            let caller_plan = self.plans[i];
-            for c in begin..end {
-                if !self.call_ok[c] {
+        self.arena.begin_round();
+        if fast_path {
+            // Zero-failure fast path: every materialised channel is usable
+            // and every transmission arrives — no failure sampling at all.
+            for i in 0..n {
+                let begin = self.call_offsets[i] as usize;
+                let end = self.call_offsets[i + 1] as usize;
+                if begin == end {
                     continue;
                 }
-                let w = self.call_targets[c];
-                // push: caller -> callee.
-                if caller_plan.push {
-                    push_tx += 1;
-                    if failures.transmission_ok(rng) {
-                        self.observations[w.index()].pushes.push(caller_plan.meta);
+                let caller_plan = self.plans[i];
+                for c in begin..end {
+                    let w = self.call_targets[c].index();
+                    // push: caller -> callee.
+                    if caller_plan.push {
+                        push_tx += 1;
+                        self.arena.record_push(w, caller_plan.meta);
+                    }
+                    // pull: callee -> caller.
+                    let callee_plan = self.plans[w];
+                    if callee_plan.pull_serve {
+                        pull_tx += 1;
+                        self.arena.record_pull(i, callee_plan.meta);
                     }
                 }
-                // pull: callee -> caller.
-                let callee_plan = self.plans[w.index()];
-                if callee_plan.pull_serve {
-                    pull_tx += 1;
-                    if failures.transmission_ok(rng) {
-                        self.observations[i].pulls.push(callee_plan.meta);
+            }
+        } else {
+            for i in 0..n {
+                let begin = self.call_offsets[i] as usize;
+                let end = self.call_offsets[i + 1] as usize;
+                if begin == end {
+                    continue;
+                }
+                let caller_plan = self.plans[i];
+                for c in begin..end {
+                    if !self.call_ok[c] {
+                        continue;
+                    }
+                    let w = self.call_targets[c].index();
+                    // push: caller -> callee.
+                    if caller_plan.push {
+                        push_tx += 1;
+                        if failures.transmission_ok(rng) {
+                            self.arena.record_push(w, caller_plan.meta);
+                        }
+                    }
+                    // pull: callee -> caller. Failed transmissions are
+                    // counted but not delivered (the copy was sent and lost).
+                    let callee_plan = self.plans[w];
+                    if callee_plan.pull_serve {
+                        pull_tx += 1;
+                        if failures.transmission_ok(rng) {
+                            self.arena.record_pull(i, callee_plan.meta);
+                        }
                     }
                 }
             }
@@ -382,23 +472,35 @@ impl<P: Protocol> SimState<P> {
         self.push_tx += push_tx;
         self.pull_tx += pull_tx;
 
-        // Phase d: digest observations, update informedness.
+        // Phase d: digest observations, update informedness. Receivers are
+        // visited via the arena's touched list, then informed-but-silent
+        // nodes via the informed index list — O(receipts + informed) total.
+        self.arena.build();
         let mut newly_informed = 0usize;
-        for i in 0..n {
-            let heard = self.observations[i].heard_rumor();
-            if heard && self.informed_at[i].is_none() {
+        let informed_before = self.informed.len();
+        for dense in 0..self.arena.touched().len() {
+            let i = self.arena.touched()[dense] as usize;
+            let (pushes, pulls) = self.arena.segment(dense);
+            self.scratch_obs.pushes.clear();
+            self.scratch_obs.pulls.clear();
+            self.scratch_obs.pushes.extend_from_slice(pushes);
+            self.scratch_obs.pulls.extend_from_slice(pulls);
+            if self.informed_at[i].is_none() {
                 self.informed_at[i] = Some(t);
+                self.informed.push(i as u32);
                 self.informed_count += 1;
                 newly_informed += 1;
             }
-            if heard || self.informed_at[i].is_some() {
-                protocol.update(
-                    &mut self.states[i],
-                    self.informed_at[i],
-                    t,
-                    &self.observations[i],
-                );
+            protocol.update(&mut self.states[i], self.informed_at[i], t, &self.scratch_obs);
+        }
+        // Informed nodes that heard nothing still observe the (empty) round,
+        // so counter-based protocols advance through silent rounds.
+        for ix in 0..informed_before {
+            let i = self.informed[ix] as usize;
+            if self.arena.heard(i) {
+                continue; // already digested above
             }
+            protocol.update(&mut self.states[i], self.informed_at[i], t, &self.empty_obs);
         }
 
         // Phase e: coverage bookkeeping.
@@ -539,6 +641,47 @@ mod tests {
         assert_eq!(a, b);
         let c = run(8);
         assert!(a != c || a.rounds == c.rounds); // different seed almost surely differs
+    }
+
+    #[test]
+    fn deterministic_with_failures() {
+        // The slow path (failure sampling) must be as reproducible as the
+        // fast path: identical seeds give byte-identical reports.
+        let g = gen::complete(48);
+        let cfg = SimConfig::default()
+            .with_failures(FailureModel::channels(0.2).with_crashes(0.01))
+            .with_history()
+            .with_max_rounds(500);
+        let run = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            Simulation::new(&g, FloodPushPull::new(), cfg).run(NodeId::new(0), &mut rng)
+        };
+        assert_eq!(run(21), run(21));
+    }
+
+    #[test]
+    fn steady_state_rounds_do_not_allocate() {
+        // Arena-reuse guarantee: after a warm-up, every per-round scratch
+        // buffer keeps its capacity — steady-state rounds touch the heap
+        // zero times. Run past full coverage (stop_at_coverage = false) so
+        // late rounds carry the maximum receipt load.
+        let g = gen::complete(64);
+        let proto = FloodPushPull::new();
+        let cfg = SimConfig::until_quiescent().with_max_rounds(60);
+        let mut rng = SmallRng::seed_from_u64(33);
+        let mut sim = SimState::new(&proto, 64, NodeId::new(0));
+        for _ in 0..20 {
+            sim.step(&g, &proto, cfg, &mut rng);
+        }
+        let warm = sim.scratch_capacities();
+        for _ in 0..40 {
+            sim.step(&g, &proto, cfg, &mut rng);
+        }
+        assert_eq!(
+            sim.scratch_capacities(),
+            warm,
+            "per-round scratch buffers reallocated after warm-up"
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub fn configuration_model_from_degrees<R: Rng + ?Sized>(
     // sequential i.u.r. pairing).
     let mut stubs: Vec<u32> = Vec::with_capacity(stub_sum);
     for (node, &d) in degrees.iter().enumerate() {
-        stubs.extend(std::iter::repeat(node as u32).take(d));
+        stubs.extend(std::iter::repeat_n(node as u32, d));
     }
     shuffle(&mut stubs, rng);
     let mut b = GraphBuilder::with_capacity(degrees.len(), stub_sum / 2);

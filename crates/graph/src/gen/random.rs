@@ -85,7 +85,7 @@ pub fn random_near_regular<R: Rng + ?Sized>(
     c: f64,
     rng: &mut R,
 ) -> Result<Graph> {
-    if !(c >= 1.0) {
+    if c.is_nan() || c < 1.0 {
         return Err(GraphError::InvalidParameter { what: "degree band factor c must be >= 1" });
     }
     if d == 0 {

@@ -209,12 +209,12 @@ pub fn set_expansion(g: &Graph, in_set: &[bool]) -> Option<f64> {
 }
 
 fn multiply_adjacency(g: &Graph, x: &[f64], y: &mut [f64]) {
-    for v in 0..g.node_count() {
+    for (v, yv) in y.iter_mut().enumerate().take(g.node_count()) {
         let mut acc = 0.0;
         for &w in g.neighbors(NodeId::new(v)) {
             acc += x[w.index()];
         }
-        y[v] = acc;
+        *yv = acc;
     }
 }
 

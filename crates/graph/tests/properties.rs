@@ -156,7 +156,7 @@ proptest! {
         let g = graph_from_edges(30, &edges).unwrap();
         let mut rng = SmallRng::seed_from_u64(seed);
         let m = algo::greedy_maximal_matching(&g, &mut rng);
-        let mut used = vec![false; 30];
+        let mut used = [false; 30];
         for (u, v) in &m {
             prop_assert!(u != v);
             prop_assert!(!used[u.index()] && !used[v.index()]);

@@ -172,12 +172,12 @@ impl<P: Protocol + Clone> ReplicatedDb<P> {
         let n = topo.node_count();
         let mut stores: Vec<HashMap<u64, (u64, u64)>> = vec![HashMap::new(); n];
         for (r, update) in self.updates.iter().enumerate() {
-            for i in 0..n {
+            for (i, store) in stores.iter_mut().enumerate() {
                 if !topo.is_alive(NodeId::new(i)) {
                     continue;
                 }
                 if report.deliveries[r][i].is_some() {
-                    let entry = stores[i].entry(update.key).or_insert((0, 0));
+                    let entry = store.entry(update.key).or_insert((0, 0));
                     if update.version > entry.0 {
                         *entry = (update.version, update.value);
                     }
@@ -186,14 +186,14 @@ impl<P: Protocol + Clone> ReplicatedDb<P> {
         }
         let mut converged = true;
         let mut reference: Option<&HashMap<u64, (u64, u64)>> = None;
-        for i in 0..n {
+        for (i, store) in stores.iter().enumerate() {
             if !topo.is_alive(NodeId::new(i)) {
                 continue;
             }
             match reference {
-                None => reference = Some(&stores[i]),
+                None => reference = Some(store),
                 Some(r) => {
-                    if r != &stores[i] {
+                    if r != store {
                         converged = false;
                         break;
                     }

@@ -198,8 +198,7 @@ impl Overlay {
         self.alive[vi] = false;
         self.alive_count -= 1;
         // Remove the mirror stubs at the neighbours.
-        for i in 0..endpoints.len() {
-            let w = endpoints[i];
+        for &w in &endpoints {
             let pos = self.adj[w.index()]
                 .iter()
                 .position(|&x| x == v)

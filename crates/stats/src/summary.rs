@@ -48,7 +48,7 @@ impl Summary {
     }
 
     /// Summarises any iterator of numbers convertible to `f64`.
-    pub fn from_iter<I, V>(iter: I) -> Self
+    pub fn from_values<I, V>(iter: I) -> Self
     where
         I: IntoIterator<Item = V>,
         V: Into<f64>,
@@ -139,8 +139,8 @@ mod tests {
     }
 
     #[test]
-    fn from_iter_accepts_integers() {
-        let s = Summary::from_iter([1u32, 2, 3]);
+    fn from_values_accepts_integers() {
+        let s = Summary::from_values([1u32, 2, 3]);
         assert_eq!(s.n, 3);
         assert!((s.mean - 2.0).abs() < 1e-12);
     }

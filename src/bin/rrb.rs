@@ -300,10 +300,8 @@ mod tests {
     #[test]
     fn graphs_build_for_every_topology() {
         for topo in ["regular", "config", "gnp", "complete", "hypercube", "torus", "pa"] {
-            let mut o = Options::default();
-            o.topology = topo.into();
-            o.n = 64;
-            o.d = 4;
+            let o =
+                Options { topology: topo.into(), n: 64, d: 4, ..Options::default() };
             let mut rng = SmallRng::seed_from_u64(1);
             let g = build_graph(&o, &mut rng).unwrap_or_else(|e| panic!("{topo}: {e}"));
             assert!(g.node_count() > 0, "{topo} empty");
@@ -322,10 +320,8 @@ mod tests {
             "median-counter",
             "quasirandom",
         ] {
-            let mut o = Options::default();
-            o.protocol = proto.into();
-            o.n = 128;
-            o.d = 6;
+            let o =
+                Options { protocol: proto.into(), n: 128, d: 6, ..Options::default() };
             let mut rng = SmallRng::seed_from_u64(2);
             let g = build_graph(&o, &mut rng).unwrap();
             let report = run_one(&o, &g, &mut rng, false)

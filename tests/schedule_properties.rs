@@ -61,7 +61,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let n = 1usize << exp;
-        prop_assume!(n * d % 2 == 0);
+        prop_assume!((n * d).is_multiple_of(2));
         let mut rng = SmallRng::seed_from_u64(seed);
         let g = gen::random_regular(n, d, &mut rng).unwrap();
         let alg = FourChoice::for_graph(n, d);

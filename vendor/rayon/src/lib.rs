@@ -1,0 +1,278 @@
+//! Vendored stand-in for the subset of `rayon` used by this workspace.
+//! The build environment has no registry access, so instead of the real
+//! work-stealing runtime this crate executes parallel maps on scoped
+//! `std::thread` workers pulling indices from an atomic counter.
+//!
+//! Guarantees relied upon by `rrb-bench::run_replicated`:
+//!
+//! * **Order preservation** — `collect()` returns results in the input
+//!   order regardless of which worker computed which item.
+//! * **Determinism** — the mapping closure receives only the item, so
+//!   results are identical for every thread count.
+//!
+//! Supported surface: `prelude::*` (`IntoParallelIterator` on ranges,
+//! vectors and boxed slices; `map` + `collect`), [`ThreadPoolBuilder`] /
+//! [`ThreadPool::install`] for scoping a thread-count override, and
+//! [`current_num_threads`].
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Global thread-count override installed by
+/// [`ThreadPoolBuilder::build_global`] (`0` = unset).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+pub mod prelude {
+    //! Traits that make `.into_par_iter()` available.
+    pub use crate::IntoParallelIterator;
+}
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads a parallel operation started on this thread
+/// would use: the installed pool's size, else `std::thread::available_parallelism`.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        match GLOBAL_THREADS.load(Ordering::Relaxed) {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        }
+    })
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (construction cannot fail in
+/// this shim, but the signature matches upstream).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (auto-detected) thread count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count. `0` means "auto-detect", as in upstream rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Installs this configuration as the process-wide default (mirrors
+    /// upstream's `build_global`; unlike upstream, repeated calls simply
+    /// overwrite the setting).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let pool = self.build()?;
+        GLOBAL_THREADS.store(pool.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            }
+            Some(n) => n,
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A "pool" that scopes a thread-count override; workers are spawned per
+/// operation rather than kept alive (sufficient for the harness workloads,
+/// whose items dwarf thread start-up cost).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing any parallel
+    /// operations it performs.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        INSTALLED_THREADS.with(|c| {
+            let prev = c.replace(Some(self.num_threads));
+            let out = op();
+            c.set(prev);
+            out
+        })
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Conversion into a parallel iterator (the subset: owned, indexable data).
+pub trait IntoParallelIterator {
+    /// Item yielded to the mapping closure.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_into_par_iter_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_into_par_iter_range!(u32, u64, usize, i32, i64);
+
+/// Parallel iterator over an owned collection.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f` (executed when `collect` runs).
+    pub fn map<U, F>(self, f: F) -> ParMap<T, U, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap { items: self.items, f, _marker: PhantomData }
+    }
+}
+
+/// Lazy parallel map; [`collect`](ParMap::collect) drives the execution.
+pub struct ParMap<T, U, F> {
+    items: Vec<T>,
+    f: F,
+    _marker: PhantomData<fn() -> U>,
+}
+
+impl<T, U, F> ParMap<T, U, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    /// Executes the map on `current_num_threads()` workers and collects the
+    /// results in input order.
+    pub fn collect<C: From<Vec<U>>>(self) -> C {
+        C::from(parallel_map(self.items, &self.f))
+    }
+}
+
+fn parallel_map<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let len = items.len();
+    let threads = current_num_threads().clamp(1, len.max(1));
+    if threads <= 1 || len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Items are parked behind per-slot mutexes so workers can move them out;
+    // each worker tags results with the source index for order restoration.
+    let slots: Vec<Mutex<Option<T>>> =
+        items.into_iter().map(|it| Mutex::new(Some(it))).collect();
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, U)> = Vec::with_capacity(len);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        let item = slots[i]
+                            .lock()
+                            .expect("poisoned item slot")
+                            .take()
+                            .expect("item taken twice");
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            tagged.extend(h.join().expect("parallel map worker panicked"));
+        }
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, u)| u).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * x).collect();
+        let expect: Vec<u64> = (0u64..1000).map(|x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let run = |threads: usize| -> Vec<u64> {
+            ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| (0u64..256).into_par_iter().map(|x| x.wrapping_mul(31)).collect())
+        };
+        assert_eq!(run(1), run(7));
+    }
+
+    #[test]
+    fn install_scopes_the_override() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outside = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}
