@@ -1,4 +1,6 @@
-use rrb_engine::{ChoicePolicy, NodeView, Observation, Plan, Protocol, Round, RumorMeta};
+use rrb_engine::{
+    Capabilities, ChoicePolicy, NodeView, Observation, Plan, Protocol, Round, RumorMeta,
+};
 
 /// Transmission direction(s) a budgeted flood uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -109,6 +111,14 @@ impl Protocol for Budgeted {
 
     fn is_quiescent(&self, _state: &Self::State, informed_at: Round, t: Round) -> bool {
         t > informed_at + self.max_age
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        match self.mode {
+            GossipMode::Push => Capabilities::PUSH_ONLY,
+            GossipMode::Pull => Capabilities::PULL_ONLY,
+            GossipMode::PushPull => Capabilities::ALL,
+        }
     }
 }
 

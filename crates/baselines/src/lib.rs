@@ -26,5 +26,5 @@ mod quasirandom;
 
 pub use budgeted::{Budgeted, GossipMode};
 pub use median_counter::{CounterState, MedianCounter};
-pub use push_then_pull::PushThenPull;
+pub use push_then_pull::{BirthState, PushThenPull};
 pub use quasirandom::QuasirandomPush;

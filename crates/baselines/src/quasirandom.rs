@@ -1,4 +1,6 @@
-use rrb_engine::{ChoicePolicy, NodeView, Observation, Plan, Protocol, Round, RumorMeta};
+use rrb_engine::{
+    Capabilities, ChoicePolicy, NodeView, Observation, Plan, Protocol, Round, RumorMeta,
+};
 
 /// Quasirandom push rumour spreading (Doerr, Friedrich, Sauerwald \[9\],
 /// cited in the paper's §1.1).
@@ -85,6 +87,12 @@ impl Protocol for QuasirandomPush {
             Some(max) => t > informed_at + max,
             None => false,
         }
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        // Push-only; note the engine's sampling skip still never engages
+        // because the Cyclic policy is stateful (cursors must advance).
+        Capabilities::PUSH_ONLY
     }
 }
 

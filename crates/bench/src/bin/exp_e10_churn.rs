@@ -1,77 +1,9 @@
-//! E10 — Robustness to membership churn (abstract: "robust against limited
-//! changes in the size of the network").
+//! E10 — robustness to membership churn.
 //!
-//! Peers join and leave *during* the broadcast at increasing rates; the
-//! overlay preserves near-regularity and is re-mixed by flip rewiring.
-//! Coverage is measured over the nodes alive at the end. Nodes that join
-//! after the pull phase can miss a rumour, so coverage of survivors decays
-//! gracefully with the churn rate rather than collapsing.
-
-use rand::Rng;
-use rrb_bench::{replicate, ExpConfig};
-use rrb_core::FourChoice;
-use rrb_engine::{SimConfig, SimState, Topology};
-use rrb_graph::NodeId;
-use rrb_p2p::{ChurnProcess, Overlay};
-use rrb_stats::{Summary, Table};
-
-const EXPERIMENT: u64 = 10;
+//! Thin wrapper over the `e10` registry entry: `rrb run e10` is the same
+//! code path (see `rrb_bench::registry`). Accepts the shared experiment
+//! flags `--quick`, `--seeds N`, `--threads N`.
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let n: usize = if cfg.quick { 1 << 11 } else { 1 << 13 };
-    let d = 8usize;
-    let rates = [0.0f64, 1.0, 4.0, 16.0, 64.0];
-
-    println!("E10: four-choice broadcast under churn at n = {n}, d = {d} ({} seeds)\n", cfg.seeds);
-    let mut table = Table::new(vec![
-        "joins+leaves/round",
-        "survivor coverage",
-        "full success",
-        "rounds run",
-        "tx/node",
-    ]);
-    for (i, &rate) in rates.iter().enumerate() {
-        // Each seed runs its own churn trajectory on the rayon pool; the
-        // per-seed RNG stream makes the outcome thread-count invariant.
-        let per_seed = replicate(EXPERIMENT, i as u64, cfg.seeds, |_, rng| {
-            let mut overlay = Overlay::random(n, d, rng).expect("overlay");
-            let alg = FourChoice::for_graph(n, d);
-            let mut churn = ChurnProcess::symmetric(rate, n / 2);
-            let config = SimConfig::until_quiescent();
-            let origin = {
-                let i = rng.gen_range(0..Topology::node_count(&overlay));
-                NodeId::new(i)
-            };
-            let mut sim = SimState::new(&alg, Topology::node_count(&overlay), origin);
-            while !sim.finished(&overlay, &alg, config) {
-                sim.step(&overlay, &alg, config, rng);
-                churn.step(&mut overlay, rng).expect("churn");
-                overlay.rewire(rate.ceil() as usize * 2, rng);
-            }
-            let report = sim.into_report(&overlay, config);
-            (
-                report.coverage(),
-                if report.all_informed() { 1.0 } else { 0.0 },
-                report.rounds as f64,
-                report.tx_per_node(),
-            )
-        });
-        let coverages: Vec<f64> = per_seed.iter().map(|r| r.0).collect();
-        let successes: Vec<f64> = per_seed.iter().map(|r| r.1).collect();
-        let rounds_v: Vec<f64> = per_seed.iter().map(|r| r.2).collect();
-        let txs: Vec<f64> = per_seed.iter().map(|r| r.3).collect();
-        table.row(vec![
-            format!("{rate:.0}"),
-            format!("{:.4}", Summary::from_slice(&coverages).mean),
-            format!("{:.2}", Summary::from_slice(&successes).mean),
-            format!("{:.1}", Summary::from_slice(&rounds_v).mean),
-            format!("{:.1}", Summary::from_slice(&txs).mean),
-        ]);
-    }
-    println!("{table}");
-    println!(
-        "expected: coverage ≈ 1 at limited churn; graceful decay as churn grows\n\
-         (late joiners can miss the pull step); cost stays O(log log n)/node."
-    );
+    rrb_bench::registry::cli_main("e10");
 }

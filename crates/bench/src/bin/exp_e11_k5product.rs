@@ -1,108 +1,9 @@
-//! E11 — The `G □ K5` counterexample (§5, Conclusions): "on graphs with
-//! similar expansion and connectivity properties … the models presented
-//! above may not lead to any notable improvement. An example for such a
-//! graph is the Cartesian product of a d-regular random graph with a K5."
+//! E11 — the G x K5 counterexample.
 //!
-//! Intuition: each node has 4 clique-mates (its K5 layer) that rapidly know
-//! everything it knows, so a 4-choice call burns a large fraction of its
-//! choices on already-informed clones; the *effective* choice diversity
-//! collapses towards the 1-choice model.
-//!
-//! At the default schedule the effect hides behind slack, so we probe at
-//! **threshold α** (the smallest schedules from ablation E17): where the
-//! genuine random regular graph still completes, the K5 product should
-//! fail or slow down. We also report the phase-1 growth factor — the
-//! quantity Lemma 1 bounds — on both topologies.
-
-use rrb_bench::{replicate, ExpConfig};
-use rrb_core::FourChoice;
-use rrb_engine::{SimConfig, Simulation};
-use rrb_graph::{gen, Graph, NodeId};
-use rrb_stats::{Summary, Table};
-
-const EXPERIMENT: u64 = 11;
-
-fn growth_factor(history: &[rrb_engine::RoundRecord], n: usize) -> f64 {
-    let mut factors = Vec::new();
-    for w in history.windows(2) {
-        if w[1].informed < n / 8 && w[0].informed > 0 {
-            factors.push(w[1].informed as f64 / w[0].informed as f64);
-        }
-    }
-    if factors.is_empty() {
-        f64::NAN
-    } else {
-        factors.iter().sum::<f64>() / factors.len() as f64
-    }
-}
+//! Thin wrapper over the `e11` registry entry: `rrb run e11` is the same
+//! code path (see `rrb_bench::registry`). Accepts the shared experiment
+//! flags `--quick`, `--seeds N`, `--threads N`.
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let base_n: usize = if cfg.quick { 1 << 9 } else { 1 << 11 };
-    let d = 8usize;
-    let product_n = base_n * 5;
-    let product_d = d + 4;
-    let alphas = [0.35, 0.5, 0.75, 1.0];
-
-    println!(
-        "E11: four-choice at threshold α — genuine G(n,{product_d}) vs G(n/5,{d}) □ K5 \
-         (both n = {product_n}, {} seeds)\n",
-        cfg.seeds
-    );
-    let mut table = Table::new(vec![
-        "α", "topology", "success", "coverage", "rounds", "phase-1 growth",
-    ]);
-
-    type GraphGen<'a> = &'a (dyn Fn(&mut rand::rngs::SmallRng) -> Graph + Sync);
-    let regular: GraphGen = &|rng| {
-        gen::random_regular(product_n, product_d, rng).expect("generation")
-    };
-    let product: GraphGen = &|rng| {
-        let base = gen::random_regular(base_n, d, rng).expect("generation");
-        gen::cartesian_product(&base, &gen::complete(5))
-    };
-
-    for (ai, &alpha) in alphas.iter().enumerate() {
-        for (ti, (label, make)) in
-            [("G(n, 12)", regular), ("G(n/5, 8) □ K5", product)].into_iter().enumerate()
-        {
-            let alg = FourChoice::builder(product_n, product_d).alpha(alpha).build();
-            let per_seed = replicate(EXPERIMENT, (ai * 2 + ti) as u64, cfg.seeds, |_, rng| {
-                let g = make(rng);
-                let report = Simulation::new(
-                    &g,
-                    alg,
-                    SimConfig::until_quiescent().with_history(),
-                )
-                .run(NodeId::new(0), rng);
-                (
-                    if report.all_informed() { 1.0 } else { 0.0 },
-                    report.coverage(),
-                    report.full_coverage_at.unwrap_or(report.rounds) as f64,
-                    growth_factor(&report.history, product_n),
-                )
-            });
-            let successes: Vec<f64> = per_seed.iter().map(|r| r.0).collect();
-            let coverages: Vec<f64> = per_seed.iter().map(|r| r.1).collect();
-            let rounds: Vec<f64> = per_seed.iter().map(|r| r.2).collect();
-            let growths: Vec<f64> =
-                per_seed.iter().map(|r| r.3).filter(|g| g.is_finite()).collect();
-            table.row(vec![
-                format!("{alpha:.2}"),
-                label.into(),
-                format!("{:.2}", Summary::from_slice(&successes).mean),
-                format!("{:.4}", Summary::from_slice(&coverages).mean),
-                format!("{:.1}", Summary::from_slice(&rounds).mean),
-                format!("{:.2}", Summary::from_slice(&growths).mean),
-            ]);
-        }
-    }
-    println!("{table}");
-    println!(
-        "expected: on the genuine random regular graph the informed set grows\n\
-         faster in phase 1 (choices rarely collide with clones) and tight schedules\n\
-         still succeed; the K5 product needs a visibly larger α / more rounds —\n\
-         §5's point that four choices exploit topological randomness, which the\n\
-         clique layers destroy."
-    );
+    rrb_bench::registry::cli_main("e11");
 }

@@ -1,65 +1,9 @@
-//! E12 — The four-choice model on G(n,p) (§1.1, citing Elsässer–Sauerwald
-//! \[13\]): with expected degree p·n ≥ polylog(n), the multiple-choice
-//! modification also achieves O(n·log log n) transmissions on Erdős–Rényi
-//! graphs. The paper's contribution extends this to sparse *regular*
-//! graphs; here we confirm the G(n,p) side with the same implementation.
-
-use rrb_bench::{mean_of, mean_rounds_to_coverage, run_replicated, success_rate, ExpConfig};
-use rrb_core::FourChoice;
-use rrb_engine::SimConfig;
-use rrb_graph::gen;
-use rrb_stats::{fit_loglog2, Table};
-
-const EXPERIMENT: u64 = 12;
+//! E12 — four-choice on G(n,p).
+//!
+//! Thin wrapper over the `e12` registry entry: `rrb run e12` is the same
+//! code path (see `rrb_bench::registry`). Accepts the shared experiment
+//! flags `--quick`, `--seeds N`, `--threads N`.
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let exponents = cfg.size_exponents(10..=14);
-    // Expected degree c·log2 n (the [13] regime needs ≥ log^δ n, δ > 2;
-    // at these sizes log2 n-scale degrees behave identically).
-    let c = 2.0f64;
-
-    println!(
-        "E12: four-choice on G(n, p) with expected degree {c}·log2 n ({} seeds)\n",
-        cfg.seeds
-    );
-    let mut table = Table::new(vec![
-        "n", "E[deg]", "coverage", "success", "rounds", "tx/node",
-    ]);
-    let mut ns = Vec::new();
-    let mut txs = Vec::new();
-    for &e in &exponents {
-        let n = 1usize << e;
-        let expected_degree = c * (n as f64).log2();
-        let p = expected_degree / (n as f64 - 1.0);
-        let alg = FourChoice::for_graph(n, expected_degree.round() as usize);
-        let reports = run_replicated(
-            |rng| gen::gnp(n, p, rng).expect("generation"),
-            &alg,
-            SimConfig::until_quiescent(),
-            EXPERIMENT,
-            e as u64,
-            cfg.seeds,
-        );
-        let tx = mean_of(&reports, |r| r.tx_per_node());
-        table.row(vec![
-            n.to_string(),
-            format!("{expected_degree:.0}"),
-            format!("{:.4}", mean_of(&reports, |r| r.coverage())),
-            format!("{:.2}", success_rate(&reports)),
-            format!("{:.1}", mean_rounds_to_coverage(&reports)),
-            format!("{tx:.1}"),
-        ]);
-        ns.push(n as f64);
-        txs.push(tx);
-    }
-    println!("{table}");
-    if ns.len() >= 2 {
-        let fit = fit_loglog2(&ns, &txs);
-        println!(
-            "tx/node ≈ {:.2}·loglog2(n) + {:.1} (r² = {:.3}) — [13]'s O(n log log n)\n\
-             carries over; isolated G(n,p) vertices are impossible at this density.",
-            fit.slope, fit.intercept, fit.r_squared
-        );
-    }
+    rrb_bench::registry::cli_main("e12");
 }

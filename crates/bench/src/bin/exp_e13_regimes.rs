@@ -1,69 +1,9 @@
-//! E13 — The degree-regime split (§4.3): Algorithm 1 (phases 3–4: one pull
-//! step + active push) targets δ ≤ d ≤ δ·log log n; Algorithm 2 (a long
-//! pull phase) targets δ·log log n ≤ d ≤ δ·log n.
+//! E13 — Algorithm 1 vs Algorithm 2 degree regimes.
 //!
-//! We run *both* variants across a degree ladder spanning the boundary and
-//! compare success, rounds and transmissions — showing each variant is
-//! sound in its own regime and what the auto-selector picks.
-
-use rrb_bench::{mean_of, mean_rounds_to_coverage, run_replicated, success_rate, ExpConfig};
-use rrb_core::{AlgorithmVariant, DegreeRegime, FourChoice};
-use rrb_engine::SimConfig;
-use rrb_graph::gen;
-use rrb_stats::Table;
-
-const EXPERIMENT: u64 = 13;
+//! Thin wrapper over the `e13` registry entry: `rrb run e13` is the same
+//! code path (see `rrb_bench::registry`). Accepts the shared experiment
+//! flags `--quick`, `--seeds N`, `--threads N`.
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let n: usize = if cfg.quick { 1 << 11 } else { 1 << 14 };
-    let degrees: &[usize] = if cfg.quick { &[4, 8, 16] } else { &[4, 6, 8, 12, 16, 24, 32] };
-
-    let auto = DegreeRegime::default();
-    println!(
-        "E13: Algorithm 1 vs Algorithm 2 across the degree ladder at n = {n} \
-         ({} seeds); auto-threshold δ·loglog2(n) with δ = 3\n",
-        cfg.seeds
-    );
-    let mut table = Table::new(vec![
-        "d", "auto picks", "variant", "success", "rounds", "tx/node",
-    ]);
-    for (di, &d) in degrees.iter().enumerate() {
-        let auto_pick = match auto.resolve(n, d) {
-            AlgorithmVariant::SmallDegree => "Alg 1",
-            AlgorithmVariant::LargeDegree => "Alg 2",
-        };
-        for (vi, (variant, label)) in [
-            (DegreeRegime::ForceSmall, "Alg 1 (4 phases)"),
-            (DegreeRegime::ForceLarge, "Alg 2 (long pull)"),
-        ]
-        .into_iter()
-        .enumerate()
-        {
-            let alg = FourChoice::builder(n, d).regime(variant).build();
-            let reports = run_replicated(
-                |rng| gen::random_regular(n, d, rng).expect("generation"),
-                &alg,
-                SimConfig::until_quiescent(),
-                EXPERIMENT,
-                (di * 2 + vi) as u64,
-                cfg.seeds,
-            );
-            table.row(vec![
-                d.to_string(),
-                auto_pick.into(),
-                label.into(),
-                format!("{:.2}", success_rate(&reports)),
-                format!("{:.1}", mean_rounds_to_coverage(&reports)),
-                format!("{:.1}", mean_of(&reports, |r| r.tx_per_node())),
-            ]);
-        }
-    }
-    println!("{table}");
-    println!(
-        "expected: both variants succeed across the ladder at these sizes (the\n\
-         regimes matter for the *proofs*); Alg 2's long pull phase is cheaper at\n\
-         large d (pull tx land mostly on the few uninformed), while Alg 1's single\n\
-         pull step + active push is tailored to small degrees."
-    );
+    rrb_bench::registry::cli_main("e13");
 }

@@ -1,102 +1,9 @@
-//! E14 — Replicated-database maintenance (§1, after Demers et al. \[7\]):
-//! many concurrent updates propagate by gossip; the per-update per-node
-//! transmission cost is the maintenance bill, and concurrent rumours
-//! **combine** on shared channels, amortising connection cost — the very
-//! motivation of the phone call model.
+//! E14 — replicated-database maintenance over gossip.
 //!
-//! Sweeps the update-stream rate and compares the four-choice engine
-//! against budgeted push, reporting convergence, latency, tx/update/node
-//! and combining savings.
-
-use rrb_baselines::{Budgeted, GossipMode};
-use rrb_bench::{replicate, ExpConfig};
-use rrb_core::FourChoice;
-use rrb_engine::{Protocol, SimConfig};
-use rrb_graph::gen;
-use rrb_p2p::ReplicatedDb;
-use rrb_stats::{Summary, Table};
-
-const EXPERIMENT: u64 = 14;
-
-fn run_engine<P: Protocol + Clone + Sync>(
-    name: &str,
-    proto: P,
-    updates: usize,
-    n: usize,
-    d: usize,
-    cfg: &ExpConfig,
-    cfg_ix: u64,
-) -> Vec<String> {
-    let per_seed = replicate(EXPERIMENT, cfg_ix, cfg.seeds, |_, rng| {
-        let g = gen::random_regular(n, d, rng).expect("generation");
-        let mut db = ReplicatedDb::new(proto.clone(), SimConfig::until_quiescent());
-        db.push_random_updates(&g, updates, 8, 32, rng);
-        let report = db.run(&g, rng);
-        (
-            if report.converged { 1.0 } else { 0.0 },
-            report.mean_latency(),
-            report.tx_per_update_per_node(n),
-            report.combining_savings(),
-        )
-    });
-    let conv: Vec<f64> = per_seed.iter().map(|r| r.0).collect();
-    let lat: Vec<f64> = per_seed.iter().filter_map(|r| r.1).collect();
-    let cost: Vec<f64> = per_seed.iter().map(|r| r.2).collect();
-    let savings: Vec<f64> = per_seed.iter().map(|r| r.3).collect();
-    vec![
-        updates.to_string(),
-        name.into(),
-        format!("{:.2}", Summary::from_slice(&conv).mean),
-        format!("{:.1}", Summary::from_slice(&lat).mean),
-        format!("{:.2}", Summary::from_slice(&cost).mean),
-        format!("{:.1}%", Summary::from_slice(&savings).mean * 100.0),
-    ]
-}
+//! Thin wrapper over the `e14` registry entry: `rrb run e14` is the same
+//! code path (see `rrb_bench::registry`). Accepts the shared experiment
+//! flags `--quick`, `--seeds N`, `--threads N`.
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let n: usize = if cfg.quick { 1 << 9 } else { 1 << 11 };
-    let d = 8usize;
-    let streams: &[usize] = if cfg.quick { &[4, 16] } else { &[1, 4, 16, 64] };
-
-    println!(
-        "E14: replicated DB over gossip at n = {n}, d = {d} ({} seeds); updates\n\
-         issued over the first 8 rounds\n",
-        cfg.seeds
-    );
-    let mut table = Table::new(vec![
-        "updates",
-        "engine",
-        "converged",
-        "mean latency",
-        "tx/update/node",
-        "combining savings",
-    ]);
-    for (i, &u) in streams.iter().enumerate() {
-        table.row(run_engine(
-            "four-choice",
-            FourChoice::for_graph(n, d),
-            u,
-            n,
-            d,
-            &cfg,
-            i as u64 * 2,
-        ));
-        table.row(run_engine(
-            "push (budget)",
-            Budgeted::for_size(GossipMode::Push, n, 3.0),
-            u,
-            n,
-            d,
-            &cfg,
-            i as u64 * 2 + 1,
-        ));
-    }
-    println!("{table}");
-    println!(
-        "expected: both engines converge; four-choice pays O(log log n) per update\n\
-         per node vs push's Θ(log n); combining savings grow with the stream rate\n\
-         (more rumours share each channel), vindicating the model's amortisation\n\
-         argument (§1)."
-    );
+    rrb_bench::registry::cli_main("e14");
 }

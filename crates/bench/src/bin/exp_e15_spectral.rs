@@ -1,66 +1,9 @@
-//! E15 — Structural premises of the lower-bound proof (§2): random
-//! d-regular graphs have second eigenvalue λ ≤ 2√(d−1)·(1+o(1)) (Friedman
-//! \[18\]) and therefore obey the Expander Mixing Lemma \[23\], which the proof
-//! of Theorem 1 uses to bound |E(I(t), H(t))| and the inner edges of H(t).
+//! E15 — spectral audit of the generator.
 //!
-//! We measure λ on sampled graphs (pairing model, repaired simple) and
-//! audit the mixing lemma on random cuts.
-
-use rrb_bench::{replicate, ExpConfig};
-use rrb_graph::{gen, spectral};
-use rrb_stats::{Summary, Table};
-
-const EXPERIMENT: u64 = 15;
+//! Thin wrapper over the `e15` registry entry: `rrb run e15` is the same
+//! code path (see `rrb_bench::registry`). Accepts the shared experiment
+//! flags `--quick`, `--seeds N`, `--threads N`.
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let n: usize = if cfg.quick { 1 << 9 } else { 1 << 11 };
-    let degrees: &[usize] = if cfg.quick { &[8, 16] } else { &[4, 8, 16, 32] };
-
-    println!("E15: spectral audit of the generator at n = {n} ({} seeds)\n", cfg.seeds);
-    let mut table = Table::new(vec![
-        "d",
-        "λ (measured)",
-        "2·sqrt(d-1)",
-        "ratio",
-        "max mixing dev",
-        "mixing ok",
-    ]);
-    for (di, &d) in degrees.iter().enumerate() {
-        let per_seed = replicate(EXPERIMENT, di as u64, cfg.seeds, |_, rng| {
-            let g = gen::random_regular(n, d, rng).expect("generation");
-            let l2 = spectral::second_eigenvalue(&g, 600, rng).expect("power iteration");
-            let samples = spectral::expander_mixing_deviation(&g, 24, rng).expect("mixing");
-            let mut worst: f64 = 0.0;
-            let mut ok = 0usize;
-            let total = samples.len();
-            for s in samples {
-                worst = worst.max(s.normalized_deviation);
-                if s.normalized_deviation <= l2.value * 1.02 + 1e-9 {
-                    ok += 1;
-                }
-            }
-            (l2.value, worst, ok, total)
-        });
-        let lambdas: Vec<f64> = per_seed.iter().map(|r| r.0).collect();
-        let max_devs: Vec<f64> = per_seed.iter().map(|r| r.1).collect();
-        let mixing_ok: usize = per_seed.iter().map(|r| r.2).sum();
-        let mixing_total: usize = per_seed.iter().map(|r| r.3).sum();
-        let ls = Summary::from_slice(&lambdas);
-        let ramanujan = 2.0 * ((d - 1) as f64).sqrt();
-        table.row(vec![
-            d.to_string(),
-            format!("{:.3} ± {:.3}", ls.mean, ls.ci95()),
-            format!("{ramanujan:.3}"),
-            format!("{:.3}", ls.mean / ramanujan),
-            format!("{:.3}", Summary::from_slice(&max_devs).max),
-            format!("{mixing_ok}/{mixing_total}"),
-        ]);
-    }
-    println!("{table}");
-    println!(
-        "expected: ratio ≈ 1 (+o(1)) — near-Ramanujan, per Friedman [18]; every\n\
-         sampled cut's normalised deviation |E(S,S̄)−d|S||S̄|/n| / √(|S||S̄|) stays\n\
-         below the measured λ, as the Expander Mixing Lemma demands."
-    );
+    rrb_bench::registry::cli_main("e15");
 }

@@ -1,71 +1,9 @@
-//! E16 (extension) — §1.1 \[8\] (Doerr, Fouz, Friedrich): on preferential-
-//! attachment graphs, push that *avoids the neighbour contacted in the
-//! previous step* spreads rumours in sub-logarithmic time, beating
-//! memoryless push. The avoidance memory is exactly the mechanism of the
-//! paper's sequentialised model (footnote 2), so this experiment shows the
-//! same machinery paying off on a different topology family.
+//! E16 — push with choice memory on PA graphs.
 //!
-//! We compare plain push (memoryless), memory-1 push (avoid the last
-//! choice, \[8\]'s protocol) and memory-3 push on PA graphs across sizes.
-
-use rrb_bench::{mean_rounds_to_coverage, run_replicated, success_rate, ExpConfig};
-use rrb_engine::{protocols::FloodPush, ChoicePolicy, SimConfig};
-use rrb_graph::gen;
-use rrb_stats::Table;
-
-const EXPERIMENT: u64 = 16;
+//! Thin wrapper over the `e16` registry entry: `rrb run e16` is the same
+//! code path (see `rrb_bench::registry`). Accepts the shared experiment
+//! flags `--quick`, `--seeds N`, `--threads N`.
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let exponents = cfg.size_exponents(10..=14);
-    let m = 4usize;
-
-    println!(
-        "E16: push with choice memory on preferential-attachment graphs (m = {m}, \
-         {} seeds)\n",
-        cfg.seeds
-    );
-    let mut table = Table::new(vec![
-        "n",
-        "plain push rounds",
-        "memory-1 rounds",
-        "memory-3 rounds",
-        "log2 n",
-    ]);
-    for &e in &exponents {
-        let n = 1usize << e;
-        let mut row = vec![n.to_string()];
-        for (pi, policy) in [
-            ChoicePolicy::STANDARD,
-            ChoicePolicy::SequentialMemory { window: 1 },
-            ChoicePolicy::SequentialMemory { window: 3 },
-        ]
-        .into_iter()
-        .enumerate()
-        {
-            let proto = FloodPush::with_policy(policy);
-            let reports = run_replicated(
-                |rng| gen::preferential_attachment(n, m, rng).expect("generation"),
-                &proto,
-                SimConfig::default().with_max_rounds(10_000),
-                EXPERIMENT,
-                (e as usize * 10 + pi) as u64,
-                cfg.seeds,
-            );
-            let ok = success_rate(&reports);
-            row.push(format!(
-                "{:.1}{}",
-                mean_rounds_to_coverage(&reports),
-                if ok < 1.0 { " (!)" } else { "" }
-            ));
-        }
-        row.push(format!("{:.1}", (n as f64).log2()));
-        table.row(row);
-    }
-    println!("{table}");
-    println!(
-        "expected ([8]): the memory variants beat plain push, and their advantage\n\
-         grows with n (sub-logarithmic vs Θ(log n) spreading on PA graphs, where\n\
-         memoryless push wastes calls bouncing back to the hub it came from)."
-    );
+    rrb_bench::registry::cli_main("e16");
 }

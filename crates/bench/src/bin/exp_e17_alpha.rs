@@ -1,51 +1,9 @@
-//! E17 (ablation) — the schedule constant α. The theorems require α
-//! "sufficiently large"; every phase length is α-proportional, so α trades
-//! rounds and transmissions against success margin. This ablation locates
-//! the practical threshold: below it Phase 1 cannot reach its Corollary-1
-//! milestone and coverage collapses; above it cost grows linearly in α
-//! (the Phase-2 term 4·α·log log n dominates).
-
-use rrb_bench::{mean_of, mean_rounds_to_coverage, run_replicated, success_rate, ExpConfig};
-use rrb_core::FourChoice;
-use rrb_engine::SimConfig;
-use rrb_graph::gen;
-use rrb_stats::Table;
-
-const EXPERIMENT: u64 = 17;
+//! E17 — alpha ablation of the schedule.
+//!
+//! Thin wrapper over the `e17` registry entry: `rrb run e17` is the same
+//! code path (see `rrb_bench::registry`). Accepts the shared experiment
+//! flags `--quick`, `--seeds N`, `--threads N`.
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let n: usize = if cfg.quick { 1 << 11 } else { 1 << 13 };
-    let d = 8usize;
-    let alphas = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0];
-
-    println!("E17: α ablation of the four-choice schedule at n = {n}, d = {d} ({} seeds)\n", cfg.seeds);
-    let mut table = Table::new(vec![
-        "α", "schedule end", "success", "coverage", "rounds", "tx/node",
-    ]);
-    for (i, &alpha) in alphas.iter().enumerate() {
-        let alg = FourChoice::builder(n, d).alpha(alpha).build();
-        let reports = run_replicated(
-            |rng| gen::random_regular(n, d, rng).expect("generation"),
-            &alg,
-            SimConfig::until_quiescent(),
-            EXPERIMENT,
-            i as u64,
-            cfg.seeds,
-        );
-        table.row(vec![
-            format!("{alpha:.2}"),
-            alg.total_rounds().to_string(),
-            format!("{:.2}", success_rate(&reports)),
-            format!("{:.4}", mean_of(&reports, |r| r.coverage())),
-            format!("{:.1}", mean_rounds_to_coverage(&reports)),
-            format!("{:.1}", mean_of(&reports, |r| r.tx_per_node())),
-        ]);
-    }
-    println!("{table}");
-    println!(
-        "expected: a sharp success threshold in α (Phase 1 must inform Θ(n) nodes),\n\
-         then a linear cost ramp — the constant the theory hides inside\n\
-         'α sufficiently large' is small in practice (≈ 1 at these sizes)."
-    );
+    rrb_bench::registry::cli_main("e17");
 }

@@ -1,145 +1,9 @@
-//! E18 (ablation) — why the algorithm is built the way it is. Two design
-//! choices carry the whole O(n log log n) bound:
+//! E18 — phase-design ablation.
 //!
-//! 1. **Phase 1 pushes only once per node** (in the step after first
-//!    reception). Replacing it with "every informed node pushes every
-//!    round" re-creates the classic push protocol's Θ(n·log n) bill while
-//!    winning almost nothing in rounds.
-//! 2. **The pull phase (+ phase 4) finishes the job.** Deleting phases 3–4
-//!    and extending phase-2 pushing to the same total length burns ~4
-//!    transmissions per node per extra round; the pull step informs the
-//!    leftover O(n/log⁵ n) stragglers at a cost proportional to the number
-//!    of *callers served*, not to n.
-//!
-//! The ablated variants are implemented against the public engine API,
-//! which doubles as an extensibility demonstration.
-
-use rrb_bench::{mean_of, mean_rounds_to_coverage, run_replicated, success_rate, ExpConfig};
-use rrb_core::{FourChoice, Phase, PhaseSchedule};
-use rrb_engine::{
-    ChoicePolicy, NodeView, Observation, Plan, Protocol, Round, RumorMeta, SimConfig,
-};
-use rrb_graph::gen;
-use rrb_stats::Table;
-
-const EXPERIMENT: u64 = 18;
-
-/// The paper's schedule with ablatable phase rules.
-#[derive(Debug, Clone, Copy)]
-struct Ablated {
-    schedule: PhaseSchedule,
-    /// Phase 1: push every round while informed (instead of once).
-    phase1_always_push: bool,
-    /// Phases 3–4 replaced by more phase-2-style pushing.
-    no_pull: bool,
-}
-
-impl Protocol for Ablated {
-    type State = ();
-
-    fn init(&self, _creator: bool) -> Self::State {}
-
-    fn choice_policy(&self) -> ChoicePolicy {
-        ChoicePolicy::FOUR
-    }
-
-    fn plan(&self, view: NodeView<'_, Self::State>, t: Round) -> Plan {
-        let meta = RumorMeta { age: t, counter: 0 };
-        match self.schedule.phase(t) {
-            Phase::One => {
-                if self.phase1_always_push || view.informed_at + 1 == t {
-                    Plan::push_with(meta)
-                } else {
-                    Plan::SILENT
-                }
-            }
-            Phase::Two => Plan::push_with(meta),
-            Phase::Three | Phase::Four if self.no_pull => Plan::push_with(meta),
-            Phase::Three => Plan::pull_with(meta),
-            Phase::Four => {
-                if view.informed_at > self.schedule.phase2_end() {
-                    Plan::push_with(meta)
-                } else {
-                    Plan::SILENT
-                }
-            }
-            Phase::Done => Plan::SILENT,
-        }
-    }
-
-    fn update(&self, _s: &mut Self::State, _ia: Option<Round>, _t: Round, _o: &Observation) {}
-
-    fn is_quiescent(&self, _s: &Self::State, _ia: Round, t: Round) -> bool {
-        self.schedule.is_done(t)
-    }
-
-    fn deadline(&self) -> Option<Round> {
-        Some(self.schedule.end())
-    }
-}
+//! Thin wrapper over the `e18` registry entry: `rrb run e18` is the same
+//! code path (see `rrb_bench::registry`). Accepts the shared experiment
+//! flags `--quick`, `--seeds N`, `--threads N`.
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let n: usize = if cfg.quick { 1 << 11 } else { 1 << 13 };
-    let d = 8usize;
-    let reference = FourChoice::builder(n, d).force_small_degree().build();
-    let schedule = *reference.schedule();
-
-    println!("E18: phase-design ablation at n = {n}, d = {d} ({} seeds)\n", cfg.seeds);
-    let mut table = Table::new(vec!["variant", "success", "rounds", "tx/node"]);
-
-    // Reference: the paper's Algorithm 1.
-    let reports = run_replicated(
-        |rng| gen::random_regular(n, d, rng).expect("generation"),
-        &reference,
-        SimConfig::until_quiescent(),
-        EXPERIMENT,
-        0,
-        cfg.seeds,
-    );
-    table.row(vec![
-        "paper (push-once + pull)".into(),
-        format!("{:.2}", success_rate(&reports)),
-        format!("{:.1}", mean_rounds_to_coverage(&reports)),
-        format!("{:.1}", mean_of(&reports, |r| r.tx_per_node())),
-    ]);
-
-    for (name, variant, ix) in [
-        (
-            "ablate 1: phase-1 pushes every round",
-            Ablated { schedule, phase1_always_push: true, no_pull: false },
-            1u64,
-        ),
-        (
-            "ablate 2: no pull phase (push to end)",
-            Ablated { schedule, phase1_always_push: false, no_pull: true },
-            2,
-        ),
-        (
-            "ablate both (≈ classic 4-choice push)",
-            Ablated { schedule, phase1_always_push: true, no_pull: true },
-            3,
-        ),
-    ] {
-        let reports = run_replicated(
-            |rng| gen::random_regular(n, d, rng).expect("generation"),
-            &variant,
-            SimConfig::until_quiescent(),
-            EXPERIMENT,
-            ix,
-            cfg.seeds,
-        );
-        table.row(vec![
-            name.into(),
-            format!("{:.2}", success_rate(&reports)),
-            format!("{:.1}", mean_rounds_to_coverage(&reports)),
-            format!("{:.1}", mean_of(&reports, |r| r.tx_per_node())),
-        ]);
-    }
-    println!("{table}");
-    println!(
-        "expected: always-push in phase 1 multiplies tx/node by ≈ log n/log log n;\n\
-         dropping the pull phase costs extra pushes for the straggler tail; the\n\
-         paper's combination is the cheapest full-coverage configuration."
-    );
+    rrb_bench::registry::cli_main("e18");
 }

@@ -1,77 +1,9 @@
-//! E1 — Theorems 2/3: the four-choice algorithm broadcasts in O(log n)
-//! rounds on random d-regular graphs.
+//! E1 — four-choice broadcast runtime vs n (Theorems 2/3).
 //!
-//! Sweeps n = 2^10..2^15 and d ∈ {8, 16, 32}, measures rounds to full
-//! coverage, and fits rounds = a·log2(n) + b. A good linear fit (r² close
-//! to 1) with a size-independent slope certifies the logarithmic runtime.
-//!
-//! Seed replications fan out over the rayon pool (`--threads N` to bound
-//! it); per-configuration wall-clock, rounds and transmissions are written
-//! to `BENCH_engine.json` as the engine's perf trajectory (override the
-//! path with `RRB_BENCH_JSON`).
-
-use rrb_bench::{
-    mean_rounds_to_coverage, run_replicated_timed, success_rate, BenchRecorder, ExpConfig,
-};
-use rrb_core::FourChoice;
-use rrb_engine::SimConfig;
-use rrb_graph::gen;
-use rrb_stats::{fit_log2, Table};
-
-const EXPERIMENT: u64 = 1;
+//! Thin wrapper over the `e1` registry entry: `rrb run e1` is the same
+//! code path (see `rrb_bench::registry`). Accepts the shared experiment
+//! flags `--quick`, `--seeds N`, `--threads N`.
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let exponents = cfg.size_exponents(10..=15);
-    let degrees = [8usize, 16, 32];
-    let mut recorder = BenchRecorder::new("e1_runtime", cfg.quick);
-
-    println!("E1: four-choice broadcast runtime vs n (mean over {} seeds)\n", cfg.seeds);
-    let mut table = Table::new(vec!["d", "n", "rounds", "success", "wall ms", "schedule end"]);
-    for (di, &d) in degrees.iter().enumerate() {
-        let mut ns = Vec::new();
-        let mut rounds = Vec::new();
-        for &e in &exponents {
-            let n = 1usize << e;
-            let alg = FourChoice::for_graph(n, d);
-            let (reports, wall_ms) = run_replicated_timed(
-                |rng| gen::random_regular(n, d, rng).expect("generation"),
-                &alg,
-                SimConfig::until_quiescent(),
-                EXPERIMENT,
-                (di * 100 + e as usize) as u64,
-                cfg.seeds,
-            );
-            recorder.record(format!("d{d}_n{n}"), n, cfg.seeds, wall_ms, &reports);
-            let mean_rounds = mean_rounds_to_coverage(&reports);
-            table.row(vec![
-                d.to_string(),
-                n.to_string(),
-                format!("{mean_rounds:.1}"),
-                format!("{:.2}", success_rate(&reports)),
-                format!("{wall_ms:.1}"),
-                alg.total_rounds().to_string(),
-            ]);
-            ns.push(n as f64);
-            rounds.push(mean_rounds);
-        }
-        if ns.len() >= 2 {
-            let fit = fit_log2(&ns, &rounds);
-            println!(
-                "d = {d}: rounds ≈ {:.2}·log2(n) + {:.2}   (r² = {:.3})",
-                fit.slope, fit.intercept, fit.r_squared
-            );
-        }
-    }
-    println!("\n{table}");
-    let json_path =
-        std::env::var("RRB_BENCH_JSON").unwrap_or_else(|_| "BENCH_engine.json".into());
-    match recorder.write(&json_path) {
-        Ok(()) => println!("perf trajectory written to {json_path}"),
-        Err(e) => eprintln!("warning: could not write {json_path}: {e}"),
-    }
-    println!(
-        "paper: O(log n) rounds (Thm 2 for small d, Thm 3 for large d); the fits\n\
-         above should be linear in log2 n with stable slope across d."
-    );
+    rrb_bench::registry::cli_main("e1");
 }

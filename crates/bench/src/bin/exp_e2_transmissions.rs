@@ -1,116 +1,9 @@
-//! E2 — Theorems 2/3 vs the classics: per-node transmissions of the
-//! four-choice algorithm grow like O(log log n), while budgeted push (and
-//! push&pull) in the standard model grow like Θ(log n).
+//! E2 — per-node transmissions: four-choice vs the classics.
 //!
-//! For each protocol we fit tx/node against both log2(n) and
-//! log2(log2(n)); the winning model (higher r², sane slope) identifies the
-//! growth law. The headline of the paper is the separation between the two
-//! columns.
-
-use rrb_baselines::{Budgeted, GossipMode, MedianCounter};
-use rrb_bench::{mean_of, run_replicated, success_rate, ExpConfig};
-use rrb_core::FourChoice;
-use rrb_engine::{Protocol, RunReport, SimConfig};
-use rrb_graph::gen;
-use rrb_stats::{fit_log2, fit_loglog2, Table};
-
-const EXPERIMENT: u64 = 2;
-const D: usize = 8;
-
-fn sweep<P: Protocol + Clone + Sync>(
-    cfg: &ExpConfig,
-    make: impl Fn(usize) -> P,
-    config_base: u64,
-    exponents: &[u32],
-) -> (Vec<f64>, Vec<f64>, Vec<Vec<RunReport>>) {
-    let mut ns = Vec::new();
-    let mut tx = Vec::new();
-    let mut all = Vec::new();
-    for &e in exponents {
-        let n = 1usize << e;
-        let reports = run_replicated(
-            |rng| gen::random_regular(n, D, rng).expect("generation"),
-            &make(n),
-            SimConfig::until_quiescent(),
-            EXPERIMENT,
-            config_base + e as u64,
-            cfg.seeds,
-        );
-        ns.push(n as f64);
-        tx.push(mean_of(&reports, |r| r.tx_per_node()));
-        all.push(reports);
-    }
-    (ns, tx, all)
-}
+//! Thin wrapper over the `e2` registry entry: `rrb run e2` is the same
+//! code path (see `rrb_bench::registry`). Accepts the shared experiment
+//! flags `--quick`, `--seeds N`, `--threads N`.
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let exponents = cfg.size_exponents(10..=15);
-
-    println!(
-        "E2: transmissions per node vs n on random {D}-regular graphs (mean over {} seeds)\n",
-        cfg.seeds
-    );
-
-    let (ns, four_tx, four_reports) =
-        sweep(&cfg, |n| FourChoice::for_graph(n, D), 100, &exponents);
-    let (_, push_tx, push_reports) = sweep(
-        &cfg,
-        |n| Budgeted::for_size(GossipMode::Push, n, 3.0),
-        200,
-        &exponents,
-    );
-    let (_, pp_tx, _) = sweep(
-        &cfg,
-        |n| Budgeted::for_size(GossipMode::PushPull, n, 3.0),
-        300,
-        &exponents,
-    );
-    let (_, mc_tx, _) = sweep(&cfg, MedianCounter::for_size, 400, &exponents);
-
-    let mut table =
-        Table::new(vec!["n", "four-choice", "push", "push&pull", "median-counter"]);
-    for i in 0..ns.len() {
-        table.row(vec![
-            format!("{}", ns[i] as u64),
-            format!("{:.1}", four_tx[i]),
-            format!("{:.1}", push_tx[i]),
-            format!("{:.1}", pp_tx[i]),
-            format!("{:.1}", mc_tx[i]),
-        ]);
-    }
-    println!("{table}");
-
-    for (name, ys) in [
-        ("four-choice", &four_tx),
-        ("push", &push_tx),
-        ("push&pull", &pp_tx),
-        ("median-counter", &mc_tx),
-    ] {
-        if ns.len() >= 2 {
-            let log_fit = fit_log2(&ns, ys);
-            let loglog_fit = fit_loglog2(&ns, ys);
-            println!(
-                "{name:>15}: tx/node ≈ {:.2}·log2 n + {:.1} (r²={:.3})  |  ≈ {:.2}·loglog2 n + {:.1} (r²={:.3})",
-                log_fit.slope,
-                log_fit.intercept,
-                log_fit.r_squared,
-                loglog_fit.slope,
-                loglog_fit.intercept,
-                loglog_fit.r_squared
-            );
-        }
-    }
-
-    let four_ok = four_reports.iter().flatten().cloned().collect::<Vec<_>>();
-    let push_ok = push_reports.iter().flatten().cloned().collect::<Vec<_>>();
-    println!(
-        "\ncoverage: four-choice {:.3}, push {:.3}",
-        success_rate(&four_ok),
-        success_rate(&push_ok)
-    );
-    println!(
-        "paper: four-choice is O(n log log n) total (flat-ish loglog slope, near-zero\n\
-         log2 slope), push is Θ(n log n) (log2 slope ≈ its budget constant)."
-    );
+    rrb_bench::registry::cli_main("e2");
 }

@@ -1,94 +1,9 @@
-//! E3 — Theorem 1: every strictly oblivious distributed algorithm in the
-//! *standard* phone call model that broadcasts in O(log n) rounds needs
-//! Ω(n·log n / log d) transmissions on random d-regular graphs.
+//! E3 — Theorem 1 lower-bound audit.
 //!
-//! We instantiate the strongest practical members of the strictly oblivious
-//! class (age-budgeted push, pull, push&pull — with budgets tuned to just
-//! reach coverage) and report tx normalised by n·log2(n)/log2(d) across d.
-//! The lower bound predicts the normalised value stays bounded away from 0
-//! for every member; the four-choice algorithm (different model!) drops far
-//! below, showing the separation is a *model* property.
-
-use rrb_baselines::{Budgeted, GossipMode};
-use rrb_bench::{mean_of, run_replicated, success_rate, ExpConfig};
-use rrb_core::FourChoice;
-use rrb_engine::SimConfig;
-use rrb_graph::gen;
-use rrb_stats::Table;
-
-const EXPERIMENT: u64 = 3;
+//! Thin wrapper over the `e3` registry entry: `rrb run e3` is the same
+//! code path (see `rrb_bench::registry`). Accepts the shared experiment
+//! flags `--quick`, `--seeds N`, `--threads N`.
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let n: usize = if cfg.quick { 1 << 11 } else { 1 << 13 };
-    let degrees: &[usize] = if cfg.quick { &[8, 16] } else { &[4, 8, 16, 32, 64] };
-
-    println!(
-        "E3: lower-bound audit at n = {n} (mean over {} seeds); \
-         normalisation N = n·log2(n)/log2(d)\n",
-        cfg.seeds
-    );
-    let mut table = Table::new(vec![
-        "d", "protocol", "coverage", "rounds", "tx/node", "tx / N",
-    ]);
-
-    for (di, &d) in degrees.iter().enumerate() {
-        let norm_per_node = (n as f64).log2() / (d as f64).log2();
-        // Budget c·log2 n chosen as the smallest round budget that reaches
-        // coverage reliably for the slowest member (pure pull needs the
-        // most).
-        let protos: Vec<(&str, Budgeted)> = vec![
-            ("push", Budgeted::for_size(GossipMode::Push, n, 3.0)),
-            ("pull", Budgeted::for_size(GossipMode::Pull, n, 4.0)),
-            ("push&pull", Budgeted::for_size(GossipMode::PushPull, n, 2.5)),
-        ];
-        for (pi, (name, proto)) in protos.into_iter().enumerate() {
-            let reports = run_replicated(
-                |rng| gen::random_regular(n, d, rng).expect("generation"),
-                &proto,
-                SimConfig::until_quiescent(),
-                EXPERIMENT,
-                (di * 10 + pi) as u64,
-                cfg.seeds,
-            );
-            let tx = mean_of(&reports, |r| r.tx_per_node());
-            table.row(vec![
-                d.to_string(),
-                name.into(),
-                format!("{:.3}", success_rate(&reports)),
-                format!("{:.1}", mean_of(&reports, |r| {
-                    r.full_coverage_at.unwrap_or(r.rounds) as f64
-                })),
-                format!("{tx:.1}"),
-                format!("{:.3}", tx / norm_per_node),
-            ]);
-        }
-        // The paper's algorithm for contrast (different model: 4 choices).
-        let alg = FourChoice::for_graph(n, d);
-        let reports = run_replicated(
-            |rng| gen::random_regular(n, d, rng).expect("generation"),
-            &alg,
-            SimConfig::until_quiescent(),
-            EXPERIMENT,
-            (di * 10 + 9) as u64,
-            cfg.seeds,
-        );
-        let tx = mean_of(&reports, |r| r.tx_per_node());
-        table.row(vec![
-            d.to_string(),
-            "four-choice*".into(),
-            format!("{:.3}", success_rate(&reports)),
-            format!("{:.1}", mean_of(&reports, |r| {
-                r.full_coverage_at.unwrap_or(r.rounds) as f64
-            })),
-            format!("{tx:.1}"),
-            format!("{:.3}", tx / norm_per_node),
-        ]);
-    }
-    println!("{table}");
-    println!(
-        "Theorem 1 predicts tx/N ≥ const > 0 for every one-choice oblivious protocol\n\
-         (watch the column stay roughly flat-or-growing in d), while the starred\n\
-         four-choice row — outside the standard model — sinks towards 0 as d and n grow."
-    );
+    rrb_bench::registry::cli_main("e3");
 }

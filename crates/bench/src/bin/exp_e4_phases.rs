@@ -1,115 +1,9 @@
-//! E4 — Phase anatomy: the milestones of the paper's analysis hold at
-//! finite n.
+//! E4 — phase anatomy: Corollary 1 and Lemmas 1-3 milestones.
 //!
-//! * Corollary 1: after Phase 1 (⌈α log n⌉ rounds) at least n/8 nodes are
-//!   informed.
-//! * Lemmas 1–2: the informed set grows by a constant factor per Phase-1
-//!   round.
-//! * Lemma 3 / Corollary 2: Phase 2 shrinks the uninformed set by a
-//!   constant factor per round, ending with O(n/log⁵ n) uninformed.
-//! * Phase 3 (single pull step) informs every node with < 4 uninformed
-//!   neighbours; Phase 4 mops up the rest.
-
-use rrb_bench::{replicate, ExpConfig};
-use rrb_core::FourChoice;
-use rrb_engine::{SimConfig, Simulation};
-use rrb_graph::{gen, NodeId};
-use rrb_stats::{Summary, Table};
-
-const EXPERIMENT: u64 = 4;
+//! Thin wrapper over the `e4` registry entry: `rrb run e4` is the same
+//! code path (see `rrb_bench::registry`). Accepts the shared experiment
+//! flags `--quick`, `--seeds N`, `--threads N`.
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let n: usize = if cfg.quick { 1 << 12 } else { 1 << 15 };
-    let d = 8usize;
-    let alg = FourChoice::builder(n, d).force_small_degree().build();
-    let s = *alg.schedule();
-
-    let per_seed = replicate(EXPERIMENT, 0, cfg.seeds, |_, rng| {
-        let g = gen::random_regular(n, d, rng).expect("generation");
-        let report = Simulation::new(&g, alg, SimConfig::until_quiescent().with_history())
-            .run(NodeId::new(0), rng);
-        let hist = &report.history;
-        let at = |round: u32| -> usize {
-            hist.iter().find(|r| r.round == round).map(|r| r.informed).unwrap_or(0)
-        };
-
-        // Mean growth factor of |I| over the early exponential stretch
-        // (while fewer than n/8 informed).
-        let mut factors = Vec::new();
-        for w in hist.windows(2) {
-            if w[1].informed < n / 8 && w[0].informed > 0 {
-                factors.push(w[1].informed as f64 / w[0].informed as f64);
-            }
-        }
-        let growth = (!factors.is_empty())
-            .then(|| factors.iter().sum::<f64>() / factors.len() as f64);
-        // Mean per-round shrink factor of |H| during Phase 2.
-        let mut decays = Vec::new();
-        for w in hist.windows(2) {
-            if w[0].round > s.phase1_end()
-                && w[1].round <= s.phase2_end()
-                && n > w[0].informed
-            {
-                decays.push((n - w[1].informed) as f64 / (n - w[0].informed) as f64);
-            }
-        }
-        let decay =
-            (!decays.is_empty()).then(|| decays.iter().sum::<f64>() / decays.len() as f64);
-        (
-            at(s.phase1_end()) as f64,
-            (n - at(s.phase2_end())) as f64,
-            report.full_coverage_at.unwrap_or(report.rounds) as f64,
-            growth,
-            decay,
-        )
-    });
-    let informed_p1: Vec<f64> = per_seed.iter().map(|r| r.0).collect();
-    let uninformed_p2: Vec<f64> = per_seed.iter().map(|r| r.1).collect();
-    let coverage_round: Vec<f64> = per_seed.iter().map(|r| r.2).collect();
-    let p1_growth: Vec<f64> = per_seed.iter().filter_map(|r| r.3).collect();
-    let p2_decay: Vec<f64> = per_seed.iter().filter_map(|r| r.4).collect();
-
-    println!("E4: phase milestones at n = {n}, d = {d} ({} seeds)\n", cfg.seeds);
-    let mut table = Table::new(vec!["milestone", "measured (mean ± ci95)", "paper's claim"]);
-    let fmt = |s: &Summary| format!("{:.1} ± {:.1}", s.mean, s.ci95());
-    let s1 = Summary::from_slice(&informed_p1);
-    table.row(vec![
-        "informed after phase 1".into(),
-        fmt(&s1),
-        format!(">= n/8 = {}", n / 8),
-    ]);
-    let s2 = Summary::from_slice(&uninformed_p2);
-    table.row(vec![
-        "uninformed after phase 2".into(),
-        fmt(&s2),
-        format!("O(n/log^5 n) ≈ {:.1}", n as f64 / (n as f64).log2().powi(5)),
-    ]);
-    let s3 = Summary::from_slice(&p1_growth);
-    table.row(vec![
-        "phase-1 growth factor / round".into(),
-        format!("{:.2} ± {:.2}", s3.mean, s3.ci95()),
-        "> 2 (Lemma 1: |I+| doubles)".into(),
-    ]);
-    let s4 = Summary::from_slice(&p2_decay);
-    table.row(vec![
-        "phase-2 decay factor / round".into(),
-        format!("{:.3} ± {:.3}", s4.mean, s4.ci95()),
-        "< 1/c (Lemma 3: constant shrink)".into(),
-    ]);
-    let s5 = Summary::from_slice(&coverage_round);
-    table.row(vec![
-        "full coverage round".into(),
-        fmt(&s5),
-        format!("<= schedule end = {}", s.end()),
-    ]);
-    println!("{table}");
-
-    let ok1 = s1.mean >= (n / 8) as f64;
-    let ok2 = s4.mean < 1.0;
-    println!(
-        "verdict: Corollary 1 {}; Phase-2 contraction {}.",
-        if ok1 { "HOLDS" } else { "VIOLATED" },
-        if ok2 { "HOLDS" } else { "VIOLATED" }
-    );
+    rrb_bench::registry::cli_main("e4");
 }

@@ -1,75 +1,9 @@
-//! E5 — Push vs pull crossover on complete graphs (§1 / Karp et al.):
-//! "the pull model is inferior to the push model until roughly n/2 nodes
-//! are informed, and then the pull model becomes more effective."
+//! E5 — push/pull crossover on complete graphs.
 //!
-//! We trace informed counts per round for pure push and pure pull from the
-//! same start and report (a) rounds to reach n/2 and (b) rounds from n/2 to
-//! full coverage. Push wins (a); pull wins (b) by an exponential margin
-//! (O(log log n) vs Θ(log n) tail).
-
-use rrb_bench::{replicate, ExpConfig};
-use rrb_engine::protocols::{FloodPull, FloodPush};
-use rrb_engine::{Protocol, SimConfig, Simulation};
-use rrb_graph::{gen, NodeId};
-use rrb_stats::{Summary, Table};
-
-const EXPERIMENT: u64 = 5;
-
-fn trace<P: Protocol + Clone + Sync>(
-    n: usize,
-    proto: P,
-    config_ix: u64,
-    seeds: u64,
-) -> (Vec<f64>, Vec<f64>) {
-    let per_seed = replicate(EXPERIMENT, config_ix, seeds, |_, rng| {
-        let g = gen::complete(n);
-        let report = Simulation::new(&g, proto.clone(), SimConfig::default().with_history())
-            .run(NodeId::new(0), rng);
-        let half_round = report
-            .history
-            .iter()
-            .find(|r| r.informed >= n / 2)
-            .map(|r| r.round)
-            .unwrap_or(report.rounds);
-        let full_round = report.full_coverage_at.unwrap_or(report.rounds);
-        (half_round as f64, (full_round - half_round) as f64)
-    });
-    per_seed.into_iter().unzip()
-}
+//! Thin wrapper over the `e5` registry entry: `rrb run e5` is the same
+//! code path (see `rrb_bench::registry`). Accepts the shared experiment
+//! flags `--quick`, `--seeds N`, `--threads N`.
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    // K_n is dense (n²/2 edges); 2^12 keeps the CSR comfortably in memory.
-    let sizes: Vec<usize> =
-        if cfg.quick { vec![1 << 10] } else { vec![1 << 10, 1 << 11, 1 << 12] };
-
-    println!("E5: push/pull crossover on complete graphs ({} seeds)\n", cfg.seeds);
-    let mut table = Table::new(vec![
-        "n",
-        "push: 0→n/2",
-        "push: n/2→n",
-        "pull: 0→n/2",
-        "pull: n/2→n",
-        "loglog2 n",
-    ]);
-    for (i, &n) in sizes.iter().enumerate() {
-        let (push_half, push_tail) = trace(n, FloodPush::new(), i as u64 * 2, cfg.seeds);
-        let (pull_half, pull_tail) =
-            trace(n, FloodPull::new(), i as u64 * 2 + 1, cfg.seeds);
-        let m = |v: &[f64]| Summary::from_slice(v).mean;
-        table.row(vec![
-            n.to_string(),
-            format!("{:.1}", m(&push_half)),
-            format!("{:.1}", m(&push_tail)),
-            format!("{:.1}", m(&pull_half)),
-            format!("{:.1}", m(&pull_tail)),
-            format!("{:.1}", (n as f64).log2().log2()),
-        ]);
-    }
-    println!("{table}");
-    println!(
-        "expected shape: push's tail (n/2→n) is Θ(log n); pull's tail collapses in\n\
-         O(log log n) rounds (doubly exponential shrink), while pull's head is no\n\
-         faster than push's — exactly the crossover at ~n/2 described in §1."
-    );
+    rrb_bench::registry::cli_main("e5");
 }

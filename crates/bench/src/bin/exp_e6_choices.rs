@@ -1,66 +1,9 @@
-//! E6 — Are four choices necessary? (§5, Conclusions)
+//! E6 — k-distinct-choices ablation.
 //!
-//! The paper proves the result for 4 distinct choices, conjectures 3
-//! suffice, and leaves 2 open. We run the *same* phase schedule with
-//! k ∈ {1, 2, 3, 4} distinct choices per round and record success rate,
-//! coverage round, and transmissions. The interesting regime is whether the
-//! pull phase + active phase still rescue the k = 2, 3 variants.
-
-use rrb_bench::{mean_of, mean_rounds_to_coverage, run_replicated, success_rate, ExpConfig};
-use rrb_core::FourChoice;
-use rrb_engine::{ChoicePolicy, SimConfig};
-use rrb_graph::gen;
-use rrb_stats::Table;
-
-const EXPERIMENT: u64 = 6;
+//! Thin wrapper over the `e6` registry entry: `rrb run e6` is the same
+//! code path (see `rrb_bench::registry`). Accepts the shared experiment
+//! flags `--quick`, `--seeds N`, `--threads N`.
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let n: usize = if cfg.quick { 1 << 11 } else { 1 << 14 };
-    let d = 8usize;
-
-    println!(
-        "E6: k-distinct-choices ablation of the paper's schedule at n = {n}, d = {d} \
-         ({} seeds)\n",
-        cfg.seeds
-    );
-    let mut table = Table::new(vec![
-        "k", "success", "mean coverage round", "tx/node", "pull tx share",
-    ]);
-    for k in 1..=4usize {
-        let alg = FourChoice::builder(n, d)
-            .choice_policy(ChoicePolicy::Distinct(k))
-            .build();
-        let reports = run_replicated(
-            |rng| gen::random_regular(n, d, rng).expect("generation"),
-            &alg,
-            SimConfig::until_quiescent(),
-            EXPERIMENT,
-            k as u64,
-            cfg.seeds,
-        );
-        table.row(vec![
-            k.to_string(),
-            format!("{:.2}", success_rate(&reports)),
-            format!("{:.1}", mean_rounds_to_coverage(&reports)),
-            format!("{:.1}", mean_of(&reports, |r| r.tx_per_node())),
-            format!(
-                "{:.2}",
-                mean_of(&reports, |r| {
-                    if r.total_tx() == 0 {
-                        0.0
-                    } else {
-                        r.pull_tx as f64 / r.total_tx() as f64
-                    }
-                })
-            ),
-        ]);
-    }
-    println!("{table}");
-    println!(
-        "paper: k = 4 proven; k = 3 conjectured sufficient; k = 2 open; k = 1 falls\n\
-         back to the standard model (slower phase 1, weaker pull phase).\n\
-         tx/node scales ~linearly in k through phase 2, so smaller k is cheaper\n\
-         per round — the question is whether coverage survives."
-    );
+    rrb_bench::registry::cli_main("e6");
 }

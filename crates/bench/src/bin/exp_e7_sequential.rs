@@ -1,70 +1,9 @@
-//! E7 — Footnote 2: the sequentialised model (one choice per step, avoiding
-//! the last three choices) emulates the four-choice model: 4 sequential
-//! steps = 1 parallel step, same transmission asymptotics.
+//! E7 — parallel four-choice vs sequential memory-3.
 //!
-//! We run both variants on the same graphs and compare rounds (expect a 4×
-//! stretch) and transmissions per node (expect parity within noise).
-
-use rrb_bench::{mean_of, mean_rounds_to_coverage, run_replicated, success_rate, ExpConfig};
-use rrb_core::{FourChoice, SequentialFourChoice};
-use rrb_engine::SimConfig;
-use rrb_graph::gen;
-use rrb_stats::Table;
-
-const EXPERIMENT: u64 = 7;
+//! Thin wrapper over the `e7` registry entry: `rrb run e7` is the same
+//! code path (see `rrb_bench::registry`). Accepts the shared experiment
+//! flags `--quick`, `--seeds N`, `--threads N`.
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let exponents = cfg.size_exponents(10..=13);
-    let d = 8usize;
-
-    println!("E7: parallel four-choice vs sequential memory-3 ({} seeds)\n", cfg.seeds);
-    let mut table = Table::new(vec![
-        "n",
-        "par rounds",
-        "seq rounds",
-        "ratio",
-        "par tx/node",
-        "seq tx/node",
-        "par ok",
-        "seq ok",
-    ]);
-    for &e in &exponents {
-        let n = 1usize << e;
-        let par = FourChoice::for_graph(n, d);
-        let seq = SequentialFourChoice::from_parallel(&par);
-        let par_reports = run_replicated(
-            |rng| gen::random_regular(n, d, rng).expect("generation"),
-            &par,
-            SimConfig::until_quiescent(),
-            EXPERIMENT,
-            e as u64 * 2,
-            cfg.seeds,
-        );
-        let seq_reports = run_replicated(
-            |rng| gen::random_regular(n, d, rng).expect("generation"),
-            &seq,
-            SimConfig::until_quiescent(),
-            EXPERIMENT,
-            e as u64 * 2 + 1,
-            cfg.seeds,
-        );
-        let pr = mean_rounds_to_coverage(&par_reports);
-        let sr = mean_rounds_to_coverage(&seq_reports);
-        table.row(vec![
-            n.to_string(),
-            format!("{pr:.1}"),
-            format!("{sr:.1}"),
-            format!("{:.2}", sr / pr),
-            format!("{:.1}", mean_of(&par_reports, |r| r.tx_per_node())),
-            format!("{:.1}", mean_of(&seq_reports, |r| r.tx_per_node())),
-            format!("{:.2}", success_rate(&par_reports)),
-            format!("{:.2}", success_rate(&seq_reports)),
-        ]);
-    }
-    println!("{table}");
-    println!(
-        "expected: rounds ratio ≈ 4 (each parallel step = 4 sequential steps),\n\
-         tx/node within a small constant of each other, both at full coverage."
-    );
+    rrb_bench::registry::cli_main("e7");
 }

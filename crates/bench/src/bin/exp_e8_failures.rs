@@ -1,58 +1,9 @@
-//! E8 — Robustness to communication failures (abstract / §1: "our algorithm
-//! efficiently handles limited communication failures").
+//! E8 — robustness to communication failures.
 //!
-//! Sweeps channel-failure and transmission-failure probabilities and
-//! records coverage, rounds and transmissions of the unmodified four-choice
-//! algorithm. Limited failure rates should degrade cost gracefully without
-//! destroying coverage; as a tuning companion we also show that raising α
-//! restores coverage under heavier failures.
-
-use rrb_bench::{mean_of, mean_rounds_to_coverage, run_replicated, success_rate, ExpConfig};
-use rrb_core::FourChoice;
-use rrb_engine::{FailureModel, SimConfig};
-use rrb_graph::gen;
-use rrb_stats::Table;
-
-const EXPERIMENT: u64 = 8;
+//! Thin wrapper over the `e8` registry entry: `rrb run e8` is the same
+//! code path (see `rrb_bench::registry`). Accepts the shared experiment
+//! flags `--quick`, `--seeds N`, `--threads N`.
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let n: usize = if cfg.quick { 1 << 11 } else { 1 << 13 };
-    let d = 8usize;
-    let rates = [0.0, 0.05, 0.1, 0.2, 0.3];
-
-    println!("E8: four-choice under failure injection at n = {n}, d = {d} ({} seeds)\n", cfg.seeds);
-
-    for (label, mk, alpha) in [
-        ("channel failures, α = 1.5", FailureModel::channels as fn(f64) -> FailureModel, 1.5),
-        ("transmission failures, α = 1.5", FailureModel::transmissions, 1.5),
-        ("channel failures, α = 2.5", FailureModel::channels, 2.5),
-    ] {
-        let mut table = Table::new(vec!["p", "coverage", "success", "rounds", "tx/node"]);
-        for (i, &p) in rates.iter().enumerate() {
-            let failures = if p == 0.0 { FailureModel::NONE } else { mk(p) };
-            let alg = FourChoice::builder(n, d).alpha(alpha).build();
-            let reports = run_replicated(
-                |rng| gen::random_regular(n, d, rng).expect("generation"),
-                &alg,
-                SimConfig::until_quiescent().with_failures(failures),
-                EXPERIMENT,
-                (alpha * 100.0) as u64 + i as u64,
-                cfg.seeds,
-            );
-            table.row(vec![
-                format!("{p:.2}"),
-                format!("{:.4}", mean_of(&reports, |r| r.coverage())),
-                format!("{:.2}", success_rate(&reports)),
-                format!("{:.1}", mean_rounds_to_coverage(&reports)),
-                format!("{:.1}", mean_of(&reports, |r| r.tx_per_node())),
-            ]);
-        }
-        println!("{label}:\n{table}");
-    }
-    println!(
-        "expected: coverage stays ≈ 1 for limited failure rates; cost rises mildly;\n\
-         under heavier failures a larger α (longer phases) restores full coverage —\n\
-         the paper's \"limited communication failures\" robustness."
-    );
+    rrb_bench::registry::cli_main("e8");
 }

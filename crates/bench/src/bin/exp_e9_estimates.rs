@@ -1,58 +1,9 @@
-//! E9 — Rough size estimates suffice (§1.2: nodes know d and "an estimate
-//! of n which is accurate to within a constant factor").
+//! E9 — rough size estimates suffice.
 //!
-//! The schedule is computed from n̂ = factor·n for factor ∈ {1/4 .. 4};
-//! the algorithm should keep full coverage across the whole band (with cost
-//! scaling in log n̂), because every phase length is Θ(log n) with
-//! α absorbing the constant.
-
-use rrb_bench::{mean_of, mean_rounds_to_coverage, run_replicated, success_rate, ExpConfig};
-use rrb_core::FourChoice;
-use rrb_engine::SimConfig;
-use rrb_graph::gen;
-use rrb_stats::Table;
-
-const EXPERIMENT: u64 = 9;
+//! Thin wrapper over the `e9` registry entry: `rrb run e9` is the same
+//! code path (see `rrb_bench::registry`). Accepts the shared experiment
+//! flags `--quick`, `--seeds N`, `--threads N`.
 
 fn main() {
-    let cfg = ExpConfig::from_args();
-    let n: usize = if cfg.quick { 1 << 11 } else { 1 << 13 };
-    let d = 8usize;
-    let factors: [(f64, &str); 5] =
-        [(0.25, "n/4"), (0.5, "n/2"), (1.0, "n"), (2.0, "2n"), (4.0, "4n")];
-
-    println!(
-        "E9: four-choice with misestimated network size at true n = {n}, d = {d} \
-         ({} seeds)\n",
-        cfg.seeds
-    );
-    let mut table = Table::new(vec![
-        "estimate", "schedule end", "coverage", "success", "rounds", "tx/node",
-    ]);
-    for (i, &(f, label)) in factors.iter().enumerate() {
-        let n_est = ((n as f64) * f) as usize;
-        let alg = FourChoice::for_graph(n_est, d);
-        let reports = run_replicated(
-            |rng| gen::random_regular(n, d, rng).expect("generation"),
-            &alg,
-            SimConfig::until_quiescent(),
-            EXPERIMENT,
-            i as u64,
-            cfg.seeds,
-        );
-        table.row(vec![
-            label.into(),
-            alg.total_rounds().to_string(),
-            format!("{:.4}", mean_of(&reports, |r| r.coverage())),
-            format!("{:.2}", success_rate(&reports)),
-            format!("{:.1}", mean_rounds_to_coverage(&reports)),
-            format!("{:.1}", mean_of(&reports, |r| r.tx_per_node())),
-        ]);
-    }
-    println!("{table}");
-    println!(
-        "expected: overestimates only lengthen phases (more margin, slightly more\n\
-         tx); constant-factor underestimates still cover thanks to the pull and\n\
-         active phases — matching §1.2's 'estimate within a constant factor'."
-    );
+    rrb_bench::registry::cli_main("e9");
 }

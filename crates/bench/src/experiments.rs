@@ -1,0 +1,1829 @@
+//! The E1–E18 experiment drivers and their configuration ladders.
+//!
+//! Sweep-style experiments express their ladder as [`ScenarioSpec`] values
+//! and drive them through [`run_entry`]; the bespoke measurements (phase
+//! anatomy, crossover traces, churn, replicated DB, spectral audits) keep
+//! custom per-seed closures but still register their parameter grid as
+//! scenario data for `rrb describe`.
+//!
+//! `config_ix` values mirror the indices the pre-registry binaries used
+//! wherever possible, so recorded results stay comparable (E8 renumbers its
+//! blocks — the legacy binary reused the same indices for two different
+//! failure kinds).
+
+use rand::Rng;
+
+use crate::registry::{deadline_of, run_entry, Experiment, LadderEntry};
+use crate::scenario::{
+    FailureSpec, GossipModeSpec, GraphSpec, MeasureSpec, PolicySpec, ProtocolSpec, RegimeSpec,
+    ScenarioSpec, StopSpec,
+};
+use crate::{
+    mean_of, mean_rounds_to_coverage, replicate, success_rate, BenchRecorder, ExpConfig,
+};
+use rrb_core::{AlgorithmVariant, DegreeRegime};
+use rrb_engine::{RoundRecord, SimConfig, SimState, Simulation, Topology};
+use rrb_graph::{gen, spectral, NodeId};
+use rrb_p2p::{ChurnProcess, Overlay, ReplicatedDb};
+use rrb_stats::{fit_log2, fit_loglog2, Summary, Table};
+
+/// Mirrors `ExpConfig::size_exponents` for ladder builders that only get
+/// the `quick` flag.
+fn exponents(quick: bool, full: std::ops::RangeInclusive<u32>) -> Vec<u32> {
+    ExpConfig { quick, seeds: 0, threads: None }.size_exponents(full)
+}
+
+/// The paper's algorithm with default schedule (α = 1.5, 4 choices, auto
+/// regime) — the shape most ladders use.
+fn four_choice(n_estimate: usize, degree: usize) -> ProtocolSpec {
+    ProtocolSpec::FourChoice { n_estimate, degree, alpha: 1.5, choices: 4, regime: RegimeSpec::Auto }
+}
+
+fn budgeted(mode: GossipModeSpec, n: usize, budget: f64) -> ProtocolSpec {
+    ProtocolSpec::Budgeted { mode, n, budget, policy: PolicySpec::STANDARD }
+}
+
+// ---------------------------------------------------------------------------
+// E1 — runtime vs n
+// ---------------------------------------------------------------------------
+
+const E1_DEGREES: [usize; 3] = [8, 16, 32];
+
+fn e1_entry(di: usize, d: usize, e: u32) -> LadderEntry {
+    let n = 1usize << e;
+    LadderEntry::new(
+        (di * 100 + e as usize) as u64,
+        ScenarioSpec::new(format!("d{d}_n{n}"), GraphSpec::RandomRegular { n, d }, four_choice(n, d)),
+    )
+}
+
+fn e1_scenarios(quick: bool) -> Vec<LadderEntry> {
+    let mut out = Vec::new();
+    for (di, &d) in E1_DEGREES.iter().enumerate() {
+        for &e in &exponents(quick, 10..=15) {
+            out.push(e1_entry(di, d, e));
+        }
+    }
+    out
+}
+
+fn e1_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
+    let exps = exponents(cfg.quick, 10..=15);
+    let mut recorder = BenchRecorder::new("e1_runtime", cfg.quick);
+
+    println!("E1: four-choice broadcast runtime vs n (mean over {} seeds)\n", cfg.seeds);
+    let mut table = Table::new(vec!["d", "n", "rounds", "success", "wall ms", "schedule end"]);
+    for (di, &d) in E1_DEGREES.iter().enumerate() {
+        let mut ns = Vec::new();
+        let mut rounds = Vec::new();
+        for &e in &exps {
+            let n = 1usize << e;
+            let entry = e1_entry(di, d, e);
+            let (reports, wall_ms) = run_entry(1, &entry, cfg);
+            recorder.record(entry.spec.label.clone(), n, cfg.seeds, wall_ms, &reports);
+            let mean_rounds = mean_rounds_to_coverage(&reports);
+            table.row(vec![
+                d.to_string(),
+                n.to_string(),
+                format!("{mean_rounds:.1}"),
+                format!("{:.2}", success_rate(&reports)),
+                format!("{wall_ms:.1}"),
+                deadline_of(&entry.spec).map(|r| r.to_string()).unwrap_or_default(),
+            ]);
+            ns.push(n as f64);
+            rounds.push(mean_rounds);
+        }
+        if ns.len() >= 2 {
+            let fit = fit_log2(&ns, &rounds);
+            println!(
+                "d = {d}: rounds ≈ {:.2}·log2(n) + {:.2}   (r² = {:.3})",
+                fit.slope, fit.intercept, fit.r_squared
+            );
+        }
+    }
+    println!("\n{table}");
+    let json_path =
+        std::env::var("RRB_BENCH_JSON").unwrap_or_else(|_| "BENCH_engine.json".into());
+    match recorder.write(&json_path) {
+        Ok(()) => println!("perf trajectory written to {json_path}"),
+        Err(e) => eprintln!("warning: could not write {json_path}: {e}"),
+    }
+    println!(
+        "paper: O(log n) rounds (Thm 2 for small d, Thm 3 for large d); the fits\n\
+         above should be linear in log2 n with stable slope across d."
+    );
+    Some(recorder)
+}
+
+// ---------------------------------------------------------------------------
+// E2 — transmissions vs n
+// ---------------------------------------------------------------------------
+
+const E2_D: usize = 8;
+
+/// A protocol family in a sweep: display name, `config_ix` base, and the
+/// spec constructor for a given n.
+type ProtocolFamily = (&'static str, u64, fn(usize) -> ProtocolSpec);
+
+fn e2_families() -> Vec<ProtocolFamily> {
+    vec![
+        ("four-choice", 100, |n| four_choice(n, E2_D)),
+        ("push", 200, |n| budgeted(GossipModeSpec::Push, n, 3.0)),
+        ("push&pull", 300, |n| budgeted(GossipModeSpec::PushPull, n, 3.0)),
+        ("median-counter", 400, |n| ProtocolSpec::MedianCounter {
+            n,
+            ctr_max: None,
+            c_rounds: None,
+            age_cutoff: None,
+        }),
+    ]
+}
+
+fn e2_entry(name: &str, base: u64, e: u32, make: fn(usize) -> ProtocolSpec) -> LadderEntry {
+    let n = 1usize << e;
+    LadderEntry::new(
+        base + e as u64,
+        ScenarioSpec::new(
+            format!("{name}_n{n}"),
+            GraphSpec::RandomRegular { n, d: E2_D },
+            make(n),
+        ),
+    )
+}
+
+fn e2_scenarios(quick: bool) -> Vec<LadderEntry> {
+    let mut out = Vec::new();
+    for (name, base, make) in e2_families() {
+        for &e in &exponents(quick, 10..=15) {
+            out.push(e2_entry(name, base, e, make));
+        }
+    }
+    out
+}
+
+fn e2_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
+    let exps = exponents(cfg.quick, 10..=15);
+    let mut recorder = BenchRecorder::new("e2_transmissions", cfg.quick);
+    println!(
+        "E2: transmissions per node vs n on random {E2_D}-regular graphs (mean over {} seeds)\n",
+        cfg.seeds
+    );
+
+    let mut ns: Vec<f64> = Vec::new();
+    let mut tx_by_family: Vec<(&'static str, Vec<f64>)> = Vec::new();
+    let mut coverage_rows: Vec<(&'static str, f64)> = Vec::new();
+    for (name, base, make) in e2_families() {
+        let mut tx = Vec::new();
+        let mut all = Vec::new();
+        ns.clear();
+        for &e in &exps {
+            let n = 1usize << e;
+            let entry = e2_entry(name, base, e, make);
+            let (reports, wall_ms) = run_entry(2, &entry, cfg);
+            recorder.record(entry.spec.label.clone(), n, cfg.seeds, wall_ms, &reports);
+            ns.push(n as f64);
+            tx.push(mean_of(&reports, |r| r.tx_per_node()));
+            all.extend(reports);
+        }
+        coverage_rows.push((name, success_rate(&all)));
+        tx_by_family.push((name, tx));
+    }
+
+    let mut table =
+        Table::new(vec!["n", "four-choice", "push", "push&pull", "median-counter"]);
+    for i in 0..ns.len() {
+        let mut row = vec![format!("{}", ns[i] as u64)];
+        for (_, tx) in &tx_by_family {
+            row.push(format!("{:.1}", tx[i]));
+        }
+        table.row(row);
+    }
+    println!("{table}");
+
+    for (name, ys) in &tx_by_family {
+        if ns.len() >= 2 {
+            let log_fit = fit_log2(&ns, ys);
+            let loglog_fit = fit_loglog2(&ns, ys);
+            println!(
+                "{name:>15}: tx/node ≈ {:.2}·log2 n + {:.1} (r²={:.3})  |  ≈ {:.2}·loglog2 n + {:.1} (r²={:.3})",
+                log_fit.slope,
+                log_fit.intercept,
+                log_fit.r_squared,
+                loglog_fit.slope,
+                loglog_fit.intercept,
+                loglog_fit.r_squared
+            );
+        }
+    }
+    println!(
+        "\ncoverage: four-choice {:.3}, push {:.3}",
+        coverage_rows[0].1, coverage_rows[1].1
+    );
+    println!(
+        "paper: four-choice is O(n log log n) total (flat-ish loglog slope, near-zero\n\
+         log2 slope), push is Θ(n log n) (log2 slope ≈ its budget constant)."
+    );
+    Some(recorder)
+}
+
+// ---------------------------------------------------------------------------
+// E3 — lower-bound audit
+// ---------------------------------------------------------------------------
+
+fn e3_params(quick: bool) -> (usize, &'static [usize]) {
+    if quick {
+        (1 << 11, &[8, 16])
+    } else {
+        (1 << 13, &[4, 8, 16, 32, 64])
+    }
+}
+
+fn e3_protos(n: usize) -> Vec<(&'static str, u64, ProtocolSpec)> {
+    vec![
+        ("push", 0, budgeted(GossipModeSpec::Push, n, 3.0)),
+        ("pull", 1, budgeted(GossipModeSpec::Pull, n, 4.0)),
+        ("push&pull", 2, budgeted(GossipModeSpec::PushPull, n, 2.5)),
+    ]
+}
+
+/// The E3 ladder rungs for one degree, with the display name each row
+/// uses (`four-choice*` is starred: it sits outside the standard model).
+fn e3_entries(n: usize, di: usize, d: usize) -> Vec<(&'static str, LadderEntry)> {
+    let mut out: Vec<(&'static str, LadderEntry)> = e3_protos(n)
+        .into_iter()
+        .map(|(name, pi, proto)| {
+            let spec =
+                ScenarioSpec::new(format!("{name}_d{d}"), GraphSpec::RandomRegular { n, d }, proto);
+            (name, LadderEntry::new((di * 10) as u64 + pi, spec))
+        })
+        .collect();
+    out.push((
+        "four-choice*",
+        LadderEntry::new(
+            (di * 10 + 9) as u64,
+            ScenarioSpec::new(
+                format!("four-choice_d{d}"),
+                GraphSpec::RandomRegular { n, d },
+                four_choice(n, d),
+            ),
+        ),
+    ));
+    out
+}
+
+fn e3_scenarios(quick: bool) -> Vec<LadderEntry> {
+    let (n, degrees) = e3_params(quick);
+    let mut out = Vec::new();
+    for (di, &d) in degrees.iter().enumerate() {
+        out.extend(e3_entries(n, di, d).into_iter().map(|(_, entry)| entry));
+    }
+    out
+}
+
+fn e3_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
+    let (n, degrees) = e3_params(cfg.quick);
+    let mut recorder = BenchRecorder::new("e3_lower_bound", cfg.quick);
+    println!(
+        "E3: lower-bound audit at n = {n} (mean over {} seeds); \
+         normalisation N = n·log2(n)/log2(d)\n",
+        cfg.seeds
+    );
+    let mut table = Table::new(vec![
+        "d", "protocol", "coverage", "rounds", "tx/node", "tx / N",
+    ]);
+
+    for (di, &d) in degrees.iter().enumerate() {
+        for (name, entry) in e3_entries(n, di, d) {
+            let norm_per_node = (n as f64).log2() / (d as f64).log2();
+            let (reports, wall_ms) = run_entry(3, &entry, cfg);
+            recorder.record(entry.spec.label.clone(), n, cfg.seeds, wall_ms, &reports);
+            let tx = mean_of(&reports, |r| r.tx_per_node());
+            table.row(vec![
+                d.to_string(),
+                name.into(),
+                format!("{:.3}", success_rate(&reports)),
+                format!("{:.1}", mean_rounds_to_coverage(&reports)),
+                format!("{tx:.1}"),
+                format!("{:.3}", tx / norm_per_node),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!(
+        "Theorem 1 predicts tx/N ≥ const > 0 for every one-choice oblivious protocol\n\
+         (watch the column stay roughly flat-or-growing in d), while the starred\n\
+         four-choice row — outside the standard model — sinks towards 0 as d and n grow."
+    );
+    Some(recorder)
+}
+
+// ---------------------------------------------------------------------------
+// E4 — phase anatomy (bespoke per-seed history analysis)
+// ---------------------------------------------------------------------------
+
+fn e4_params(quick: bool) -> (usize, usize) {
+    (if quick { 1 << 12 } else { 1 << 15 }, 8)
+}
+
+fn e4_scenarios(quick: bool) -> Vec<LadderEntry> {
+    let (n, d) = e4_params(quick);
+    vec![LadderEntry::new(
+        0,
+        ScenarioSpec::new(
+            format!("phases_n{n}"),
+            GraphSpec::RandomRegular { n, d },
+            ProtocolSpec::FourChoice {
+                n_estimate: n,
+                degree: d,
+                alpha: 1.5,
+                choices: 4,
+                regime: RegimeSpec::Small,
+            },
+        )
+        .with_measure(MeasureSpec::Custom("phase-milestones".into())),
+    )]
+}
+
+fn e4_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
+    let (n, d) = e4_params(cfg.quick);
+    let alg = rrb_core::FourChoice::builder(n, d).force_small_degree().build();
+    let s = *alg.schedule();
+
+    let per_seed = replicate(4, 0, cfg.seeds, |_, rng| {
+        let g = gen::random_regular(n, d, rng).expect("generation");
+        let report = Simulation::new(&g, alg, SimConfig::until_quiescent().with_history())
+            .run(NodeId::new(0), rng);
+        let hist = &report.history;
+        let at = |round: u32| -> usize {
+            hist.iter().find(|r| r.round == round).map(|r| r.informed).unwrap_or(0)
+        };
+
+        // Mean growth factor of |I| over the early exponential stretch
+        // (while fewer than n/8 informed).
+        let mut factors = Vec::new();
+        for w in hist.windows(2) {
+            if w[1].informed < n / 8 && w[0].informed > 0 {
+                factors.push(w[1].informed as f64 / w[0].informed as f64);
+            }
+        }
+        let growth = (!factors.is_empty())
+            .then(|| factors.iter().sum::<f64>() / factors.len() as f64);
+        // Mean per-round shrink factor of |H| during Phase 2.
+        let mut decays = Vec::new();
+        for w in hist.windows(2) {
+            if w[0].round > s.phase1_end()
+                && w[1].round <= s.phase2_end()
+                && n > w[0].informed
+            {
+                decays.push((n - w[1].informed) as f64 / (n - w[0].informed) as f64);
+            }
+        }
+        let decay =
+            (!decays.is_empty()).then(|| decays.iter().sum::<f64>() / decays.len() as f64);
+        (
+            at(s.phase1_end()) as f64,
+            (n - at(s.phase2_end())) as f64,
+            report.full_coverage_at.unwrap_or(report.rounds) as f64,
+            growth,
+            decay,
+        )
+    });
+    let informed_p1: Vec<f64> = per_seed.iter().map(|r| r.0).collect();
+    let uninformed_p2: Vec<f64> = per_seed.iter().map(|r| r.1).collect();
+    let coverage_round: Vec<f64> = per_seed.iter().map(|r| r.2).collect();
+    let p1_growth: Vec<f64> = per_seed.iter().filter_map(|r| r.3).collect();
+    let p2_decay: Vec<f64> = per_seed.iter().filter_map(|r| r.4).collect();
+
+    println!("E4: phase milestones at n = {n}, d = {d} ({} seeds)\n", cfg.seeds);
+    let mut table = Table::new(vec!["milestone", "measured (mean ± ci95)", "paper's claim"]);
+    let fmt = |s: &Summary| format!("{:.1} ± {:.1}", s.mean, s.ci95());
+    let s1 = Summary::from_slice(&informed_p1);
+    table.row(vec![
+        "informed after phase 1".into(),
+        fmt(&s1),
+        format!(">= n/8 = {}", n / 8),
+    ]);
+    let s2 = Summary::from_slice(&uninformed_p2);
+    table.row(vec![
+        "uninformed after phase 2".into(),
+        fmt(&s2),
+        format!("O(n/log^5 n) ≈ {:.1}", n as f64 / (n as f64).log2().powi(5)),
+    ]);
+    let s3 = Summary::from_slice(&p1_growth);
+    table.row(vec![
+        "phase-1 growth factor / round".into(),
+        format!("{:.2} ± {:.2}", s3.mean, s3.ci95()),
+        "> 2 (Lemma 1: |I+| doubles)".into(),
+    ]);
+    let s4 = Summary::from_slice(&p2_decay);
+    table.row(vec![
+        "phase-2 decay factor / round".into(),
+        format!("{:.3} ± {:.3}", s4.mean, s4.ci95()),
+        "< 1/c (Lemma 3: constant shrink)".into(),
+    ]);
+    let s5 = Summary::from_slice(&coverage_round);
+    table.row(vec![
+        "full coverage round".into(),
+        fmt(&s5),
+        format!("<= schedule end = {}", s.end()),
+    ]);
+    println!("{table}");
+
+    let ok1 = s1.mean >= (n / 8) as f64;
+    let ok2 = s4.mean < 1.0;
+    println!(
+        "verdict: Corollary 1 {}; Phase-2 contraction {}.",
+        if ok1 { "HOLDS" } else { "VIOLATED" },
+        if ok2 { "HOLDS" } else { "VIOLATED" }
+    );
+    None
+}
+
+// ---------------------------------------------------------------------------
+// E5 — push/pull crossover (bespoke trace measurement)
+// ---------------------------------------------------------------------------
+
+fn e5_sizes(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1 << 10]
+    } else {
+        vec![1 << 10, 1 << 11, 1 << 12]
+    }
+}
+
+fn e5_entry(i: usize, n: usize, pull: bool) -> LadderEntry {
+    let (name, proto) = if pull {
+        ("pull", ProtocolSpec::FloodPull { policy: PolicySpec::STANDARD })
+    } else {
+        ("push", ProtocolSpec::FloodPush { policy: PolicySpec::STANDARD })
+    };
+    LadderEntry::new(
+        i as u64 * 2 + u64::from(pull),
+        ScenarioSpec::new(format!("{name}_n{n}"), GraphSpec::Complete { n }, proto)
+            .with_stop(StopSpec::COVERAGE)
+            .with_measure(MeasureSpec::Trace),
+    )
+}
+
+fn e5_scenarios(quick: bool) -> Vec<LadderEntry> {
+    let mut out = Vec::new();
+    for (i, &n) in e5_sizes(quick).iter().enumerate() {
+        out.push(e5_entry(i, n, false));
+        out.push(e5_entry(i, n, true));
+    }
+    out
+}
+
+/// Per-seed crossover trace for one E5 entry: rounds to reach n/2 from the
+/// fixed origin, and rounds from n/2 to full coverage.
+pub(crate) fn e5_trace(entry: &LadderEntry, seeds: u64) -> (Vec<f64>, Vec<f64>) {
+    let n = entry.spec.graph.node_count();
+    let proto = entry.spec.protocol.build();
+    let config = entry.spec.sim_config();
+    let per_seed = replicate(5, entry.config_ix, seeds, |_, rng| {
+        let g = entry.spec.graph.build(rng).expect("graph generation");
+        let report = Simulation::new(&g, proto.clone(), config).run(NodeId::new(0), rng);
+        let half_round = report
+            .history
+            .iter()
+            .find(|r| r.informed >= n / 2)
+            .map(|r| r.round)
+            .unwrap_or(report.rounds);
+        let full_round = report.full_coverage_at.unwrap_or(report.rounds);
+        (half_round as f64, (full_round - half_round) as f64)
+    });
+    per_seed.into_iter().unzip()
+}
+
+fn e5_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
+    println!("E5: push/pull crossover on complete graphs ({} seeds)\n", cfg.seeds);
+    let mut table = Table::new(vec![
+        "n",
+        "push: 0→n/2",
+        "push: n/2→n",
+        "pull: 0→n/2",
+        "pull: n/2→n",
+        "loglog2 n",
+    ]);
+    for (i, &n) in e5_sizes(cfg.quick).iter().enumerate() {
+        let (push_half, push_tail) = e5_trace(&e5_entry(i, n, false), cfg.seeds);
+        let (pull_half, pull_tail) = e5_trace(&e5_entry(i, n, true), cfg.seeds);
+        let m = |v: &[f64]| Summary::from_slice(v).mean;
+        table.row(vec![
+            n.to_string(),
+            format!("{:.1}", m(&push_half)),
+            format!("{:.1}", m(&push_tail)),
+            format!("{:.1}", m(&pull_half)),
+            format!("{:.1}", m(&pull_tail)),
+            format!("{:.1}", (n as f64).log2().log2()),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expected shape: push's tail (n/2→n) is Θ(log n); pull's tail collapses in\n\
+         O(log log n) rounds (doubly exponential shrink), while pull's head is no\n\
+         faster than push's — exactly the crossover at ~n/2 described in §1."
+    );
+    None
+}
+
+// ---------------------------------------------------------------------------
+// E6 — k-choices ablation
+// ---------------------------------------------------------------------------
+
+fn e6_params(quick: bool) -> (usize, usize) {
+    (if quick { 1 << 11 } else { 1 << 14 }, 8)
+}
+
+fn e6_entry(n: usize, d: usize, k: usize) -> LadderEntry {
+    LadderEntry::new(
+        k as u64,
+        ScenarioSpec::new(
+            format!("k{k}"),
+            GraphSpec::RandomRegular { n, d },
+            ProtocolSpec::FourChoice {
+                n_estimate: n,
+                degree: d,
+                alpha: 1.5,
+                choices: k,
+                regime: RegimeSpec::Auto,
+            },
+        ),
+    )
+}
+
+fn e6_scenarios(quick: bool) -> Vec<LadderEntry> {
+    let (n, d) = e6_params(quick);
+    (1..=4).map(|k| e6_entry(n, d, k)).collect()
+}
+
+fn e6_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
+    let (n, d) = e6_params(cfg.quick);
+    let mut recorder = BenchRecorder::new("e6_choices", cfg.quick);
+    println!(
+        "E6: k-distinct-choices ablation of the paper's schedule at n = {n}, d = {d} \
+         ({} seeds)\n",
+        cfg.seeds
+    );
+    let mut table = Table::new(vec![
+        "k", "success", "mean coverage round", "tx/node", "pull tx share",
+    ]);
+    for k in 1..=4usize {
+        let entry = e6_entry(n, d, k);
+        let (reports, wall_ms) = run_entry(6, &entry, cfg);
+        recorder.record(entry.spec.label.clone(), n, cfg.seeds, wall_ms, &reports);
+        table.row(vec![
+            k.to_string(),
+            format!("{:.2}", success_rate(&reports)),
+            format!("{:.1}", mean_rounds_to_coverage(&reports)),
+            format!("{:.1}", mean_of(&reports, |r| r.tx_per_node())),
+            format!(
+                "{:.2}",
+                mean_of(&reports, |r| {
+                    if r.total_tx() == 0 {
+                        0.0
+                    } else {
+                        r.pull_tx as f64 / r.total_tx() as f64
+                    }
+                })
+            ),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "paper: k = 4 proven; k = 3 conjectured sufficient; k = 2 open; k = 1 falls\n\
+         back to the standard model (slower phase 1, weaker pull phase).\n\
+         tx/node scales ~linearly in k through phase 2, so smaller k is cheaper\n\
+         per round — the question is whether coverage survives."
+    );
+    Some(recorder)
+}
+
+// ---------------------------------------------------------------------------
+// E7 — parallel vs sequentialised four-choice
+// ---------------------------------------------------------------------------
+
+fn e7_entry(n: usize, e: u32, sequential: bool) -> LadderEntry {
+    let d = 8usize;
+    let (name, proto) = if sequential {
+        ("seq", ProtocolSpec::SequentialFourChoice { n_estimate: n, degree: d })
+    } else {
+        ("par", four_choice(n, d))
+    };
+    LadderEntry::new(
+        e as u64 * 2 + u64::from(sequential),
+        ScenarioSpec::new(format!("{name}_n{n}"), GraphSpec::RandomRegular { n, d }, proto),
+    )
+}
+
+fn e7_scenarios(quick: bool) -> Vec<LadderEntry> {
+    let mut out = Vec::new();
+    for &e in &exponents(quick, 10..=13) {
+        let n = 1usize << e;
+        out.push(e7_entry(n, e, false));
+        out.push(e7_entry(n, e, true));
+    }
+    out
+}
+
+fn e7_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
+    let mut recorder = BenchRecorder::new("e7_sequential", cfg.quick);
+    println!("E7: parallel four-choice vs sequential memory-3 ({} seeds)\n", cfg.seeds);
+    let mut table = Table::new(vec![
+        "n",
+        "par rounds",
+        "seq rounds",
+        "ratio",
+        "par tx/node",
+        "seq tx/node",
+        "par ok",
+        "seq ok",
+    ]);
+    for &e in &exponents(cfg.quick, 10..=13) {
+        let n = 1usize << e;
+        let par = e7_entry(n, e, false);
+        let seq = e7_entry(n, e, true);
+        let (par_reports, par_ms) = run_entry(7, &par, cfg);
+        let (seq_reports, seq_ms) = run_entry(7, &seq, cfg);
+        recorder.record(par.spec.label.clone(), n, cfg.seeds, par_ms, &par_reports);
+        recorder.record(seq.spec.label.clone(), n, cfg.seeds, seq_ms, &seq_reports);
+        let pr = mean_rounds_to_coverage(&par_reports);
+        let sr = mean_rounds_to_coverage(&seq_reports);
+        table.row(vec![
+            n.to_string(),
+            format!("{pr:.1}"),
+            format!("{sr:.1}"),
+            format!("{:.2}", sr / pr),
+            format!("{:.1}", mean_of(&par_reports, |r| r.tx_per_node())),
+            format!("{:.1}", mean_of(&seq_reports, |r| r.tx_per_node())),
+            format!("{:.2}", success_rate(&par_reports)),
+            format!("{:.2}", success_rate(&seq_reports)),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expected: rounds ratio ≈ 4 (each parallel step = 4 sequential steps),\n\
+         tx/node within a small constant of each other, both at full coverage."
+    );
+    Some(recorder)
+}
+
+// ---------------------------------------------------------------------------
+// E8 — failure injection
+// ---------------------------------------------------------------------------
+
+const E8_RATES: [f64; 5] = [0.0, 0.05, 0.1, 0.2, 0.3];
+
+fn e8_blocks() -> Vec<(&'static str, bool, f64)> {
+    // (label, is_channel_failure, alpha)
+    vec![
+        ("channel failures, α = 1.5", true, 1.5),
+        ("transmission failures, α = 1.5", false, 1.5),
+        ("channel failures, α = 2.5", true, 2.5),
+    ]
+}
+
+fn e8_entry(n: usize, d: usize, bi: usize, i: usize) -> LadderEntry {
+    let (_, is_channel, alpha) = e8_blocks()[bi];
+    let p = E8_RATES[i];
+    let failures = if p == 0.0 {
+        FailureSpec::NONE
+    } else if is_channel {
+        FailureSpec { channel: p, transmission: 0.0, crash: 0.0 }
+    } else {
+        FailureSpec { channel: 0.0, transmission: p, crash: 0.0 }
+    };
+    let kind = if is_channel { "chan" } else { "tx" };
+    LadderEntry::new(
+        (bi * 100 + i) as u64,
+        ScenarioSpec::new(
+            format!("{kind}_a{alpha}_p{p}"),
+            GraphSpec::RandomRegular { n, d },
+            ProtocolSpec::FourChoice {
+                n_estimate: n,
+                degree: d,
+                alpha,
+                choices: 4,
+                regime: RegimeSpec::Auto,
+            },
+        )
+        .with_failures(failures),
+    )
+}
+
+fn e8_params(quick: bool) -> (usize, usize) {
+    (if quick { 1 << 11 } else { 1 << 13 }, 8)
+}
+
+fn e8_scenarios(quick: bool) -> Vec<LadderEntry> {
+    let (n, d) = e8_params(quick);
+    let mut out = Vec::new();
+    for bi in 0..e8_blocks().len() {
+        for i in 0..E8_RATES.len() {
+            out.push(e8_entry(n, d, bi, i));
+        }
+    }
+    out
+}
+
+fn e8_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
+    let (n, d) = e8_params(cfg.quick);
+    let mut recorder = BenchRecorder::new("e8_failures", cfg.quick);
+    println!("E8: four-choice under failure injection at n = {n}, d = {d} ({} seeds)\n", cfg.seeds);
+
+    for (bi, (label, _, _)) in e8_blocks().into_iter().enumerate() {
+        let mut table = Table::new(vec!["p", "coverage", "success", "rounds", "tx/node"]);
+        for (i, &p) in E8_RATES.iter().enumerate() {
+            let entry = e8_entry(n, d, bi, i);
+            let (reports, wall_ms) = run_entry(8, &entry, cfg);
+            recorder.record(entry.spec.label.clone(), n, cfg.seeds, wall_ms, &reports);
+            table.row(vec![
+                format!("{p:.2}"),
+                format!("{:.4}", mean_of(&reports, |r| r.coverage())),
+                format!("{:.2}", success_rate(&reports)),
+                format!("{:.1}", mean_rounds_to_coverage(&reports)),
+                format!("{:.1}", mean_of(&reports, |r| r.tx_per_node())),
+            ]);
+        }
+        println!("{label}:\n{table}");
+    }
+    println!(
+        "expected: coverage stays ≈ 1 for limited failure rates; cost rises mildly;\n\
+         under heavier failures a larger α (longer phases) restores full coverage —\n\
+         the paper's \"limited communication failures\" robustness."
+    );
+    Some(recorder)
+}
+
+// ---------------------------------------------------------------------------
+// E9 — misestimated network size
+// ---------------------------------------------------------------------------
+
+const E9_FACTORS: [(f64, &str); 5] =
+    [(0.25, "n/4"), (0.5, "n/2"), (1.0, "n"), (2.0, "2n"), (4.0, "4n")];
+
+fn e9_params(quick: bool) -> (usize, usize) {
+    (if quick { 1 << 11 } else { 1 << 13 }, 8)
+}
+
+fn e9_entry(n: usize, d: usize, i: usize) -> LadderEntry {
+    let (f, label) = E9_FACTORS[i];
+    let n_est = ((n as f64) * f) as usize;
+    LadderEntry::new(
+        i as u64,
+        ScenarioSpec::new(
+            format!("est_{label}"),
+            GraphSpec::RandomRegular { n, d },
+            four_choice(n_est, d),
+        ),
+    )
+}
+
+fn e9_scenarios(quick: bool) -> Vec<LadderEntry> {
+    let (n, d) = e9_params(quick);
+    (0..E9_FACTORS.len()).map(|i| e9_entry(n, d, i)).collect()
+}
+
+fn e9_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
+    let (n, d) = e9_params(cfg.quick);
+    let mut recorder = BenchRecorder::new("e9_estimates", cfg.quick);
+    println!(
+        "E9: four-choice with misestimated network size at true n = {n}, d = {d} \
+         ({} seeds)\n",
+        cfg.seeds
+    );
+    let mut table = Table::new(vec![
+        "estimate", "schedule end", "coverage", "success", "rounds", "tx/node",
+    ]);
+    for (i, &(_, label)) in E9_FACTORS.iter().enumerate() {
+        let entry = e9_entry(n, d, i);
+        let (reports, wall_ms) = run_entry(9, &entry, cfg);
+        recorder.record(entry.spec.label.clone(), n, cfg.seeds, wall_ms, &reports);
+        table.row(vec![
+            label.into(),
+            deadline_of(&entry.spec).map(|r| r.to_string()).unwrap_or_default(),
+            format!("{:.4}", mean_of(&reports, |r| r.coverage())),
+            format!("{:.2}", success_rate(&reports)),
+            format!("{:.1}", mean_rounds_to_coverage(&reports)),
+            format!("{:.1}", mean_of(&reports, |r| r.tx_per_node())),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expected: overestimates only lengthen phases (more margin, slightly more\n\
+         tx); constant-factor underestimates still cover thanks to the pull and\n\
+         active phases — matching §1.2's 'estimate within a constant factor'."
+    );
+    Some(recorder)
+}
+
+// ---------------------------------------------------------------------------
+// E10 — churn (bespoke: drives SimState + overlay mutation per round)
+// ---------------------------------------------------------------------------
+
+const E10_RATES: [f64; 5] = [0.0, 1.0, 4.0, 16.0, 64.0];
+
+fn e10_params(quick: bool) -> (usize, usize) {
+    (if quick { 1 << 11 } else { 1 << 13 }, 8)
+}
+
+fn e10_scenarios(quick: bool) -> Vec<LadderEntry> {
+    let (n, d) = e10_params(quick);
+    E10_RATES
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| {
+            LadderEntry::new(
+                i as u64,
+                ScenarioSpec::new(
+                    format!("churn_{rate:.0}"),
+                    GraphSpec::RandomRegular { n, d },
+                    four_choice(n, d),
+                )
+                .with_measure(MeasureSpec::Custom(format!(
+                    "overlay churn: {rate:.0} joins+leaves per round, flip-rewired"
+                ))),
+            )
+        })
+        .collect()
+}
+
+fn e10_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
+    let (n, d) = e10_params(cfg.quick);
+    println!("E10: four-choice broadcast under churn at n = {n}, d = {d} ({} seeds)\n", cfg.seeds);
+    let mut table = Table::new(vec![
+        "joins+leaves/round",
+        "survivor coverage",
+        "full success",
+        "rounds run",
+        "tx/node",
+    ]);
+    for (i, &rate) in E10_RATES.iter().enumerate() {
+        // Each seed runs its own churn trajectory on the rayon pool; the
+        // per-seed RNG stream makes the outcome thread-count invariant.
+        let per_seed = replicate(10, i as u64, cfg.seeds, |_, rng| {
+            let mut overlay = Overlay::random(n, d, rng).expect("overlay");
+            let alg = rrb_core::FourChoice::for_graph(n, d);
+            let mut churn = ChurnProcess::symmetric(rate, n / 2);
+            let config = SimConfig::until_quiescent();
+            let origin = {
+                let i = rng.gen_range(0..Topology::node_count(&overlay));
+                NodeId::new(i)
+            };
+            let mut sim = SimState::new(&alg, Topology::node_count(&overlay), origin);
+            while !sim.finished(&overlay, &alg, config) {
+                sim.step(&overlay, &alg, config, rng);
+                churn.step(&mut overlay, rng).expect("churn");
+                overlay.rewire(rate.ceil() as usize * 2, rng);
+            }
+            let report = sim.into_report(&overlay, config);
+            (
+                report.coverage(),
+                if report.all_informed() { 1.0 } else { 0.0 },
+                report.rounds as f64,
+                report.tx_per_node(),
+            )
+        });
+        let coverages: Vec<f64> = per_seed.iter().map(|r| r.0).collect();
+        let successes: Vec<f64> = per_seed.iter().map(|r| r.1).collect();
+        let rounds_v: Vec<f64> = per_seed.iter().map(|r| r.2).collect();
+        let txs: Vec<f64> = per_seed.iter().map(|r| r.3).collect();
+        table.row(vec![
+            format!("{rate:.0}"),
+            format!("{:.4}", Summary::from_slice(&coverages).mean),
+            format!("{:.2}", Summary::from_slice(&successes).mean),
+            format!("{:.1}", Summary::from_slice(&rounds_v).mean),
+            format!("{:.1}", Summary::from_slice(&txs).mean),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expected: coverage ≈ 1 at limited churn; graceful decay as churn grows\n\
+         (late joiners can miss the pull step); cost stays O(log log n)/node."
+    );
+    None
+}
+
+// ---------------------------------------------------------------------------
+// E11 — the G □ K5 counterexample
+// ---------------------------------------------------------------------------
+
+const E11_ALPHAS: [f64; 4] = [0.35, 0.5, 0.75, 1.0];
+
+fn e11_params(quick: bool) -> (usize, usize) {
+    (if quick { 1 << 9 } else { 1 << 11 }, 8)
+}
+
+fn e11_entry(base_n: usize, d: usize, ai: usize, product: bool) -> LadderEntry {
+    let alpha = E11_ALPHAS[ai];
+    let product_n = base_n * 5;
+    let product_d = d + 4;
+    let (name, graph) = if product {
+        ("k5prod", GraphSpec::ProductK { base_n, base_d: d, clique: 5 })
+    } else {
+        ("regular", GraphSpec::RandomRegular { n: product_n, d: product_d })
+    };
+    LadderEntry::new(
+        (ai * 2) as u64 + u64::from(product),
+        ScenarioSpec::new(
+            format!("{name}_a{alpha}"),
+            graph,
+            ProtocolSpec::FourChoice {
+                n_estimate: product_n,
+                degree: product_d,
+                alpha,
+                choices: 4,
+                regime: RegimeSpec::Auto,
+            },
+        )
+        .with_measure(MeasureSpec::Trace),
+    )
+}
+
+fn e11_scenarios(quick: bool) -> Vec<LadderEntry> {
+    let (base_n, d) = e11_params(quick);
+    let mut out = Vec::new();
+    for ai in 0..E11_ALPHAS.len() {
+        out.push(e11_entry(base_n, d, ai, false));
+        out.push(e11_entry(base_n, d, ai, true));
+    }
+    out
+}
+
+fn growth_factor(history: &[RoundRecord], n: usize) -> f64 {
+    let mut factors = Vec::new();
+    for w in history.windows(2) {
+        if w[1].informed < n / 8 && w[0].informed > 0 {
+            factors.push(w[1].informed as f64 / w[0].informed as f64);
+        }
+    }
+    if factors.is_empty() {
+        f64::NAN
+    } else {
+        factors.iter().sum::<f64>() / factors.len() as f64
+    }
+}
+
+fn e11_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
+    let (base_n, d) = e11_params(cfg.quick);
+    let product_n = base_n * 5;
+    let product_d = d + 4;
+    let mut recorder = BenchRecorder::new("e11_k5product", cfg.quick);
+
+    println!(
+        "E11: four-choice at threshold α — genuine G(n,{product_d}) vs G(n/5,{d}) □ K5 \
+         (both n = {product_n}, {} seeds)\n",
+        cfg.seeds
+    );
+    let mut table = Table::new(vec![
+        "α", "topology", "success", "coverage", "rounds", "phase-1 growth",
+    ]);
+    for (ai, &alpha) in E11_ALPHAS.iter().enumerate() {
+        for (product, label) in [(false, "G(n, 12)"), (true, "G(n/5, 8) □ K5")] {
+            let entry = e11_entry(base_n, d, ai, product);
+            let (reports, wall_ms) = run_entry(11, &entry, cfg);
+            recorder.record(entry.spec.label.clone(), product_n, cfg.seeds, wall_ms, &reports);
+            let successes = success_rate(&reports);
+            let growths: Vec<f64> = reports
+                .iter()
+                .map(|r| growth_factor(&r.history, product_n))
+                .filter(|g| g.is_finite())
+                .collect();
+            table.row(vec![
+                format!("{alpha:.2}"),
+                label.into(),
+                format!("{successes:.2}"),
+                format!("{:.4}", mean_of(&reports, |r| r.coverage())),
+                format!("{:.1}", mean_rounds_to_coverage(&reports)),
+                format!("{:.2}", Summary::from_slice(&growths).mean),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!(
+        "expected: on the genuine random regular graph the informed set grows\n\
+         faster in phase 1 (choices rarely collide with clones) and tight schedules\n\
+         still succeed; the K5 product needs a visibly larger α / more rounds —\n\
+         §5's point that four choices exploit topological randomness, which the\n\
+         clique layers destroy."
+    );
+    Some(recorder)
+}
+
+// ---------------------------------------------------------------------------
+// E12 — four-choice on G(n,p)
+// ---------------------------------------------------------------------------
+
+const E12_C: f64 = 2.0;
+
+fn e12_entry(e: u32) -> LadderEntry {
+    let n = 1usize << e;
+    let expected_degree = E12_C * (n as f64).log2();
+    LadderEntry::new(
+        e as u64,
+        ScenarioSpec::new(
+            format!("gnp_n{n}"),
+            GraphSpec::Gnp { n, expected_degree },
+            four_choice(n, expected_degree.round() as usize),
+        ),
+    )
+}
+
+fn e12_scenarios(quick: bool) -> Vec<LadderEntry> {
+    exponents(quick, 10..=14).into_iter().map(e12_entry).collect()
+}
+
+fn e12_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
+    let mut recorder = BenchRecorder::new("e12_gnp", cfg.quick);
+    println!(
+        "E12: four-choice on G(n, p) with expected degree {E12_C}·log2 n ({} seeds)\n",
+        cfg.seeds
+    );
+    let mut table = Table::new(vec![
+        "n", "E[deg]", "coverage", "success", "rounds", "tx/node",
+    ]);
+    let mut ns = Vec::new();
+    let mut txs = Vec::new();
+    for &e in &exponents(cfg.quick, 10..=14) {
+        let n = 1usize << e;
+        let expected_degree = E12_C * (n as f64).log2();
+        let entry = e12_entry(e);
+        let (reports, wall_ms) = run_entry(12, &entry, cfg);
+        recorder.record(entry.spec.label.clone(), n, cfg.seeds, wall_ms, &reports);
+        let tx = mean_of(&reports, |r| r.tx_per_node());
+        table.row(vec![
+            n.to_string(),
+            format!("{expected_degree:.0}"),
+            format!("{:.4}", mean_of(&reports, |r| r.coverage())),
+            format!("{:.2}", success_rate(&reports)),
+            format!("{:.1}", mean_rounds_to_coverage(&reports)),
+            format!("{tx:.1}"),
+        ]);
+        ns.push(n as f64);
+        txs.push(tx);
+    }
+    println!("{table}");
+    if ns.len() >= 2 {
+        let fit = fit_loglog2(&ns, &txs);
+        println!(
+            "tx/node ≈ {:.2}·loglog2(n) + {:.1} (r² = {:.3}) — [13]'s O(n log log n)\n\
+             carries over; isolated G(n,p) vertices are impossible at this density.",
+            fit.slope, fit.intercept, fit.r_squared
+        );
+    }
+    Some(recorder)
+}
+
+// ---------------------------------------------------------------------------
+// E13 — degree-regime split
+// ---------------------------------------------------------------------------
+
+fn e13_params(quick: bool) -> (usize, &'static [usize]) {
+    if quick {
+        (1 << 11, &[4, 8, 16])
+    } else {
+        (1 << 14, &[4, 6, 8, 12, 16, 24, 32])
+    }
+}
+
+fn e13_entry(n: usize, di: usize, d: usize, vi: usize) -> LadderEntry {
+    let regime = if vi == 0 { RegimeSpec::Small } else { RegimeSpec::Large };
+    let name = if vi == 0 { "alg1" } else { "alg2" };
+    LadderEntry::new(
+        (di * 2 + vi) as u64,
+        ScenarioSpec::new(
+            format!("{name}_d{d}"),
+            GraphSpec::RandomRegular { n, d },
+            ProtocolSpec::FourChoice { n_estimate: n, degree: d, alpha: 1.5, choices: 4, regime },
+        ),
+    )
+}
+
+fn e13_scenarios(quick: bool) -> Vec<LadderEntry> {
+    let (n, degrees) = e13_params(quick);
+    let mut out = Vec::new();
+    for (di, &d) in degrees.iter().enumerate() {
+        out.push(e13_entry(n, di, d, 0));
+        out.push(e13_entry(n, di, d, 1));
+    }
+    out
+}
+
+fn e13_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
+    let (n, degrees) = e13_params(cfg.quick);
+    let mut recorder = BenchRecorder::new("e13_regimes", cfg.quick);
+    let auto = DegreeRegime::default();
+    println!(
+        "E13: Algorithm 1 vs Algorithm 2 across the degree ladder at n = {n} \
+         ({} seeds); auto-threshold δ·loglog2(n) with δ = 3\n",
+        cfg.seeds
+    );
+    let mut table = Table::new(vec![
+        "d", "auto picks", "variant", "success", "rounds", "tx/node",
+    ]);
+    for (di, &d) in degrees.iter().enumerate() {
+        let auto_pick = match auto.resolve(n, d) {
+            AlgorithmVariant::SmallDegree => "Alg 1",
+            AlgorithmVariant::LargeDegree => "Alg 2",
+        };
+        for (vi, label) in [(0, "Alg 1 (4 phases)"), (1, "Alg 2 (long pull)")] {
+            let entry = e13_entry(n, di, d, vi);
+            let (reports, wall_ms) = run_entry(13, &entry, cfg);
+            recorder.record(entry.spec.label.clone(), n, cfg.seeds, wall_ms, &reports);
+            table.row(vec![
+                d.to_string(),
+                auto_pick.into(),
+                label.into(),
+                format!("{:.2}", success_rate(&reports)),
+                format!("{:.1}", mean_rounds_to_coverage(&reports)),
+                format!("{:.1}", mean_of(&reports, |r| r.tx_per_node())),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!(
+        "expected: both variants succeed across the ladder at these sizes (the\n\
+         regimes matter for the *proofs*); Alg 2's long pull phase is cheaper at\n\
+         large d (pull tx land mostly on the few uninformed), while Alg 1's single\n\
+         pull step + active push is tailored to small degrees."
+    );
+    Some(recorder)
+}
+
+// ---------------------------------------------------------------------------
+// E14 — replicated database (bespoke: multi-rumour DB runs)
+// ---------------------------------------------------------------------------
+
+fn e14_params(quick: bool) -> (usize, usize, &'static [usize]) {
+    if quick {
+        (1 << 9, 8, &[4, 16])
+    } else {
+        (1 << 11, 8, &[1, 4, 16, 64])
+    }
+}
+
+fn e14_scenarios(quick: bool) -> Vec<LadderEntry> {
+    let (n, d, streams) = e14_params(quick);
+    let mut out = Vec::new();
+    for (i, &u) in streams.iter().enumerate() {
+        for (pi, (name, proto)) in [
+            ("four-choice", four_choice(n, d)),
+            ("push", budgeted(GossipModeSpec::Push, n, 3.0)),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            out.push(LadderEntry::new(
+                (i * 2 + pi) as u64,
+                ScenarioSpec::new(
+                    format!("{name}_u{u}"),
+                    GraphSpec::RandomRegular { n, d },
+                    proto,
+                )
+                .with_measure(MeasureSpec::Custom(format!(
+                    "replicated DB: {u} concurrent updates over the first 8 rounds"
+                ))),
+            ));
+        }
+    }
+    out
+}
+
+fn e14_run_engine<P: rrb_engine::Protocol + Clone + Sync>(
+    name: &str,
+    proto: P,
+    updates: usize,
+    n: usize,
+    d: usize,
+    cfg: &ExpConfig,
+    cfg_ix: u64,
+) -> Vec<String> {
+    let per_seed = replicate(14, cfg_ix, cfg.seeds, |_, rng| {
+        let g = gen::random_regular(n, d, rng).expect("generation");
+        let mut db = ReplicatedDb::new(proto.clone(), SimConfig::until_quiescent());
+        db.push_random_updates(&g, updates, 8, 32, rng);
+        let report = db.run(&g, rng);
+        (
+            if report.converged { 1.0 } else { 0.0 },
+            report.mean_latency(),
+            report.tx_per_update_per_node(n),
+            report.combining_savings(),
+        )
+    });
+    let conv: Vec<f64> = per_seed.iter().map(|r| r.0).collect();
+    let lat: Vec<f64> = per_seed.iter().filter_map(|r| r.1).collect();
+    let cost: Vec<f64> = per_seed.iter().map(|r| r.2).collect();
+    let savings: Vec<f64> = per_seed.iter().map(|r| r.3).collect();
+    vec![
+        updates.to_string(),
+        name.into(),
+        format!("{:.2}", Summary::from_slice(&conv).mean),
+        format!("{:.1}", Summary::from_slice(&lat).mean),
+        format!("{:.2}", Summary::from_slice(&cost).mean),
+        format!("{:.1}%", Summary::from_slice(&savings).mean * 100.0),
+    ]
+}
+
+fn e14_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
+    let (n, d, streams) = e14_params(cfg.quick);
+    println!(
+        "E14: replicated DB over gossip at n = {n}, d = {d} ({} seeds); updates\n\
+         issued over the first 8 rounds\n",
+        cfg.seeds
+    );
+    let mut table = Table::new(vec![
+        "updates",
+        "engine",
+        "converged",
+        "mean latency",
+        "tx/update/node",
+        "combining savings",
+    ]);
+    for (i, &u) in streams.iter().enumerate() {
+        table.row(e14_run_engine(
+            "four-choice",
+            rrb_core::FourChoice::for_graph(n, d),
+            u,
+            n,
+            d,
+            cfg,
+            i as u64 * 2,
+        ));
+        table.row(e14_run_engine(
+            "push (budget)",
+            rrb_baselines::Budgeted::for_size(rrb_baselines::GossipMode::Push, n, 3.0),
+            u,
+            n,
+            d,
+            cfg,
+            i as u64 * 2 + 1,
+        ));
+    }
+    println!("{table}");
+    println!(
+        "expected: both engines converge; four-choice pays O(log log n) per update\n\
+         per node vs push's Θ(log n); combining savings grow with the stream rate\n\
+         (more rumours share each channel), vindicating the model's amortisation\n\
+         argument (§1)."
+    );
+    None
+}
+
+// ---------------------------------------------------------------------------
+// E15 — spectral audit (bespoke: no broadcast at all)
+// ---------------------------------------------------------------------------
+
+fn e15_params(quick: bool) -> (usize, &'static [usize]) {
+    if quick {
+        (1 << 9, &[8, 16])
+    } else {
+        (1 << 11, &[4, 8, 16, 32])
+    }
+}
+
+fn e15_scenarios(quick: bool) -> Vec<LadderEntry> {
+    let (n, degrees) = e15_params(quick);
+    degrees
+        .iter()
+        .enumerate()
+        .map(|(di, &d)| {
+            LadderEntry::new(
+                di as u64,
+                ScenarioSpec::new(
+                    format!("spectral_d{d}"),
+                    GraphSpec::RandomRegular { n, d },
+                    ProtocolSpec::Silent,
+                )
+                .with_measure(MeasureSpec::Custom(
+                    "second eigenvalue + expander mixing audit (no broadcast)".into(),
+                )),
+            )
+        })
+        .collect()
+}
+
+fn e15_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
+    let (n, degrees) = e15_params(cfg.quick);
+    println!("E15: spectral audit of the generator at n = {n} ({} seeds)\n", cfg.seeds);
+    let mut table = Table::new(vec![
+        "d",
+        "λ (measured)",
+        "2·sqrt(d-1)",
+        "ratio",
+        "max mixing dev",
+        "mixing ok",
+    ]);
+    for (di, &d) in degrees.iter().enumerate() {
+        let per_seed = replicate(15, di as u64, cfg.seeds, |_, rng| {
+            let g = gen::random_regular(n, d, rng).expect("generation");
+            let l2 = spectral::second_eigenvalue(&g, 600, rng).expect("power iteration");
+            let samples = spectral::expander_mixing_deviation(&g, 24, rng).expect("mixing");
+            let mut worst: f64 = 0.0;
+            let mut ok = 0usize;
+            let total = samples.len();
+            for s in samples {
+                worst = worst.max(s.normalized_deviation);
+                if s.normalized_deviation <= l2.value * 1.02 + 1e-9 {
+                    ok += 1;
+                }
+            }
+            (l2.value, worst, ok, total)
+        });
+        let lambdas: Vec<f64> = per_seed.iter().map(|r| r.0).collect();
+        let max_devs: Vec<f64> = per_seed.iter().map(|r| r.1).collect();
+        let mixing_ok: usize = per_seed.iter().map(|r| r.2).sum();
+        let mixing_total: usize = per_seed.iter().map(|r| r.3).sum();
+        let ls = Summary::from_slice(&lambdas);
+        let ramanujan = 2.0 * ((d - 1) as f64).sqrt();
+        table.row(vec![
+            d.to_string(),
+            format!("{:.3} ± {:.3}", ls.mean, ls.ci95()),
+            format!("{ramanujan:.3}"),
+            format!("{:.3}", ls.mean / ramanujan),
+            format!("{:.3}", Summary::from_slice(&max_devs).max),
+            format!("{mixing_ok}/{mixing_total}"),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expected: ratio ≈ 1 (+o(1)) — near-Ramanujan, per Friedman [18]; every\n\
+         sampled cut's normalised deviation |E(S,S̄)−d|S||S̄|/n| / √(|S||S̄|) stays\n\
+         below the measured λ, as the Expander Mixing Lemma demands."
+    );
+    None
+}
+
+// ---------------------------------------------------------------------------
+// E16 — memory push on preferential-attachment graphs
+// ---------------------------------------------------------------------------
+
+const E16_M: usize = 4;
+
+fn e16_policies() -> [(&'static str, PolicySpec); 3] {
+    [
+        ("plain push", PolicySpec::STANDARD),
+        ("memory-1", PolicySpec::Memory(1)),
+        ("memory-3", PolicySpec::Memory(3)),
+    ]
+}
+
+fn e16_entry(e: u32, pi: usize) -> LadderEntry {
+    let n = 1usize << e;
+    let (name, policy) = e16_policies()[pi];
+    LadderEntry::new(
+        (e as usize * 10 + pi) as u64,
+        ScenarioSpec::new(
+            format!("{name}_n{n}"),
+            GraphSpec::PreferentialAttachment { n, m: E16_M },
+            ProtocolSpec::FloodPush { policy },
+        )
+        .with_stop(StopSpec::Coverage { max_rounds: 10_000 }),
+    )
+}
+
+fn e16_scenarios(quick: bool) -> Vec<LadderEntry> {
+    let mut out = Vec::new();
+    for &e in &exponents(quick, 10..=14) {
+        for pi in 0..3 {
+            out.push(e16_entry(e, pi));
+        }
+    }
+    out
+}
+
+fn e16_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
+    let mut recorder = BenchRecorder::new("e16_pa_memory", cfg.quick);
+    println!(
+        "E16: push with choice memory on preferential-attachment graphs (m = {E16_M}, \
+         {} seeds)\n",
+        cfg.seeds
+    );
+    let mut table = Table::new(vec![
+        "n",
+        "plain push rounds",
+        "memory-1 rounds",
+        "memory-3 rounds",
+        "log2 n",
+    ]);
+    for &e in &exponents(cfg.quick, 10..=14) {
+        let n = 1usize << e;
+        let mut row = vec![n.to_string()];
+        for pi in 0..3 {
+            let entry = e16_entry(e, pi);
+            let (reports, wall_ms) = run_entry(16, &entry, cfg);
+            recorder.record(entry.spec.label.clone(), n, cfg.seeds, wall_ms, &reports);
+            let ok = success_rate(&reports);
+            row.push(format!(
+                "{:.1}{}",
+                mean_rounds_to_coverage(&reports),
+                if ok < 1.0 { " (!)" } else { "" }
+            ));
+        }
+        row.push(format!("{:.1}", (n as f64).log2()));
+        table.row(row);
+    }
+    println!("{table}");
+    println!(
+        "expected ([8]): the memory variants beat plain push, and their advantage\n\
+         grows with n (sub-logarithmic vs Θ(log n) spreading on PA graphs, where\n\
+         memoryless push wastes calls bouncing back to the hub it came from)."
+    );
+    Some(recorder)
+}
+
+// ---------------------------------------------------------------------------
+// E17 — α ablation
+// ---------------------------------------------------------------------------
+
+const E17_ALPHAS: [f64; 7] = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0];
+
+fn e17_params(quick: bool) -> (usize, usize) {
+    (if quick { 1 << 11 } else { 1 << 13 }, 8)
+}
+
+fn e17_entry(n: usize, d: usize, i: usize) -> LadderEntry {
+    let alpha = E17_ALPHAS[i];
+    LadderEntry::new(
+        i as u64,
+        ScenarioSpec::new(
+            format!("alpha_{alpha}"),
+            GraphSpec::RandomRegular { n, d },
+            ProtocolSpec::FourChoice {
+                n_estimate: n,
+                degree: d,
+                alpha,
+                choices: 4,
+                regime: RegimeSpec::Auto,
+            },
+        ),
+    )
+}
+
+fn e17_scenarios(quick: bool) -> Vec<LadderEntry> {
+    let (n, d) = e17_params(quick);
+    (0..E17_ALPHAS.len()).map(|i| e17_entry(n, d, i)).collect()
+}
+
+fn e17_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
+    let (n, d) = e17_params(cfg.quick);
+    let mut recorder = BenchRecorder::new("e17_alpha", cfg.quick);
+    println!("E17: α ablation of the four-choice schedule at n = {n}, d = {d} ({} seeds)\n", cfg.seeds);
+    let mut table = Table::new(vec![
+        "α", "schedule end", "success", "coverage", "rounds", "tx/node",
+    ]);
+    for (i, &alpha) in E17_ALPHAS.iter().enumerate() {
+        let entry = e17_entry(n, d, i);
+        let (reports, wall_ms) = run_entry(17, &entry, cfg);
+        recorder.record(entry.spec.label.clone(), n, cfg.seeds, wall_ms, &reports);
+        table.row(vec![
+            format!("{alpha:.2}"),
+            deadline_of(&entry.spec).map(|r| r.to_string()).unwrap_or_default(),
+            format!("{:.2}", success_rate(&reports)),
+            format!("{:.4}", mean_of(&reports, |r| r.coverage())),
+            format!("{:.1}", mean_rounds_to_coverage(&reports)),
+            format!("{:.1}", mean_of(&reports, |r| r.tx_per_node())),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expected: a sharp success threshold in α (Phase 1 must inform Θ(n) nodes),\n\
+         then a linear cost ramp — the constant the theory hides inside\n\
+         'α sufficiently large' is small in practice (≈ 1 at these sizes)."
+    );
+    Some(recorder)
+}
+
+// ---------------------------------------------------------------------------
+// E18 — phase-design ablation
+// ---------------------------------------------------------------------------
+
+fn e18_params(quick: bool) -> (usize, usize) {
+    (if quick { 1 << 11 } else { 1 << 13 }, 8)
+}
+
+fn e18_variants(n: usize, d: usize) -> Vec<(&'static str, u64, ProtocolSpec)> {
+    let ablated = |phase1_always_push, no_pull| ProtocolSpec::Ablated {
+        n_estimate: n,
+        degree: d,
+        alpha: 1.5,
+        phase1_always_push,
+        no_pull,
+    };
+    vec![
+        (
+            "paper (push-once + pull)",
+            0,
+            ProtocolSpec::FourChoice {
+                n_estimate: n,
+                degree: d,
+                alpha: 1.5,
+                choices: 4,
+                regime: RegimeSpec::Small,
+            },
+        ),
+        ("ablate 1: phase-1 pushes every round", 1, ablated(true, false)),
+        ("ablate 2: no pull phase (push to end)", 2, ablated(false, true)),
+        ("ablate both (≈ classic 4-choice push)", 3, ablated(true, true)),
+    ]
+}
+
+fn e18_scenarios(quick: bool) -> Vec<LadderEntry> {
+    let (n, d) = e18_params(quick);
+    e18_variants(n, d)
+        .into_iter()
+        .map(|(name, ix, proto)| {
+            LadderEntry::new(
+                ix,
+                ScenarioSpec::new(name.to_string(), GraphSpec::RandomRegular { n, d }, proto),
+            )
+        })
+        .collect()
+}
+
+fn e18_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
+    let (n, d) = e18_params(cfg.quick);
+    let mut recorder = BenchRecorder::new("e18_phase_ablation", cfg.quick);
+    println!("E18: phase-design ablation at n = {n}, d = {d} ({} seeds)\n", cfg.seeds);
+    let mut table = Table::new(vec!["variant", "success", "rounds", "tx/node"]);
+    for entry in e18_scenarios(cfg.quick) {
+        let (reports, wall_ms) = run_entry(18, &entry, cfg);
+        recorder.record(entry.spec.label.clone(), n, cfg.seeds, wall_ms, &reports);
+        table.row(vec![
+            entry.spec.label.clone(),
+            format!("{:.2}", success_rate(&reports)),
+            format!("{:.1}", mean_rounds_to_coverage(&reports)),
+            format!("{:.1}", mean_of(&reports, |r| r.tx_per_node())),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expected: always-push in phase 1 multiplies tx/node by ≈ log n/log log n;\n\
+         dropping the pull phase costs extra pushes for the straggler tail; the\n\
+         paper's combination is the cheapest full-coverage configuration."
+    );
+    Some(recorder)
+}
+
+// ---------------------------------------------------------------------------
+// The registry table
+// ---------------------------------------------------------------------------
+
+pub(crate) static REGISTRY: &[Experiment] = &[
+    Experiment {
+        name: "e1",
+        id: 1,
+        title: "four-choice runtime vs n (Thms 2-3: O(log n) rounds)",
+        description: "Sweeps n = 2^10..2^15, d in {8,16,32}; fits rounds = a*log2(n)+b and \
+                      records the engine perf trajectory (BENCH_engine.json).",
+        scenarios: e1_scenarios,
+        run: e1_run,
+    },
+    Experiment {
+        name: "e2",
+        id: 2,
+        title: "transmissions per node vs n (O(n log log n) vs Theta(n log n))",
+        description: "Four-choice vs budgeted push / push&pull / median-counter on random \
+                      8-regular graphs; log2 and loglog2 fits identify each growth law.",
+        scenarios: e2_scenarios,
+        run: e2_run,
+    },
+    Experiment {
+        name: "e3",
+        id: 3,
+        title: "Theorem 1 lower-bound audit (tx normalised by n*log n/log d)",
+        description: "Strictly oblivious one-choice protocols stay bounded away from 0 in \
+                      tx/N; the four-choice algorithm (different model) sinks below.",
+        scenarios: e3_scenarios,
+        run: e3_run,
+    },
+    Experiment {
+        name: "e4",
+        id: 4,
+        title: "phase anatomy (Cor. 1, Lemmas 1-3 milestones at finite n)",
+        description: "Per-round history traces measure phase-1 growth, phase-2 contraction \
+                      and the coverage round against the schedule's milestones.",
+        scenarios: e4_scenarios,
+        run: e4_run,
+    },
+    Experiment {
+        name: "e5",
+        id: 5,
+        title: "push/pull crossover on complete graphs (Karp et al., SS1)",
+        description: "Traces informed counts for pure push and pure pull; push wins the \
+                      0 -> n/2 head, pull collapses the n/2 -> n tail in O(log log n).",
+        scenarios: e5_scenarios,
+        run: e5_run,
+    },
+    Experiment {
+        name: "e6",
+        id: 6,
+        title: "are four choices necessary? (SS5: k in {1,2,3,4} ablation)",
+        description: "Runs the paper's schedule with k distinct choices per round; k=4 is \
+                      proven, k=3 conjectured, k=2 open, k=1 is the standard model.",
+        scenarios: e6_scenarios,
+        run: e6_run,
+    },
+    Experiment {
+        name: "e7",
+        id: 7,
+        title: "sequentialised model emulates four-choice (footnote 2)",
+        description: "Memory-3 single-choice steps vs parallel four-choice: expect a 4x \
+                      round stretch at transmission parity.",
+        scenarios: e7_scenarios,
+        run: e7_run,
+    },
+    Experiment {
+        name: "e8",
+        id: 8,
+        title: "robustness to communication failures (abstract / SS1)",
+        description: "Channel and transmission failure sweeps at alpha = 1.5 and 2.5; \
+                      limited failure rates degrade cost gracefully, larger alpha restores \
+                      coverage.",
+        scenarios: e8_scenarios,
+        run: e8_run,
+    },
+    Experiment {
+        name: "e9",
+        id: 9,
+        title: "rough size estimates suffice (SS1.2)",
+        description: "Schedules computed from n-hat = factor*n for factor in [1/4, 4] keep \
+                      full coverage across the whole band.",
+        scenarios: e9_scenarios,
+        run: e9_run,
+    },
+    Experiment {
+        name: "e10",
+        id: 10,
+        title: "robustness to membership churn (abstract)",
+        description: "Peers join/leave during the broadcast on a near-regular overlay with \
+                      flip rewiring; survivor coverage decays gracefully with churn rate.",
+        scenarios: e10_scenarios,
+        run: e10_run,
+    },
+    Experiment {
+        name: "e11",
+        id: 11,
+        title: "the G x K5 counterexample (SS5)",
+        description: "At threshold alpha the genuine random regular graph completes while \
+                      the K5 product's clique layers destroy choice diversity.",
+        scenarios: e11_scenarios,
+        run: e11_run,
+    },
+    Experiment {
+        name: "e12",
+        id: 12,
+        title: "four-choice on G(n,p) (SS1.1, Elsaesser-Sauerwald [13])",
+        description: "Erdos-Renyi graphs with expected degree 2*log2 n: the O(n log log n) \
+                      transmission bound carries over.",
+        scenarios: e12_scenarios,
+        run: e12_run,
+    },
+    Experiment {
+        name: "e13",
+        id: 13,
+        title: "degree-regime split: Algorithm 1 vs Algorithm 2 (SS4.3)",
+        description: "Both variants across a degree ladder spanning the delta*loglog n \
+                      boundary, plus what the auto-selector picks.",
+        scenarios: e13_scenarios,
+        run: e13_run,
+    },
+    Experiment {
+        name: "e14",
+        id: 14,
+        title: "replicated-database maintenance (SS1, after Demers et al.)",
+        description: "Concurrent update streams propagate by gossip; rumours combine on \
+                      shared channels, amortising connection cost.",
+        scenarios: e14_scenarios,
+        run: e14_run,
+    },
+    Experiment {
+        name: "e15",
+        id: 15,
+        title: "spectral premises of the lower bound (SS2: Friedman, mixing lemma)",
+        description: "Measures the second eigenvalue of sampled graphs and audits the \
+                      expander mixing lemma on random cuts.",
+        scenarios: e15_scenarios,
+        run: e15_run,
+    },
+    Experiment {
+        name: "e16",
+        id: 16,
+        title: "push with choice memory on PA graphs (SS1.1 [8])",
+        description: "Plain vs memory-1 vs memory-3 push on preferential-attachment \
+                      graphs; avoidance memory beats memoryless push.",
+        scenarios: e16_scenarios,
+        run: e16_run,
+    },
+    Experiment {
+        name: "e17",
+        id: 17,
+        title: "alpha ablation: the schedule constant's practical threshold",
+        description: "Sweeps alpha in [0.25, 3]; locates the success threshold and the \
+                      linear cost ramp above it.",
+        scenarios: e17_scenarios,
+        run: e17_run,
+    },
+    Experiment {
+        name: "e18",
+        id: 18,
+        title: "phase-design ablation: why push-once + pull wins",
+        description: "Always-push phase 1 and no-pull variants against the paper's \
+                      Algorithm 1; the combination is the cheapest full-coverage design.",
+        scenarios: e18_scenarios,
+        run: e18_run,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_replicated;
+    use rrb_engine::protocols::FloodPush;
+
+    /// Satellite cross-check: the scenario-driven E5 path reproduces the
+    /// legacy binary's hand-wired plumbing seed for seed.
+    #[test]
+    fn e5_quick_matches_legacy_hand_wired_numbers() {
+        let n = 1 << 10; // the --quick ladder size
+        let seeds = 3; // the --quick seed count
+        let entry = e5_entry(0, n, false);
+        let (half, tail) = e5_trace(&entry, seeds);
+
+        // The legacy exp_e5_crossover plumbing, hand-wired exactly as the
+        // pre-registry binary did it (concrete FloodPush, gen::complete,
+        // origin 0, SimConfig::default().with_history()).
+        let per_seed = replicate(5, 0, seeds, |_, rng| {
+            let g = gen::complete(n);
+            let report =
+                Simulation::new(&g, FloodPush::new(), SimConfig::default().with_history())
+                    .run(NodeId::new(0), rng);
+            let half_round = report
+                .history
+                .iter()
+                .find(|r| r.informed >= n / 2)
+                .map(|r| r.round)
+                .unwrap_or(report.rounds);
+            let full_round = report.full_coverage_at.unwrap_or(report.rounds);
+            (half_round as f64, (full_round - half_round) as f64)
+        });
+        let (legacy_half, legacy_tail): (Vec<f64>, Vec<f64>) = per_seed.into_iter().unzip();
+        assert_eq!(half, legacy_half);
+        assert_eq!(tail, legacy_tail);
+    }
+
+    /// Satellite cross-check with a failure model: the E8 registry entry
+    /// compiles to exactly the legacy protocol + failure configuration.
+    #[test]
+    fn e8_quick_matches_legacy_hand_wired_numbers() {
+        let (n, d) = e8_params(true);
+        let seeds = 2;
+        let cfg = ExpConfig { quick: true, seeds, threads: None };
+        // Block 0 (channel failures, alpha = 1.5), rate index 2 (p = 0.1).
+        let entry = e8_entry(n, d, 0, 2);
+        let (via_spec, _) = run_entry(8, &entry, &cfg);
+
+        let alg = rrb_core::FourChoice::builder(n, d).alpha(1.5).build();
+        let via_hand = run_replicated(
+            |rng| gen::random_regular(n, d, rng).expect("generation"),
+            &alg,
+            SimConfig::until_quiescent()
+                .with_failures(rrb_engine::FailureModel::channels(0.1)),
+            8,
+            entry.config_ix,
+            seeds,
+        );
+        assert_eq!(via_spec, via_hand);
+    }
+
+    /// Satellite cross-check: an E1 ladder rung (push&pull protocol — the
+    /// four-choice algorithm pulls in phase 3) is unchanged by both the
+    /// registry layer and the capability-gated sampling skip.
+    #[test]
+    fn e1_quick_rung_matches_legacy_hand_wired_numbers() {
+        let seeds = 2;
+        let cfg = ExpConfig { quick: true, seeds, threads: None };
+        let entry = e1_entry(0, 8, 10); // d = 8, n = 2^10
+        let (via_spec, _) = run_entry(1, &entry, &cfg);
+        let n = 1 << 10;
+        let via_hand = run_replicated(
+            |rng| gen::random_regular(n, 8, rng).expect("generation"),
+            &rrb_core::FourChoice::for_graph(n, 8),
+            SimConfig::until_quiescent(),
+            1,
+            2, // di * 100 + e = 0 * 100 + 10 ... see e1_entry
+            seeds,
+        );
+        // e1_entry(0, 8, 10) has config_ix 10.
+        assert_eq!(entry.config_ix, 10);
+        let via_hand_correct = run_replicated(
+            |rng| gen::random_regular(n, 8, rng).expect("generation"),
+            &rrb_core::FourChoice::for_graph(n, 8),
+            SimConfig::until_quiescent(),
+            1,
+            10,
+            seeds,
+        );
+        assert_ne!(via_spec, via_hand, "different config_ix must give different streams");
+        assert_eq!(via_spec, via_hand_correct);
+    }
+}

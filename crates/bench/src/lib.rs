@@ -15,7 +15,10 @@
 //! its RNG from the deterministic [`rng_for`] stream keyed by
 //! `(experiment, configuration, seed)`, so results are **identical for
 //! every thread count** — parallelism changes only wall-clock, never
-//! numbers. Reports come back in seed order.
+//! numbers. Reports come back in seed order. [`run_replicated`] generates
+//! the topology **once per configuration** (on the reserved
+//! [`TOPOLOGY_STREAM`] stream) and shares it across the seed replications,
+//! since graph generation dominates wall-clock on large-n ladders.
 //!
 //! # Perf trajectory
 //!
@@ -25,6 +28,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod registry;
+pub mod scenario;
+
+mod experiments;
 
 use std::time::Instant;
 
@@ -59,8 +67,17 @@ impl ExpConfig {
                 .and_then(|s| s.parse().ok())
         }
         let quick = args.iter().any(|a| a == "--quick");
-        let seeds = flag_value(&args, "--seeds").unwrap_or(if quick { 3 } else { 10 });
-        let threads = flag_value::<usize>(&args, "--threads").map(|t| t.max(1));
+        Self::with_flags(quick, flag_value(&args, "--seeds"), flag_value(&args, "--threads"))
+    }
+
+    /// Builds a config from explicit flag values, applying the shared seed
+    /// default (3 quick / 10 full) and installing the requested global
+    /// thread pool — the single code path behind both [`Self::from_args`]
+    /// (the `exp_*` wrappers) and `rrb run`, so the two stay seed-for-seed
+    /// identical by construction.
+    pub fn with_flags(quick: bool, seeds: Option<u64>, threads: Option<usize>) -> Self {
+        let seeds = seeds.unwrap_or(if quick { 3 } else { 10 });
+        let threads = threads.map(|t| t.max(1));
         if let Some(t) = threads {
             let _ = rayon::ThreadPoolBuilder::new().num_threads(t).build_global();
         }
@@ -109,13 +126,26 @@ where
         .collect()
 }
 
+/// Reserved seed coordinate of the per-configuration *topology stream*:
+/// [`run_replicated`] draws the shared topology from
+/// `rng_for(experiment, config_ix, TOPOLOGY_STREAM)`, disjoint from every
+/// per-seed stream (seeds are small integers).
+pub const TOPOLOGY_STREAM: u64 = 0x7070_1070;
+
 /// Runs `protocol` once per seed from a random origin, replications fanned
 /// out over the rayon pool, and returns the reports in seed order.
 ///
+/// The topology is generated **once per configuration** (graph generation
+/// dominates wall-clock for large-n ladders) from the dedicated
+/// [`TOPOLOGY_STREAM`] RNG stream and shared by reference across the seed
+/// replications; origin selection and the run itself stay on the per-seed
+/// [`rng_for`] stream.
+///
 /// Determinism contract: report `i` depends only on
+/// `(experiment, config_ix)` (via the shared topology) and
 /// `(experiment, config_ix, seed i)` — never on the thread schedule.
 pub fn run_replicated<T, P, F>(
-    topo_for_seed: F,
+    topo_builder: F,
     protocol: &P,
     config: SimConfig,
     experiment: u64,
@@ -123,12 +153,13 @@ pub fn run_replicated<T, P, F>(
     seeds: u64,
 ) -> Vec<RunReport>
 where
-    T: Topology,
+    T: Topology + Sync,
     P: Protocol + Clone + Sync,
-    F: Fn(&mut SmallRng) -> T + Sync,
+    F: FnOnce(&mut SmallRng) -> T,
 {
+    let mut topo_rng = rng_for(experiment, config_ix, TOPOLOGY_STREAM);
+    let topo = topo_builder(&mut topo_rng);
     replicate(experiment, config_ix, seeds, |_, rng| {
-        let topo = topo_for_seed(rng);
         let origin = loop {
             let i = rng.gen_range(0..topo.node_count());
             if topo.is_alive(NodeId::new(i)) {
@@ -142,7 +173,7 @@ where
 /// Like [`run_replicated`], additionally timing the configuration's total
 /// wall-clock (milliseconds).
 pub fn run_replicated_timed<T, P, F>(
-    topo_for_seed: F,
+    topo_builder: F,
     protocol: &P,
     config: SimConfig,
     experiment: u64,
@@ -150,12 +181,12 @@ pub fn run_replicated_timed<T, P, F>(
     seeds: u64,
 ) -> (Vec<RunReport>, f64)
 where
-    T: Topology,
+    T: Topology + Sync,
     P: Protocol + Clone + Sync,
-    F: Fn(&mut SmallRng) -> T + Sync,
+    F: FnOnce(&mut SmallRng) -> T,
 {
     let start = Instant::now();
-    let reports = run_replicated(topo_for_seed, protocol, config, experiment, config_ix, seeds);
+    let reports = run_replicated(topo_builder, protocol, config, experiment, config_ix, seeds);
     (reports, start.elapsed().as_secs_f64() * 1e3)
 }
 
@@ -279,7 +310,7 @@ impl BenchRecorder {
     }
 }
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -347,6 +378,26 @@ mod tests {
         let sequential = run_with(1);
         let parallel = run_with(8);
         assert_eq!(sequential, parallel, "reports depend on the thread schedule");
+    }
+
+    #[test]
+    fn run_replicated_generates_topology_once_per_configuration() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let reports = run_replicated(
+            |rng| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                gen::random_regular(64, 4, rng).unwrap()
+            },
+            &FloodPushPull::new(),
+            SimConfig::default(),
+            2,
+            0,
+            6,
+        );
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "topology must be shared across seeds");
+        assert_eq!(reports.len(), 6);
+        assert!((success_rate(&reports) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! The experiment registry: every E1–E18 measurement of the paper as a
+//! named entry whose configuration ladder is [`ScenarioSpec`] **data**.
+//!
+//! One binary (`rrb`) drives the whole fleet:
+//!
+//! ```text
+//! rrb list                 # what's registered
+//! rrb describe e5          # a ladder's specs as JSON
+//! rrb run e5 --quick       # run an experiment (same flags as the old binaries)
+//! rrb run --spec file.json # run a single hand-written scenario
+//! ```
+//!
+//! The legacy `exp_*` binaries still exist as thin wrappers over their
+//! registry entries, so `cargo run --bin exp_e5_crossover` and
+//! `rrb run e5` are the same code path — seed for seed.
+
+use crate::scenario::ScenarioSpec;
+use crate::{run_replicated_timed, BenchRecorder, ExpConfig};
+use rrb_engine::{Protocol, Round, RunReport};
+
+/// One rung of an experiment's configuration ladder: a scenario plus the
+/// `config_ix` RNG coordinate it runs under (kept identical to the indices
+/// the pre-registry binaries used, so results stay comparable).
+#[derive(Debug, Clone)]
+pub struct LadderEntry {
+    /// Second coordinate of the [`crate::rng_for`] stream.
+    pub config_ix: u64,
+    /// The scenario to run.
+    pub spec: ScenarioSpec,
+}
+
+impl LadderEntry {
+    /// Convenience constructor.
+    pub fn new(config_ix: u64, spec: ScenarioSpec) -> Self {
+        LadderEntry { config_ix, spec }
+    }
+}
+
+/// Signature of an experiment driver: runs the ladder, prints the analysis
+/// and returns the per-configuration timings when the experiment produces
+/// them (sweep-style experiments do; bespoke measurements return `None`).
+pub type RunFn = fn(&ExpConfig) -> Option<BenchRecorder>;
+
+/// Signature of a ladder builder (`quick` shrinks it like `--quick`).
+pub type ScenariosFn = fn(bool) -> Vec<LadderEntry>;
+
+/// A registered experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// Registry name (`"e1"` … `"e18"`).
+    pub name: &'static str,
+    /// First coordinate of the [`crate::rng_for`] stream.
+    pub id: u64,
+    /// One-line title shown by `rrb list`.
+    pub title: &'static str,
+    /// What the experiment demonstrates (paper reference included).
+    pub description: &'static str,
+    /// The configuration ladder as scenario data.
+    pub scenarios: ScenariosFn,
+    /// The driver.
+    pub run: RunFn,
+}
+
+/// All registered experiments, in E-number order.
+pub fn all() -> &'static [Experiment] {
+    crate::experiments::REGISTRY
+}
+
+/// Looks an experiment up by name (`"e5"`), case-insensitive.
+pub fn find(name: &str) -> Option<&'static Experiment> {
+    let needle = name.to_ascii_lowercase();
+    all().iter().find(|e| e.name == needle)
+}
+
+/// Entry point for the thin `exp_*` wrapper binaries: parse the shared
+/// CLI flags and run the named experiment.
+pub fn cli_main(name: &str) {
+    let cfg = ExpConfig::from_args();
+    let exp = find(name).unwrap_or_else(|| panic!("experiment {name:?} not registered"));
+    (exp.run)(&cfg);
+}
+
+/// Runs one ladder entry through the shared replication harness:
+/// spec → protocol/graph/config, fanned out over the rayon pool under
+/// `(experiment_id, entry.config_ix, seed)` RNG streams.
+pub fn run_entry(
+    experiment_id: u64,
+    entry: &LadderEntry,
+    cfg: &ExpConfig,
+) -> (Vec<RunReport>, f64) {
+    let proto = entry.spec.protocol.build();
+    let config = entry.spec.sim_config();
+    let graph = entry.spec.graph.clone();
+    run_replicated_timed(
+        move |rng| {
+            graph
+                .build(rng)
+                .unwrap_or_else(|e| panic!("graph generation for {}: {e}", graph.label()))
+        },
+        &proto,
+        config,
+        experiment_id,
+        entry.config_ix,
+        cfg.seeds,
+    )
+}
+
+/// The protocol's designed round budget (schedule end), if it has one —
+/// the "schedule end" column of several tables.
+pub fn deadline_of(spec: &ScenarioSpec) -> Option<Round> {
+    spec.protocol.build().deadline()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{GraphSpec, MeasureSpec, ProtocolSpec, RegimeSpec};
+
+    #[test]
+    fn registry_is_complete_and_names_unique() {
+        let exps = all();
+        assert_eq!(exps.len(), 18, "all 18 experiments must be registered");
+        for (i, e) in exps.iter().enumerate() {
+            assert_eq!(e.name, format!("e{}", i + 1), "registry out of order");
+            assert_eq!(e.id, (i + 1) as u64, "experiment id must match its E number");
+            assert!(!e.title.is_empty() && !e.description.is_empty());
+        }
+        let mut names: Vec<&str> = exps.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 18, "duplicate experiment names");
+    }
+
+    #[test]
+    fn every_ladder_is_nonempty_and_serialisable() {
+        for exp in all() {
+            for quick in [true, false] {
+                let ladder = (exp.scenarios)(quick);
+                assert!(!ladder.is_empty(), "{} has an empty ladder", exp.name);
+                for entry in &ladder {
+                    let json = entry.spec.to_json();
+                    let back = ScenarioSpec::from_json(&json).unwrap_or_else(|e| {
+                        panic!("{}/{}: {e}", exp.name, entry.spec.label)
+                    });
+                    assert_eq!(entry.spec, back, "{} spec not round-trippable", exp.name);
+                }
+                // config_ix values must be distinct within a ladder: they
+                // are RNG stream coordinates.
+                let mut ixs: Vec<u64> = ladder.iter().map(|l| l.config_ix).collect();
+                ixs.sort_unstable();
+                let len = ixs.len();
+                ixs.dedup();
+                assert_eq!(ixs.len(), len, "{} reuses config_ix values", exp.name);
+            }
+        }
+    }
+
+    #[test]
+    fn quick_ladders_are_no_larger_than_full() {
+        for exp in all() {
+            let quick = (exp.scenarios)(true).len();
+            let full = (exp.scenarios)(false).len();
+            assert!(quick <= full, "{}: quick ladder larger than full", exp.name);
+        }
+    }
+
+    #[test]
+    fn find_is_case_insensitive_and_total() {
+        assert!(find("e1").is_some());
+        assert!(find("E18").is_some());
+        assert!(find("e19").is_none());
+        assert!(find("bogus").is_none());
+    }
+
+    #[test]
+    fn run_entry_matches_hand_wired_plumbing() {
+        // The declarative path (spec → run_entry) must reproduce the
+        // hand-wired legacy plumbing seed for seed: same protocol, same
+        // graph stream, same per-seed streams.
+        use rrb_core::FourChoice;
+        use rrb_engine::SimConfig;
+        use rrb_graph::gen;
+
+        let cfg = ExpConfig { quick: true, seeds: 4, threads: None };
+        let entry = LadderEntry::new(
+            302,
+            ScenarioSpec::new(
+                "cross-check",
+                GraphSpec::RandomRegular { n: 256, d: 8 },
+                ProtocolSpec::FourChoice {
+                    n_estimate: 256,
+                    degree: 8,
+                    alpha: 1.5,
+                    choices: 4,
+                    regime: RegimeSpec::Auto,
+                },
+            ),
+        );
+        let (via_spec, _) = run_entry(77, &entry, &cfg);
+        let via_hand = crate::run_replicated(
+            |rng| gen::random_regular(256, 8, rng).expect("generation"),
+            &FourChoice::for_graph(256, 8),
+            SimConfig::until_quiescent(),
+            77,
+            302,
+            4,
+        );
+        assert_eq!(via_spec, via_hand);
+    }
+
+    #[test]
+    fn deadline_reporting() {
+        let spec = ScenarioSpec::new(
+            "d",
+            GraphSpec::RandomRegular { n: 1024, d: 8 },
+            ProtocolSpec::FourChoice {
+                n_estimate: 1024,
+                degree: 8,
+                alpha: 1.5,
+                choices: 4,
+                regime: RegimeSpec::Auto,
+            },
+        );
+        assert!(deadline_of(&spec).unwrap() > 0);
+        let flood = ScenarioSpec::new(
+            "f",
+            GraphSpec::Complete { n: 8 },
+            ProtocolSpec::FloodPush { policy: crate::scenario::PolicySpec::STANDARD },
+        )
+        .with_measure(MeasureSpec::Standard);
+        assert!(deadline_of(&flood).is_none());
+    }
+}

@@ -1,0 +1,1715 @@
+//! Declarative scenario layer: the paper's whole experiment space — graph
+//! family × protocol × failure model × stop rule × measurement — as plain
+//! **data**.
+//!
+//! A [`ScenarioSpec`] is one point of that space. It compiles to concrete
+//! machinery on demand ([`GraphSpec::build`] → a `rrb_graph::Graph`,
+//! [`ProtocolSpec::build`] → an [`AnyProtocol`] implementing
+//! `rrb_engine::Protocol`, [`ScenarioSpec::sim_config`] → a `SimConfig`)
+//! and (de)serialises to the same hand-rolled JSON dialect the
+//! [`BenchRecorder`](crate::BenchRecorder) uses, so a scenario can live in
+//! a file and run via `rrb run --spec file.json` — no new binary required.
+//!
+//! The experiment registry ([`crate::registry`]) expresses the E1–E18
+//! config ladders as `ScenarioSpec` values.
+
+use rand::Rng;
+
+use rrb_baselines::{Budgeted, GossipMode, MedianCounter, PushThenPull, QuasirandomPush};
+use rrb_core::{FourChoice, Phase, PhaseSchedule, SequentialFourChoice};
+use rrb_engine::protocols::{FloodPull, FloodPush, FloodPushPull, SilentProtocol};
+use rrb_engine::{
+    Capabilities, ChoicePolicy, FailureModel, NodeView, Observation, Plan, Protocol, Round,
+    RumorMeta, SimConfig,
+};
+use rrb_graph::{gen, Graph};
+
+// ---------------------------------------------------------------------------
+// Spec types
+// ---------------------------------------------------------------------------
+
+/// Channel-opening policy as data (compiles to [`ChoicePolicy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicySpec {
+    /// `k` distinct stubs per round (`Distinct(k)`); the paper uses 4.
+    Distinct(usize),
+    /// One stub per round avoiding the last `window` choices (footnote 2).
+    Memory(usize),
+    /// Quasirandom cyclic neighbour lists \[9\].
+    Cyclic,
+}
+
+impl PolicySpec {
+    /// The standard single-choice phone call model.
+    pub const STANDARD: PolicySpec = PolicySpec::Distinct(1);
+
+    /// Compiles to the engine's [`ChoicePolicy`].
+    pub fn to_policy(self) -> ChoicePolicy {
+        match self {
+            PolicySpec::Distinct(k) => ChoicePolicy::Distinct(k),
+            PolicySpec::Memory(window) => ChoicePolicy::SequentialMemory { window },
+            PolicySpec::Cyclic => ChoicePolicy::Cyclic,
+        }
+    }
+}
+
+/// Degree-regime selection for the four-choice schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegimeSpec {
+    /// Pick Algorithm 1 or 2 from `(n̂, d)` (the paper's threshold).
+    Auto,
+    /// Force Algorithm 1 (four phases, small-degree analysis).
+    Small,
+    /// Force Algorithm 2 (long pull phase, large-degree analysis).
+    Large,
+}
+
+impl RegimeSpec {
+    fn to_regime(self) -> rrb_core::DegreeRegime {
+        match self {
+            RegimeSpec::Auto => rrb_core::DegreeRegime::default(),
+            RegimeSpec::Small => rrb_core::DegreeRegime::ForceSmall,
+            RegimeSpec::Large => rrb_core::DegreeRegime::ForceLarge,
+        }
+    }
+}
+
+/// Transmission direction(s) of a budgeted flood, as data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GossipModeSpec {
+    /// Callers send to callees.
+    Push,
+    /// Callees answer callers.
+    Pull,
+    /// Both directions (Karp et al.).
+    PushPull,
+}
+
+impl GossipModeSpec {
+    fn to_mode(self) -> GossipMode {
+        match self {
+            GossipModeSpec::Push => GossipMode::Push,
+            GossipModeSpec::Pull => GossipMode::Pull,
+            GossipModeSpec::PushPull => GossipMode::PushPull,
+        }
+    }
+}
+
+/// Topology family and parameters; compiles to a graph via
+/// `rrb_graph::gen`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphSpec {
+    /// Simple random `d`-regular graph (configuration model + repair).
+    RandomRegular {
+        /// Node count.
+        n: usize,
+        /// Degree.
+        d: usize,
+    },
+    /// Raw configuration-model multigraph (self-loops/parallel edges kept).
+    ConfigurationModel {
+        /// Node count.
+        n: usize,
+        /// Degree.
+        d: usize,
+    },
+    /// Erdős–Rényi `G(n,p)` with `p = expected_degree / (n-1)`.
+    Gnp {
+        /// Node count.
+        n: usize,
+        /// Expected degree `p·(n-1)`.
+        expected_degree: f64,
+    },
+    /// Complete graph `K_n`.
+    Complete {
+        /// Node count.
+        n: usize,
+    },
+    /// Hypercube of the given dimension (`n = 2^dim`).
+    Hypercube {
+        /// Dimension.
+        dim: u32,
+    },
+    /// 2-D torus grid.
+    Torus {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// Cycle `C_n`.
+    Cycle {
+        /// Node count.
+        n: usize,
+    },
+    /// Cartesian product of a random `base_d`-regular graph with a clique
+    /// `K_clique` — the §5 counterexample (`G □ K5`).
+    ProductK {
+        /// Nodes of the random regular base graph.
+        base_n: usize,
+        /// Degree of the base graph.
+        base_d: usize,
+        /// Clique size (5 in the paper's example).
+        clique: usize,
+    },
+    /// Preferential-attachment graph with `m` edges per arriving node.
+    PreferentialAttachment {
+        /// Node count.
+        n: usize,
+        /// Attachment parameter.
+        m: usize,
+    },
+}
+
+impl GraphSpec {
+    /// Number of node slots the topology will have.
+    pub fn node_count(&self) -> usize {
+        match *self {
+            GraphSpec::RandomRegular { n, .. }
+            | GraphSpec::ConfigurationModel { n, .. }
+            | GraphSpec::Gnp { n, .. }
+            | GraphSpec::Complete { n }
+            | GraphSpec::Cycle { n }
+            | GraphSpec::PreferentialAttachment { n, .. } => n,
+            GraphSpec::Hypercube { dim } => 1usize << dim,
+            GraphSpec::Torus { rows, cols } => rows * cols,
+            GraphSpec::ProductK { base_n, clique, .. } => base_n * clique,
+        }
+    }
+
+    /// Builds the topology (random families consume `rng`).
+    pub fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Graph, String> {
+        match *self {
+            GraphSpec::RandomRegular { n, d } => {
+                gen::random_regular(n, d, rng).map_err(|e| e.to_string())
+            }
+            GraphSpec::ConfigurationModel { n, d } => {
+                gen::configuration_model(n, d, rng).map_err(|e| e.to_string())
+            }
+            GraphSpec::Gnp { n, expected_degree } => {
+                let p = expected_degree / (n.max(2) as f64 - 1.0);
+                gen::gnp(n, p, rng).map_err(|e| e.to_string())
+            }
+            GraphSpec::Complete { n } => Ok(gen::complete(n)),
+            GraphSpec::Hypercube { dim } => Ok(gen::hypercube(dim)),
+            GraphSpec::Torus { rows, cols } => Ok(gen::torus(rows, cols)),
+            GraphSpec::Cycle { n } => Ok(gen::cycle(n)),
+            GraphSpec::ProductK { base_n, base_d, clique } => {
+                let base = gen::random_regular(base_n, base_d, rng).map_err(|e| e.to_string())?;
+                Ok(gen::cartesian_product(&base, &gen::complete(clique)))
+            }
+            GraphSpec::PreferentialAttachment { n, m } => {
+                gen::preferential_attachment(n, m, rng).map_err(|e| e.to_string())
+            }
+        }
+    }
+
+    /// Short human-readable description (table rows, listings).
+    pub fn label(&self) -> String {
+        match *self {
+            GraphSpec::RandomRegular { n, d } => format!("G(n={n}, d={d})"),
+            GraphSpec::ConfigurationModel { n, d } => format!("CM(n={n}, d={d})"),
+            GraphSpec::Gnp { n, expected_degree } => {
+                format!("Gnp(n={n}, E[deg]={expected_degree:.1})")
+            }
+            GraphSpec::Complete { n } => format!("K{n}"),
+            GraphSpec::Hypercube { dim } => format!("Q{dim}"),
+            GraphSpec::Torus { rows, cols } => format!("torus({rows}x{cols})"),
+            GraphSpec::Cycle { n } => format!("C{n}"),
+            GraphSpec::ProductK { base_n, base_d, clique } => {
+                format!("G({base_n},{base_d}) x K{clique}")
+            }
+            GraphSpec::PreferentialAttachment { n, m } => format!("PA(n={n}, m={m})"),
+        }
+    }
+}
+
+/// Protocol family and parameters; compiles to an [`AnyProtocol`] via
+/// [`ProtocolSpec::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolSpec {
+    /// The paper's four-choice algorithm (Algorithms 1/2).
+    FourChoice {
+        /// Size estimate n̂ the schedule is computed from.
+        n_estimate: usize,
+        /// Degree (drives the regime split).
+        degree: usize,
+        /// Schedule constant α.
+        alpha: f64,
+        /// Distinct choices per round (4 in the paper; E6 ablates).
+        choices: usize,
+        /// Degree-regime selection.
+        regime: RegimeSpec,
+    },
+    /// Sequentialised four-choice (footnote 2; 4 steps ≙ 1 parallel step).
+    SequentialFourChoice {
+        /// Size estimate.
+        n_estimate: usize,
+        /// Degree.
+        degree: usize,
+    },
+    /// Age-budgeted flood in the standard model (`max_age = ⌈c·log2 n⌉`).
+    Budgeted {
+        /// Transmission direction(s).
+        mode: GossipModeSpec,
+        /// Network size the budget is computed from.
+        n: usize,
+        /// Budget multiplier `c`.
+        budget: f64,
+        /// Channel policy (the classics use the standard model).
+        policy: PolicySpec,
+    },
+    /// Push-then-pull baseline with birth-age switching.
+    PushThenPull {
+        /// Network size the schedule is computed from.
+        n: usize,
+    },
+    /// Karp et al.'s median-counter rule \[25\].
+    MedianCounter {
+        /// Network size the default thresholds are computed from.
+        n: usize,
+        /// Override: counter saturation threshold.
+        ctr_max: Option<u32>,
+        /// Override: length of the C tail.
+        c_rounds: Option<u32>,
+        /// Override: deterministic age failsafe.
+        age_cutoff: Option<u32>,
+    },
+    /// Quasirandom push \[9\] (cyclic lists, random offsets).
+    Quasirandom {
+        /// Optional age budget (`None` = unbounded).
+        max_age: Option<u32>,
+    },
+    /// Unbounded push flooding.
+    FloodPush {
+        /// Channel policy.
+        policy: PolicySpec,
+    },
+    /// Unbounded pull flooding.
+    FloodPull {
+        /// Channel policy.
+        policy: PolicySpec,
+    },
+    /// Unbounded push&pull flooding.
+    FloodPushPull {
+        /// Channel policy.
+        policy: PolicySpec,
+    },
+    /// Never transmits (null baseline).
+    Silent,
+    /// E18's phase-design ablation of Algorithm 1.
+    Ablated {
+        /// Size estimate the schedule is computed from.
+        n_estimate: usize,
+        /// Degree.
+        degree: usize,
+        /// Schedule constant α.
+        alpha: f64,
+        /// Phase 1 pushes every round instead of once.
+        phase1_always_push: bool,
+        /// Phases 3–4 replaced by more pushing.
+        no_pull: bool,
+    },
+}
+
+impl ProtocolSpec {
+    /// Compiles the spec into a runnable protocol (the enum-dispatch glue
+    /// the single `rrb` runner is built on).
+    pub fn build(&self) -> AnyProtocol {
+        match *self {
+            ProtocolSpec::FourChoice { n_estimate, degree, alpha, choices, regime } => {
+                AnyProtocol::FourChoice(
+                    FourChoice::builder(n_estimate, degree)
+                        .alpha(alpha)
+                        .choice_policy(ChoicePolicy::Distinct(choices))
+                        .regime(regime.to_regime())
+                        .build(),
+                )
+            }
+            ProtocolSpec::SequentialFourChoice { n_estimate, degree } => {
+                AnyProtocol::SequentialFourChoice(SequentialFourChoice::for_graph(
+                    n_estimate, degree,
+                ))
+            }
+            ProtocolSpec::Budgeted { mode, n, budget, policy } => AnyProtocol::Budgeted(
+                Budgeted::for_size(mode.to_mode(), n, budget).with_policy(policy.to_policy()),
+            ),
+            ProtocolSpec::PushThenPull { n } => {
+                AnyProtocol::PushThenPull(PushThenPull::for_size(n))
+            }
+            ProtocolSpec::MedianCounter { n, ctr_max, c_rounds, age_cutoff } => {
+                let base = MedianCounter::for_size(n);
+                AnyProtocol::MedianCounter(MedianCounter::new(
+                    ctr_max.unwrap_or_else(|| base.ctr_max()),
+                    c_rounds.unwrap_or_else(|| base.c_rounds()),
+                    age_cutoff.unwrap_or_else(|| base.age_cutoff()),
+                ))
+            }
+            ProtocolSpec::Quasirandom { max_age } => AnyProtocol::Quasirandom(match max_age {
+                Some(a) => QuasirandomPush::with_budget(a),
+                None => QuasirandomPush::unbounded(),
+            }),
+            ProtocolSpec::FloodPush { policy } => {
+                AnyProtocol::FloodPush(FloodPush::with_policy(policy.to_policy()))
+            }
+            ProtocolSpec::FloodPull { policy } => {
+                AnyProtocol::FloodPull(FloodPull::with_policy(policy.to_policy()))
+            }
+            ProtocolSpec::FloodPushPull { policy } => {
+                AnyProtocol::FloodPushPull(FloodPushPull::with_policy(policy.to_policy()))
+            }
+            ProtocolSpec::Silent => AnyProtocol::Silent(SilentProtocol),
+            ProtocolSpec::Ablated { n_estimate, degree, alpha, phase1_always_push, no_pull } => {
+                let reference = FourChoice::builder(n_estimate, degree)
+                    .alpha(alpha)
+                    .force_small_degree()
+                    .build();
+                AnyProtocol::Ablated(AblatedFourChoice {
+                    schedule: *reference.schedule(),
+                    phase1_always_push,
+                    no_pull,
+                })
+            }
+        }
+    }
+
+    /// Short human-readable description.
+    pub fn label(&self) -> String {
+        match *self {
+            ProtocolSpec::FourChoice { choices, alpha, .. } => {
+                format!("{choices}-choice(a={alpha})")
+            }
+            ProtocolSpec::SequentialFourChoice { .. } => "sequential-4-choice".into(),
+            ProtocolSpec::Budgeted { mode, budget, .. } => {
+                let m = match mode {
+                    GossipModeSpec::Push => "push",
+                    GossipModeSpec::Pull => "pull",
+                    GossipModeSpec::PushPull => "push-pull",
+                };
+                format!("{m}(c={budget})")
+            }
+            ProtocolSpec::PushThenPull { .. } => "push-then-pull".into(),
+            ProtocolSpec::MedianCounter { .. } => "median-counter".into(),
+            ProtocolSpec::Quasirandom { .. } => "quasirandom".into(),
+            ProtocolSpec::FloodPush { .. } => "flood-push".into(),
+            ProtocolSpec::FloodPull { .. } => "flood-pull".into(),
+            ProtocolSpec::FloodPushPull { .. } => "flood-push-pull".into(),
+            ProtocolSpec::Silent => "silent".into(),
+            ProtocolSpec::Ablated { phase1_always_push, no_pull, .. } => {
+                format!("ablated(p1-always={phase1_always_push}, no-pull={no_pull})")
+            }
+        }
+    }
+}
+
+/// Failure injection rates (compiles to [`FailureModel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FailureSpec {
+    /// Per-channel establishment failure probability.
+    pub channel: f64,
+    /// Per-transmission loss probability (counted but undelivered).
+    pub transmission: f64,
+    /// Per-node-per-round crash-stop probability.
+    pub crash: f64,
+}
+
+impl FailureSpec {
+    /// No failures.
+    pub const NONE: FailureSpec = FailureSpec { channel: 0.0, transmission: 0.0, crash: 0.0 };
+
+    /// Compiles to the engine's [`FailureModel`].
+    pub fn to_model(self) -> FailureModel {
+        let mut m = FailureModel::NONE;
+        if self.channel > 0.0 {
+            m = FailureModel::channels(self.channel);
+        }
+        if self.transmission > 0.0 {
+            m.transmission_failure = self.transmission;
+        }
+        if self.crash > 0.0 {
+            m = m.with_crashes(self.crash);
+        }
+        m
+    }
+
+    /// `true` if all rates are zero.
+    pub fn is_none(&self) -> bool {
+        self.channel == 0.0 && self.transmission == 0.0 && self.crash == 0.0
+    }
+}
+
+/// Stop condition (compiles into [`SimConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopSpec {
+    /// Stop as soon as every alive node is informed (or at the cap).
+    Coverage {
+        /// Hard round cap.
+        max_rounds: u32,
+    },
+    /// Run the protocol to quiescence (full message bill) or the cap.
+    Quiescent {
+        /// Hard round cap.
+        max_rounds: u32,
+    },
+}
+
+impl StopSpec {
+    /// Coverage stop with the engine's default cap.
+    pub const COVERAGE: StopSpec = StopSpec::Coverage { max_rounds: 10_000 };
+    /// Quiescence stop with the engine's default cap.
+    pub const QUIESCENT: StopSpec = StopSpec::Quiescent { max_rounds: 10_000 };
+}
+
+/// What to record for each run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeasureSpec {
+    /// Standard end-of-run metrics (rounds, transmissions, coverage).
+    Standard,
+    /// Standard metrics plus the per-round history trace.
+    Trace,
+    /// Experiment-specific measurement implemented in the registry (named
+    /// for documentation; the generic runner treats it like `Standard`).
+    Custom(String),
+}
+
+/// One fully-specified scenario: everything the runner needs, as data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Configuration label (table rows, recorder entries).
+    pub label: String,
+    /// Topology.
+    pub graph: GraphSpec,
+    /// Protocol.
+    pub protocol: ProtocolSpec,
+    /// Failure injection.
+    pub failures: FailureSpec,
+    /// Stop condition.
+    pub stop: StopSpec,
+    /// Measurement mode.
+    pub measure: MeasureSpec,
+}
+
+impl ScenarioSpec {
+    /// Convenience constructor with no failures, quiescence stop and
+    /// standard measurement — the most common shape in the registry.
+    pub fn new(label: impl Into<String>, graph: GraphSpec, protocol: ProtocolSpec) -> Self {
+        ScenarioSpec {
+            label: label.into(),
+            graph,
+            protocol,
+            failures: FailureSpec::NONE,
+            stop: StopSpec::QUIESCENT,
+            measure: MeasureSpec::Standard,
+        }
+    }
+
+    /// Builder-style: set the failure rates.
+    pub fn with_failures(mut self, failures: FailureSpec) -> Self {
+        self.failures = failures;
+        self
+    }
+
+    /// Builder-style: set the stop condition.
+    pub fn with_stop(mut self, stop: StopSpec) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Builder-style: set the measurement mode.
+    pub fn with_measure(mut self, measure: MeasureSpec) -> Self {
+        self.measure = measure;
+        self
+    }
+
+    /// Compiles stop + failures + measurement into the engine config.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut config = match self.stop {
+            StopSpec::Coverage { max_rounds } => SimConfig::default().with_max_rounds(max_rounds),
+            StopSpec::Quiescent { max_rounds } => {
+                SimConfig::until_quiescent().with_max_rounds(max_rounds)
+            }
+        };
+        config = config.with_failures(self.failures.to_model());
+        if matches!(self.measure, MeasureSpec::Trace) {
+            config = config.with_history();
+        }
+        config
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The unified protocol enum
+// ---------------------------------------------------------------------------
+
+/// E18's ablation of Algorithm 1 against the public engine API: the
+/// paper's schedule with the two load-bearing design choices removable.
+#[derive(Debug, Clone, Copy)]
+pub struct AblatedFourChoice {
+    /// The paper's (Algorithm 1) phase schedule.
+    pub schedule: PhaseSchedule,
+    /// Phase 1: push every round while informed (instead of once).
+    pub phase1_always_push: bool,
+    /// Phases 3–4 replaced by more phase-2-style pushing.
+    pub no_pull: bool,
+}
+
+impl Protocol for AblatedFourChoice {
+    type State = ();
+
+    fn init(&self, _creator: bool) -> Self::State {}
+
+    fn choice_policy(&self) -> ChoicePolicy {
+        ChoicePolicy::FOUR
+    }
+
+    fn plan(&self, view: NodeView<'_, Self::State>, t: Round) -> Plan {
+        let meta = RumorMeta { age: t, counter: 0 };
+        match self.schedule.phase(t) {
+            Phase::One => {
+                if self.phase1_always_push || view.informed_at + 1 == t {
+                    Plan::push_with(meta)
+                } else {
+                    Plan::SILENT
+                }
+            }
+            Phase::Two => Plan::push_with(meta),
+            Phase::Three | Phase::Four if self.no_pull => Plan::push_with(meta),
+            Phase::Three => Plan::pull_with(meta),
+            Phase::Four => {
+                if view.informed_at > self.schedule.phase2_end() {
+                    Plan::push_with(meta)
+                } else {
+                    Plan::SILENT
+                }
+            }
+            Phase::Done => Plan::SILENT,
+        }
+    }
+
+    fn update(&self, _s: &mut Self::State, _ia: Option<Round>, _t: Round, _o: &Observation) {}
+
+    fn is_quiescent(&self, _s: &Self::State, _ia: Round, t: Round) -> bool {
+        self.schedule.is_done(t)
+    }
+
+    fn deadline(&self) -> Option<Round> {
+        Some(self.schedule.end())
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        if self.no_pull {
+            Capabilities::PUSH_ONLY
+        } else {
+            Capabilities::ALL
+        }
+    }
+}
+
+/// Per-node state of an [`AnyProtocol`] (union of the concrete protocols'
+/// state types).
+#[derive(Debug, Clone)]
+pub enum AnyState {
+    /// Stateless protocols.
+    Unit,
+    /// [`MedianCounter`] counter state.
+    Counter(rrb_baselines::CounterState),
+    /// [`PushThenPull`] birth state.
+    Birth(rrb_baselines::BirthState),
+}
+
+/// Unified protocol enum covering every concrete protocol in
+/// `rrb_engine::protocols`, `rrb_baselines` and `rrb_core` (plus the E18
+/// ablation) — the enum-dispatch target of [`ProtocolSpec::build`], which
+/// lets one runner drive any scenario without monomorphising per protocol.
+#[derive(Debug, Clone)]
+pub enum AnyProtocol {
+    /// The paper's four-choice algorithm.
+    FourChoice(FourChoice),
+    /// Sequentialised four-choice.
+    SequentialFourChoice(SequentialFourChoice),
+    /// Age-budgeted flood.
+    Budgeted(Budgeted),
+    /// Push-then-pull baseline.
+    PushThenPull(PushThenPull),
+    /// Median-counter rule.
+    MedianCounter(MedianCounter),
+    /// Quasirandom push.
+    Quasirandom(QuasirandomPush),
+    /// Unbounded push flood.
+    FloodPush(FloodPush),
+    /// Unbounded pull flood.
+    FloodPull(FloodPull),
+    /// Unbounded push&pull flood.
+    FloodPushPull(FloodPushPull),
+    /// Null protocol.
+    Silent(SilentProtocol),
+    /// E18 phase ablation.
+    Ablated(AblatedFourChoice),
+}
+
+/// Maps a `NodeView<AnyState>` onto a unit-state view for the stateless
+/// protocols.
+fn unit_view<'a>(view: &NodeView<'a, AnyState>) -> NodeView<'a, ()> {
+    NodeView { informed_at: view.informed_at, is_creator: view.is_creator, state: &() }
+}
+
+impl Protocol for AnyProtocol {
+    type State = AnyState;
+
+    fn init(&self, creator: bool) -> Self::State {
+        match self {
+            AnyProtocol::MedianCounter(p) => AnyState::Counter(p.init(creator)),
+            AnyProtocol::PushThenPull(p) => AnyState::Birth(p.init(creator)),
+            _ => AnyState::Unit,
+        }
+    }
+
+    fn choice_policy(&self) -> ChoicePolicy {
+        match self {
+            AnyProtocol::FourChoice(p) => p.choice_policy(),
+            AnyProtocol::SequentialFourChoice(p) => p.choice_policy(),
+            AnyProtocol::Budgeted(p) => p.choice_policy(),
+            AnyProtocol::PushThenPull(p) => p.choice_policy(),
+            AnyProtocol::MedianCounter(p) => p.choice_policy(),
+            AnyProtocol::Quasirandom(p) => p.choice_policy(),
+            AnyProtocol::FloodPush(p) => p.choice_policy(),
+            AnyProtocol::FloodPull(p) => p.choice_policy(),
+            AnyProtocol::FloodPushPull(p) => p.choice_policy(),
+            AnyProtocol::Silent(p) => p.choice_policy(),
+            AnyProtocol::Ablated(p) => p.choice_policy(),
+        }
+    }
+
+    fn plan(&self, view: NodeView<'_, Self::State>, t: Round) -> Plan {
+        match (self, view.state) {
+            (AnyProtocol::FourChoice(p), _) => p.plan(unit_view(&view), t),
+            (AnyProtocol::SequentialFourChoice(p), _) => p.plan(unit_view(&view), t),
+            (AnyProtocol::Budgeted(p), _) => p.plan(unit_view(&view), t),
+            (AnyProtocol::PushThenPull(p), AnyState::Birth(s)) => p.plan(
+                NodeView { informed_at: view.informed_at, is_creator: view.is_creator, state: s },
+                t,
+            ),
+            (AnyProtocol::MedianCounter(p), AnyState::Counter(s)) => p.plan(
+                NodeView { informed_at: view.informed_at, is_creator: view.is_creator, state: s },
+                t,
+            ),
+            (AnyProtocol::Quasirandom(p), _) => p.plan(unit_view(&view), t),
+            (AnyProtocol::FloodPush(p), _) => p.plan(unit_view(&view), t),
+            (AnyProtocol::FloodPull(p), _) => p.plan(unit_view(&view), t),
+            (AnyProtocol::FloodPushPull(p), _) => p.plan(unit_view(&view), t),
+            (AnyProtocol::Silent(p), _) => p.plan(unit_view(&view), t),
+            (AnyProtocol::Ablated(p), _) => p.plan(unit_view(&view), t),
+            (p, s) => unreachable!("state {s:?} does not belong to protocol {p:?}"),
+        }
+    }
+
+    fn update(
+        &self,
+        state: &mut Self::State,
+        informed_at: Option<Round>,
+        t: Round,
+        obs: &Observation,
+    ) {
+        match (self, state) {
+            (AnyProtocol::MedianCounter(p), AnyState::Counter(s)) => {
+                p.update(s, informed_at, t, obs)
+            }
+            (AnyProtocol::PushThenPull(p), AnyState::Birth(s)) => p.update(s, informed_at, t, obs),
+            // Every other protocol is stateless; nothing to digest.
+            (_, AnyState::Unit) => {}
+            (p, s) => unreachable!("state {s:?} does not belong to protocol {p:?}"),
+        }
+    }
+
+    fn is_quiescent(&self, state: &Self::State, informed_at: Round, t: Round) -> bool {
+        match (self, state) {
+            (AnyProtocol::FourChoice(p), _) => p.is_quiescent(&(), informed_at, t),
+            (AnyProtocol::SequentialFourChoice(p), _) => p.is_quiescent(&(), informed_at, t),
+            (AnyProtocol::Budgeted(p), _) => p.is_quiescent(&(), informed_at, t),
+            (AnyProtocol::PushThenPull(p), AnyState::Birth(s)) => p.is_quiescent(s, informed_at, t),
+            (AnyProtocol::MedianCounter(p), AnyState::Counter(s)) => {
+                p.is_quiescent(s, informed_at, t)
+            }
+            (AnyProtocol::Quasirandom(p), _) => p.is_quiescent(&(), informed_at, t),
+            (AnyProtocol::FloodPush(p), _) => p.is_quiescent(&(), informed_at, t),
+            (AnyProtocol::FloodPull(p), _) => p.is_quiescent(&(), informed_at, t),
+            (AnyProtocol::FloodPushPull(p), _) => p.is_quiescent(&(), informed_at, t),
+            (AnyProtocol::Silent(p), _) => p.is_quiescent(&(), informed_at, t),
+            (AnyProtocol::Ablated(p), _) => p.is_quiescent(&(), informed_at, t),
+            (p, s) => unreachable!("state {s:?} does not belong to protocol {p:?}"),
+        }
+    }
+
+    fn deadline(&self) -> Option<Round> {
+        match self {
+            AnyProtocol::FourChoice(p) => p.deadline(),
+            AnyProtocol::SequentialFourChoice(p) => p.deadline(),
+            AnyProtocol::Budgeted(p) => p.deadline(),
+            AnyProtocol::PushThenPull(p) => p.deadline(),
+            AnyProtocol::MedianCounter(p) => p.deadline(),
+            AnyProtocol::Quasirandom(p) => p.deadline(),
+            AnyProtocol::FloodPush(p) => p.deadline(),
+            AnyProtocol::FloodPull(p) => p.deadline(),
+            AnyProtocol::FloodPushPull(p) => p.deadline(),
+            AnyProtocol::Silent(p) => p.deadline(),
+            AnyProtocol::Ablated(p) => p.deadline(),
+        }
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        match self {
+            AnyProtocol::FourChoice(p) => p.capabilities(),
+            AnyProtocol::SequentialFourChoice(p) => p.capabilities(),
+            AnyProtocol::Budgeted(p) => p.capabilities(),
+            AnyProtocol::PushThenPull(p) => p.capabilities(),
+            AnyProtocol::MedianCounter(p) => p.capabilities(),
+            AnyProtocol::Quasirandom(p) => p.capabilities(),
+            AnyProtocol::FloodPush(p) => p.capabilities(),
+            AnyProtocol::FloodPull(p) => p.capabilities(),
+            AnyProtocol::FloodPushPull(p) => p.capabilities(),
+            AnyProtocol::Silent(p) => p.capabilities(),
+            AnyProtocol::Ablated(p) => p.capabilities(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON (de)serialisation — same hand-rolled dialect as BenchRecorder
+// ---------------------------------------------------------------------------
+
+/// Schema tag written into serialised scenarios.
+pub const SCENARIO_SCHEMA: &str = "rrb-scenario-v1";
+
+fn policy_json(p: PolicySpec) -> String {
+    match p {
+        PolicySpec::Distinct(k) => format!("{{\"kind\": \"distinct\", \"k\": {k}}}"),
+        PolicySpec::Memory(w) => format!("{{\"kind\": \"memory\", \"window\": {w}}}"),
+        PolicySpec::Cyclic => "{\"kind\": \"cyclic\"}".into(),
+    }
+}
+
+impl ScenarioSpec {
+    /// Serialises the scenario as JSON (schema [`SCENARIO_SCHEMA`]).
+    pub fn to_json(&self) -> String {
+        let graph = match &self.graph {
+            GraphSpec::RandomRegular { n, d } => {
+                format!("{{\"kind\": \"random_regular\", \"n\": {n}, \"d\": {d}}}")
+            }
+            GraphSpec::ConfigurationModel { n, d } => {
+                format!("{{\"kind\": \"configuration_model\", \"n\": {n}, \"d\": {d}}}")
+            }
+            GraphSpec::Gnp { n, expected_degree } => format!(
+                "{{\"kind\": \"gnp\", \"n\": {n}, \"expected_degree\": {expected_degree}}}"
+            ),
+            GraphSpec::Complete { n } => format!("{{\"kind\": \"complete\", \"n\": {n}}}"),
+            GraphSpec::Hypercube { dim } => format!("{{\"kind\": \"hypercube\", \"dim\": {dim}}}"),
+            GraphSpec::Torus { rows, cols } => {
+                format!("{{\"kind\": \"torus\", \"rows\": {rows}, \"cols\": {cols}}}")
+            }
+            GraphSpec::Cycle { n } => format!("{{\"kind\": \"cycle\", \"n\": {n}}}"),
+            GraphSpec::ProductK { base_n, base_d, clique } => format!(
+                "{{\"kind\": \"product_k\", \"base_n\": {base_n}, \"base_d\": {base_d}, \
+                 \"clique\": {clique}}}"
+            ),
+            GraphSpec::PreferentialAttachment { n, m } => {
+                format!("{{\"kind\": \"preferential_attachment\", \"n\": {n}, \"m\": {m}}}")
+            }
+        };
+        let protocol = match &self.protocol {
+            ProtocolSpec::FourChoice { n_estimate, degree, alpha, choices, regime } => {
+                let regime = match regime {
+                    RegimeSpec::Auto => "auto",
+                    RegimeSpec::Small => "small",
+                    RegimeSpec::Large => "large",
+                };
+                format!(
+                    "{{\"kind\": \"four_choice\", \"n_estimate\": {n_estimate}, \
+                     \"degree\": {degree}, \"alpha\": {alpha}, \"choices\": {choices}, \
+                     \"regime\": \"{regime}\"}}"
+                )
+            }
+            ProtocolSpec::SequentialFourChoice { n_estimate, degree } => format!(
+                "{{\"kind\": \"sequential_four_choice\", \"n_estimate\": {n_estimate}, \
+                 \"degree\": {degree}}}"
+            ),
+            ProtocolSpec::Budgeted { mode, n, budget, policy } => {
+                let mode = match mode {
+                    GossipModeSpec::Push => "push",
+                    GossipModeSpec::Pull => "pull",
+                    GossipModeSpec::PushPull => "push_pull",
+                };
+                format!(
+                    "{{\"kind\": \"budgeted\", \"mode\": \"{mode}\", \"n\": {n}, \
+                     \"budget\": {budget}, \"policy\": {}}}",
+                    policy_json(*policy)
+                )
+            }
+            ProtocolSpec::PushThenPull { n } => {
+                format!("{{\"kind\": \"push_then_pull\", \"n\": {n}}}")
+            }
+            ProtocolSpec::MedianCounter { n, ctr_max, c_rounds, age_cutoff } => {
+                let mut s = format!("{{\"kind\": \"median_counter\", \"n\": {n}");
+                if let Some(v) = ctr_max {
+                    s.push_str(&format!(", \"ctr_max\": {v}"));
+                }
+                if let Some(v) = c_rounds {
+                    s.push_str(&format!(", \"c_rounds\": {v}"));
+                }
+                if let Some(v) = age_cutoff {
+                    s.push_str(&format!(", \"age_cutoff\": {v}"));
+                }
+                s.push('}');
+                s
+            }
+            ProtocolSpec::Quasirandom { max_age } => match max_age {
+                Some(a) => format!("{{\"kind\": \"quasirandom\", \"max_age\": {a}}}"),
+                None => "{\"kind\": \"quasirandom\"}".into(),
+            },
+            ProtocolSpec::FloodPush { policy } => {
+                format!("{{\"kind\": \"flood_push\", \"policy\": {}}}", policy_json(*policy))
+            }
+            ProtocolSpec::FloodPull { policy } => {
+                format!("{{\"kind\": \"flood_pull\", \"policy\": {}}}", policy_json(*policy))
+            }
+            ProtocolSpec::FloodPushPull { policy } => {
+                format!("{{\"kind\": \"flood_push_pull\", \"policy\": {}}}", policy_json(*policy))
+            }
+            ProtocolSpec::Silent => "{\"kind\": \"silent\"}".into(),
+            ProtocolSpec::Ablated { n_estimate, degree, alpha, phase1_always_push, no_pull } => {
+                format!(
+                    "{{\"kind\": \"ablated\", \"n_estimate\": {n_estimate}, \
+                     \"degree\": {degree}, \"alpha\": {alpha}, \
+                     \"phase1_always_push\": {phase1_always_push}, \"no_pull\": {no_pull}}}"
+                )
+            }
+        };
+        let (stop_mode, max_rounds) = match self.stop {
+            StopSpec::Coverage { max_rounds } => ("coverage", max_rounds),
+            StopSpec::Quiescent { max_rounds } => ("quiescent", max_rounds),
+        };
+        let measure = match &self.measure {
+            MeasureSpec::Standard => "{\"kind\": \"standard\"}".into(),
+            MeasureSpec::Trace => "{\"kind\": \"trace\"}".into(),
+            MeasureSpec::Custom(name) => {
+                format!("{{\"kind\": \"custom\", \"name\": {}}}", crate::json_string(name))
+            }
+        };
+        format!(
+            "{{\n  \"schema\": \"{SCENARIO_SCHEMA}\",\n  \"label\": {},\n  \"graph\": {graph},\n  \
+             \"protocol\": {protocol},\n  \"failures\": {{\"channel\": {}, \"transmission\": {}, \
+             \"crash\": {}}},\n  \"stop\": {{\"mode\": \"{stop_mode}\", \"max_rounds\": \
+             {max_rounds}}},\n  \"measure\": {measure}\n}}\n",
+            crate::json_string(&self.label),
+            self.failures.channel,
+            self.failures.transmission,
+            self.failures.crash,
+        )
+    }
+
+    /// Parses a scenario from its JSON form.
+    pub fn from_json(text: &str) -> Result<ScenarioSpec, String> {
+        let v = json::parse(text)?;
+        expect_keys(
+            &v,
+            &["schema", "label", "graph", "protocol", "failures", "stop", "measure"],
+            "the scenario object",
+        )?;
+        if let Some(schema) = v.get("schema").and_then(Json::as_str) {
+            if schema != SCENARIO_SCHEMA {
+                return Err(format!("unsupported schema {schema:?}"));
+            }
+        }
+        let label = v
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or("missing \"label\"")?
+            .to_string();
+        let graph = parse_graph(v.get("graph").ok_or("missing \"graph\"")?)?;
+        let protocol = parse_protocol(v.get("protocol").ok_or("missing \"protocol\"")?)?;
+        let failures = match v.get("failures") {
+            Some(f) => {
+                expect_keys(f, &["channel", "transmission", "crash"], "\"failures\"")?;
+                let spec = FailureSpec {
+                    channel: opt_f64(f, "channel", 0.0)?,
+                    transmission: opt_f64(f, "transmission", 0.0)?,
+                    crash: opt_f64(f, "crash", 0.0)?,
+                };
+                for (name, p) in [
+                    ("channel", spec.channel),
+                    ("transmission", spec.transmission),
+                    ("crash", spec.crash),
+                ] {
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("\"{name}\" must be a probability in [0, 1]"));
+                    }
+                }
+                spec
+            }
+            None => FailureSpec::NONE,
+        };
+        let stop = match v.get("stop") {
+            Some(s) => {
+                expect_keys(s, &["mode", "max_rounds"], "\"stop\"")?;
+                let max_rounds = opt_u64(s, "max_rounds", 10_000)? as u32;
+                match s.get("mode").and_then(Json::as_str) {
+                    Some("coverage") => StopSpec::Coverage { max_rounds },
+                    Some("quiescent") | None => StopSpec::Quiescent { max_rounds },
+                    Some(other) => return Err(format!("unknown stop mode {other:?}")),
+                }
+            }
+            None => StopSpec::QUIESCENT,
+        };
+        let measure = match v.get("measure") {
+            Some(m) => {
+                expect_keys(m, &["kind", "name"], "\"measure\"")?;
+                match m.get("kind").and_then(Json::as_str) {
+                    Some("standard") | None => MeasureSpec::Standard,
+                    Some("trace") => MeasureSpec::Trace,
+                    Some("custom") => MeasureSpec::Custom(
+                        m.get("name").and_then(Json::as_str).unwrap_or("custom").to_string(),
+                    ),
+                    Some(other) => return Err(format!("unknown measure kind {other:?}")),
+                }
+            }
+            None => MeasureSpec::Standard,
+        };
+        Ok(ScenarioSpec { label, graph, protocol, failures, stop, measure })
+    }
+}
+
+fn req_usize(v: &Json, key: &str) -> Result<usize, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .map(|x| x as usize)
+        .ok_or_else(|| format!("missing or invalid \"{key}\""))
+}
+
+fn req_f64(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key).and_then(Json::as_f64).ok_or_else(|| format!("missing or invalid \"{key}\""))
+}
+
+/// Optional numeric field: absent ⇒ `default`, present-but-not-a-number ⇒
+/// error. Hand-edited specs must never have a mistyped value silently
+/// replaced by a default (e.g. `"channel": "0.3"` running failure-free).
+fn opt_f64(v: &Json, key: &str, default: f64) -> Result<f64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(j) => j.as_f64().ok_or_else(|| format!("\"{key}\" must be a number")),
+    }
+}
+
+/// Optional non-negative integer field with a default (see [`opt_f64`]).
+fn opt_u64(v: &Json, key: &str, default: u64) -> Result<u64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(j) => {
+            j.as_u64().ok_or_else(|| format!("\"{key}\" must be a non-negative integer"))
+        }
+    }
+}
+
+/// Truly optional non-negative integer field (`None` when absent).
+fn opt_u32_field(v: &Json, key: &str) -> Result<Option<u32>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(j) => j
+            .as_u64()
+            .map(|x| Some(x as u32))
+            .ok_or_else(|| format!("\"{key}\" must be a non-negative integer")),
+    }
+}
+
+/// Optional boolean field with a default (see [`opt_f64`]).
+fn opt_bool(v: &Json, key: &str, default: bool) -> Result<bool, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(j) => j.as_bool().ok_or_else(|| format!("\"{key}\" must be a boolean")),
+    }
+}
+
+/// Rejects unknown keys in an object, so a misspelled field (`"chanel"`)
+/// errors instead of silently falling back to the default.
+fn expect_keys(v: &Json, allowed: &[&str], ctx: &str) -> Result<(), String> {
+    if let Json::Obj(fields) = v {
+        for (k, _) in fields {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!("unknown key {k:?} in {ctx}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_policy(v: Option<&Json>) -> Result<PolicySpec, String> {
+    let Some(v) = v else { return Ok(PolicySpec::STANDARD) };
+    let kind = v.get("kind").and_then(Json::as_str);
+    expect_keys(
+        v,
+        match kind {
+            Some("distinct") => &["kind", "k"],
+            Some("memory") => &["kind", "window"],
+            _ => &["kind"],
+        },
+        "the policy object",
+    )?;
+    match kind {
+        Some("distinct") => Ok(PolicySpec::Distinct(req_usize(v, "k")?)),
+        Some("memory") => Ok(PolicySpec::Memory(req_usize(v, "window")?)),
+        Some("cyclic") => Ok(PolicySpec::Cyclic),
+        other => Err(format!("unknown policy kind {other:?}")),
+    }
+}
+
+fn parse_graph(v: &Json) -> Result<GraphSpec, String> {
+    let kind = v.get("kind").and_then(Json::as_str);
+    expect_keys(
+        v,
+        match kind {
+            Some("random_regular") | Some("configuration_model") => &["kind", "n", "d"],
+            Some("gnp") => &["kind", "n", "expected_degree"],
+            Some("complete") | Some("cycle") => &["kind", "n"],
+            Some("hypercube") => &["kind", "dim"],
+            Some("torus") => &["kind", "rows", "cols"],
+            Some("product_k") => &["kind", "base_n", "base_d", "clique"],
+            Some("preferential_attachment") => &["kind", "n", "m"],
+            _ => &["kind"],
+        },
+        "the graph object",
+    )?;
+    match kind {
+        Some("random_regular") => {
+            Ok(GraphSpec::RandomRegular { n: req_usize(v, "n")?, d: req_usize(v, "d")? })
+        }
+        Some("configuration_model") => {
+            Ok(GraphSpec::ConfigurationModel { n: req_usize(v, "n")?, d: req_usize(v, "d")? })
+        }
+        Some("gnp") => Ok(GraphSpec::Gnp {
+            n: req_usize(v, "n")?,
+            expected_degree: req_f64(v, "expected_degree")?,
+        }),
+        Some("complete") => Ok(GraphSpec::Complete { n: req_usize(v, "n")? }),
+        Some("hypercube") => Ok(GraphSpec::Hypercube { dim: req_usize(v, "dim")? as u32 }),
+        Some("torus") => {
+            Ok(GraphSpec::Torus { rows: req_usize(v, "rows")?, cols: req_usize(v, "cols")? })
+        }
+        Some("cycle") => Ok(GraphSpec::Cycle { n: req_usize(v, "n")? }),
+        Some("product_k") => Ok(GraphSpec::ProductK {
+            base_n: req_usize(v, "base_n")?,
+            base_d: req_usize(v, "base_d")?,
+            clique: req_usize(v, "clique")?,
+        }),
+        Some("preferential_attachment") => Ok(GraphSpec::PreferentialAttachment {
+            n: req_usize(v, "n")?,
+            m: req_usize(v, "m")?,
+        }),
+        other => Err(format!("unknown graph kind {other:?}")),
+    }
+}
+
+fn parse_protocol(v: &Json) -> Result<ProtocolSpec, String> {
+    let kind = v.get("kind").and_then(Json::as_str);
+    expect_keys(
+        v,
+        match kind {
+            Some("four_choice") => &["kind", "n_estimate", "degree", "alpha", "choices", "regime"],
+            Some("sequential_four_choice") => &["kind", "n_estimate", "degree"],
+            Some("budgeted") => &["kind", "mode", "n", "budget", "policy"],
+            Some("push_then_pull") => &["kind", "n"],
+            Some("median_counter") => &["kind", "n", "ctr_max", "c_rounds", "age_cutoff"],
+            Some("quasirandom") => &["kind", "max_age"],
+            Some("flood_push") | Some("flood_pull") | Some("flood_push_pull") => {
+                &["kind", "policy"]
+            }
+            Some("ablated") => {
+                &["kind", "n_estimate", "degree", "alpha", "phase1_always_push", "no_pull"]
+            }
+            _ => &["kind"],
+        },
+        "the protocol object",
+    )?;
+    match kind {
+        Some("four_choice") => Ok(ProtocolSpec::FourChoice {
+            n_estimate: req_usize(v, "n_estimate")?,
+            degree: req_usize(v, "degree")?,
+            alpha: opt_f64(v, "alpha", 1.5)?,
+            choices: opt_u64(v, "choices", 4)? as usize,
+            regime: match v.get("regime").and_then(Json::as_str) {
+                Some("small") => RegimeSpec::Small,
+                Some("large") => RegimeSpec::Large,
+                Some("auto") | None => RegimeSpec::Auto,
+                Some(other) => return Err(format!("unknown regime {other:?}")),
+            },
+        }),
+        Some("sequential_four_choice") => Ok(ProtocolSpec::SequentialFourChoice {
+            n_estimate: req_usize(v, "n_estimate")?,
+            degree: req_usize(v, "degree")?,
+        }),
+        Some("budgeted") => Ok(ProtocolSpec::Budgeted {
+            mode: match v.get("mode").and_then(Json::as_str) {
+                Some("push") => GossipModeSpec::Push,
+                Some("pull") => GossipModeSpec::Pull,
+                Some("push_pull") => GossipModeSpec::PushPull,
+                other => return Err(format!("unknown gossip mode {other:?}")),
+            },
+            n: req_usize(v, "n")?,
+            budget: req_f64(v, "budget")?,
+            policy: parse_policy(v.get("policy"))?,
+        }),
+        Some("push_then_pull") => Ok(ProtocolSpec::PushThenPull { n: req_usize(v, "n")? }),
+        Some("median_counter") => Ok(ProtocolSpec::MedianCounter {
+            n: req_usize(v, "n")?,
+            ctr_max: opt_u32_field(v, "ctr_max")?,
+            c_rounds: opt_u32_field(v, "c_rounds")?,
+            age_cutoff: opt_u32_field(v, "age_cutoff")?,
+        }),
+        Some("quasirandom") => {
+            Ok(ProtocolSpec::Quasirandom { max_age: opt_u32_field(v, "max_age")? })
+        }
+        Some("flood_push") => Ok(ProtocolSpec::FloodPush { policy: parse_policy(v.get("policy"))? }),
+        Some("flood_pull") => Ok(ProtocolSpec::FloodPull { policy: parse_policy(v.get("policy"))? }),
+        Some("flood_push_pull") => {
+            Ok(ProtocolSpec::FloodPushPull { policy: parse_policy(v.get("policy"))? })
+        }
+        Some("silent") => Ok(ProtocolSpec::Silent),
+        Some("ablated") => Ok(ProtocolSpec::Ablated {
+            n_estimate: req_usize(v, "n_estimate")?,
+            degree: req_usize(v, "degree")?,
+            alpha: opt_f64(v, "alpha", 1.5)?,
+            phase1_always_push: opt_bool(v, "phase1_always_push", false)?,
+            no_pull: opt_bool(v, "no_pull", false)?,
+        }),
+        other => Err(format!("unknown protocol kind {other:?}")),
+    }
+}
+
+pub use json::Json;
+
+/// Minimal JSON reader for the spec dialect (objects, arrays, strings,
+/// numbers, booleans, null); just enough to parse what
+/// [`ScenarioSpec::to_json`] writes plus hand-edited spec files.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Json {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any number (stored as `f64`).
+        Num(f64),
+        /// String.
+        Str(String),
+        /// Array.
+        Arr(Vec<Json>),
+        /// Object (insertion-ordered).
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        /// Object field lookup.
+        pub fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// Numeric value, if this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Json::Num(x) => Some(*x),
+                _ => None,
+            }
+        }
+
+        /// Non-negative integer value, if this is a whole number.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+                _ => None,
+            }
+        }
+
+        /// String value.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Json::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// Boolean value.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Json::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses `text` into a [`Json`] value (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, *pos))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => parse_obj(b, pos),
+            Some(b'[') => parse_arr(b, pos),
+            Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+            Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+            Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+            Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+            Some(_) => parse_num(b, pos),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", *pos))
+        }
+    }
+
+    fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        let start = *pos;
+        while *pos < b.len()
+            && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = String::new();
+        while *pos < b.len() {
+            match b[*pos] {
+                b'"' => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("invalid \\u escape")?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                            *pos += 4;
+                        }
+                        _ => return Err("invalid escape".into()),
+                    }
+                    *pos += 1;
+                }
+                c => {
+                    // Multi-byte UTF-8 sequences pass through unharmed: we
+                    // copy bytes until the next ASCII quote/backslash.
+                    let start = *pos;
+                    while *pos < b.len() && !matches!(b[*pos], b'"' | b'\\') {
+                        *pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?,
+                    );
+                    let _ = c;
+                }
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        expect(b, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = parse_string(b, pos)?;
+            skip_ws(b, pos);
+            expect(b, pos, b':')?;
+            let value = parse_value(b, pos)?;
+            fields.push((key, value));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rrb_engine::Simulation;
+    use rrb_graph::NodeId;
+
+    fn sample_specs() -> Vec<ScenarioSpec> {
+        vec![
+            ScenarioSpec::new(
+                "e1-style",
+                GraphSpec::RandomRegular { n: 1024, d: 8 },
+                ProtocolSpec::FourChoice {
+                    n_estimate: 1024,
+                    degree: 8,
+                    alpha: 1.5,
+                    choices: 4,
+                    regime: RegimeSpec::Auto,
+                },
+            ),
+            ScenarioSpec::new(
+                "failures",
+                GraphSpec::Gnp { n: 512, expected_degree: 18.0 },
+                ProtocolSpec::Budgeted {
+                    mode: GossipModeSpec::Push,
+                    n: 512,
+                    budget: 3.0,
+                    policy: PolicySpec::STANDARD,
+                },
+            )
+            .with_failures(FailureSpec { channel: 0.1, transmission: 0.05, crash: 0.01 })
+            .with_stop(StopSpec::Coverage { max_rounds: 500 })
+            .with_measure(MeasureSpec::Trace),
+            ScenarioSpec::new(
+                "product",
+                GraphSpec::ProductK { base_n: 128, base_d: 8, clique: 5 },
+                ProtocolSpec::Ablated {
+                    n_estimate: 640,
+                    degree: 12,
+                    alpha: 0.5,
+                    phase1_always_push: true,
+                    no_pull: false,
+                },
+            )
+            .with_measure(MeasureSpec::Custom("growth-factor".into())),
+            ScenarioSpec::new(
+                "memory-push",
+                GraphSpec::PreferentialAttachment { n: 256, m: 4 },
+                ProtocolSpec::FloodPush { policy: PolicySpec::Memory(3) },
+            )
+            .with_stop(StopSpec::Coverage { max_rounds: 10_000 }),
+            ScenarioSpec::new(
+                "counter",
+                GraphSpec::Complete { n: 64 },
+                ProtocolSpec::MedianCounter {
+                    n: 64,
+                    ctr_max: Some(5),
+                    c_rounds: None,
+                    age_cutoff: None,
+                },
+            ),
+            ScenarioSpec::new(
+                "quasi",
+                GraphSpec::Hypercube { dim: 6 },
+                ProtocolSpec::Quasirandom { max_age: Some(40) },
+            ),
+        ]
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_spec() {
+        for spec in sample_specs() {
+            let json = spec.to_json();
+            let back = ScenarioSpec::from_json(&json)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{json}", spec.label));
+            assert_eq!(spec, back, "round trip changed the spec:\n{json}");
+        }
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(ScenarioSpec::from_json("").is_err());
+        assert!(ScenarioSpec::from_json("{}").is_err());
+        assert!(ScenarioSpec::from_json("{\"label\": \"x\"}").is_err());
+        assert!(ScenarioSpec::from_json(
+            "{\"label\": \"x\", \"graph\": {\"kind\": \"blob\"}, \
+             \"protocol\": {\"kind\": \"silent\"}}"
+        )
+        .is_err());
+        // Unknown schema versions are refused loudly.
+        assert!(ScenarioSpec::from_json(
+            "{\"schema\": \"rrb-scenario-v999\", \"label\": \"x\", \
+             \"graph\": {\"kind\": \"complete\", \"n\": 4}, \
+             \"protocol\": {\"kind\": \"silent\"}}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn json_rejects_mistyped_and_misspelled_fields() {
+        let with = |failures: &str| {
+            format!(
+                "{{\"label\": \"x\", \"graph\": {{\"kind\": \"complete\", \"n\": 4}}, \
+                 \"protocol\": {{\"kind\": \"silent\"}}, \"failures\": {failures}}}"
+            )
+        };
+        // Baseline: well-formed failures parse.
+        let ok = ScenarioSpec::from_json(&with("{\"channel\": 0.3}")).unwrap();
+        assert_eq!(ok.failures.channel, 0.3);
+        // A mistyped value must error, never silently run failure-free.
+        assert!(ScenarioSpec::from_json(&with("{\"channel\": \"0.3\"}")).is_err());
+        // A misspelled key must error, never silently default.
+        assert!(ScenarioSpec::from_json(&with("{\"chanel\": 0.3}")).is_err());
+        // Out-of-range probabilities are refused.
+        assert!(ScenarioSpec::from_json(&with("{\"crash\": 1.5}")).is_err());
+        // Same strictness for stop, measure, and protocol parameters.
+        assert!(ScenarioSpec::from_json(
+            "{\"label\": \"x\", \"graph\": {\"kind\": \"complete\", \"n\": 4}, \
+             \"protocol\": {\"kind\": \"silent\"}, \
+             \"stop\": {\"mode\": \"coverage\", \"max_rounds\": \"many\"}}"
+        )
+        .is_err());
+        assert!(ScenarioSpec::from_json(
+            "{\"label\": \"x\", \"graph\": {\"kind\": \"complete\", \"n\": 4}, \
+             \"protocol\": {\"kind\": \"silent\"}, \"measure\": {\"knd\": \"trace\"}}"
+        )
+        .is_err());
+        assert!(ScenarioSpec::from_json(
+            "{\"label\": \"x\", \"graph\": {\"kind\": \"complete\", \"n\": 4}, \
+             \"protocol\": {\"kind\": \"four_choice\", \"n_estimate\": 4, \
+             \"degree\": 3, \"apha\": 2.0}}"
+        )
+        .is_err());
+        assert!(ScenarioSpec::from_json(
+            "{\"label\": \"x\", \"graph\": {\"kind\": \"complete\", \"n\": 4}, \
+             \"protocol\": {\"kind\": \"four_choice\", \"n_estimate\": 4, \
+             \"degree\": 3, \"alpha\": \"big\"}}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn graph_specs_build_expected_sizes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let specs = [
+            GraphSpec::RandomRegular { n: 64, d: 4 },
+            GraphSpec::ConfigurationModel { n: 64, d: 4 },
+            GraphSpec::Gnp { n: 64, expected_degree: 8.0 },
+            GraphSpec::Complete { n: 64 },
+            GraphSpec::Hypercube { dim: 6 },
+            GraphSpec::Torus { rows: 8, cols: 8 },
+            GraphSpec::Cycle { n: 64 },
+            GraphSpec::ProductK { base_n: 16, base_d: 4, clique: 4 },
+            GraphSpec::PreferentialAttachment { n: 64, m: 4 },
+        ];
+        for spec in specs {
+            let g = spec.build(&mut rng).unwrap_or_else(|e| panic!("{}: {e}", spec.label()));
+            assert_eq!(g.node_count(), spec.node_count(), "{}", spec.label());
+        }
+    }
+
+    #[test]
+    fn any_protocol_runs_every_variant_to_coverage() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = GraphSpec::RandomRegular { n: 128, d: 8 }.build(&mut rng).unwrap();
+        let protos = [
+            ProtocolSpec::FourChoice {
+                n_estimate: 128,
+                degree: 8,
+                alpha: 1.5,
+                choices: 4,
+                regime: RegimeSpec::Auto,
+            },
+            ProtocolSpec::SequentialFourChoice { n_estimate: 128, degree: 8 },
+            ProtocolSpec::Budgeted {
+                mode: GossipModeSpec::PushPull,
+                n: 128,
+                budget: 3.0,
+                policy: PolicySpec::STANDARD,
+            },
+            ProtocolSpec::PushThenPull { n: 128 },
+            ProtocolSpec::MedianCounter { n: 128, ctr_max: None, c_rounds: None, age_cutoff: None },
+            ProtocolSpec::Quasirandom { max_age: None },
+            ProtocolSpec::FloodPush { policy: PolicySpec::STANDARD },
+            ProtocolSpec::FloodPull { policy: PolicySpec::STANDARD },
+            ProtocolSpec::FloodPushPull { policy: PolicySpec::STANDARD },
+            ProtocolSpec::Ablated {
+                n_estimate: 128,
+                degree: 8,
+                alpha: 1.5,
+                phase1_always_push: false,
+                no_pull: false,
+            },
+        ];
+        for spec in protos {
+            let proto = spec.build();
+            let mut rng = SmallRng::seed_from_u64(3);
+            let report = Simulation::new(&g, proto, SimConfig::default())
+                .run(NodeId::new(0), &mut rng);
+            assert!(
+                report.coverage() > 0.9,
+                "{}: coverage {}",
+                spec.label(),
+                report.coverage()
+            );
+        }
+        // And the null protocol stays silent.
+        let mut rng = SmallRng::seed_from_u64(4);
+        let report = Simulation::new(&g, ProtocolSpec::Silent.build(), SimConfig::default())
+            .run(NodeId::new(0), &mut rng);
+        assert_eq!(report.total_tx(), 0);
+    }
+
+    #[test]
+    fn any_protocol_matches_concrete_protocol_seed_for_seed() {
+        // The enum dispatch layer must be a zero-cost wrapper in behaviour:
+        // identical plans, identical RNG consumption, identical reports.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = gen::random_regular(256, 8, &mut rng).unwrap();
+        let spec = ProtocolSpec::FourChoice {
+            n_estimate: 256,
+            degree: 8,
+            alpha: 1.5,
+            choices: 4,
+            regime: RegimeSpec::Auto,
+        };
+        let concrete = FourChoice::for_graph(256, 8);
+        let run_any = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            Simulation::new(&g, spec.build(), SimConfig::until_quiescent().with_history())
+                .run(NodeId::new(0), &mut rng)
+        };
+        let run_concrete = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            Simulation::new(&g, concrete, SimConfig::until_quiescent().with_history())
+                .run(NodeId::new(0), &mut rng)
+        };
+        assert_eq!(run_any(9), run_concrete(9));
+        // Stateful protocols too (MedianCounter carries CounterState).
+        let mc_spec =
+            ProtocolSpec::MedianCounter { n: 256, ctr_max: None, c_rounds: None, age_cutoff: None };
+        let mc = MedianCounter::for_size(256);
+        let any = {
+            let mut rng = SmallRng::seed_from_u64(6);
+            Simulation::new(&g, mc_spec.build(), SimConfig::until_quiescent())
+                .run(NodeId::new(0), &mut rng)
+        };
+        let conc = {
+            let mut rng = SmallRng::seed_from_u64(6);
+            Simulation::new(&g, mc, SimConfig::until_quiescent()).run(NodeId::new(0), &mut rng)
+        };
+        assert_eq!(any, conc);
+    }
+
+    #[test]
+    fn capabilities_flow_through_the_enum() {
+        let push = ProtocolSpec::Budgeted {
+            mode: GossipModeSpec::Push,
+            n: 64,
+            budget: 3.0,
+            policy: PolicySpec::STANDARD,
+        };
+        assert_eq!(push.build().capabilities(), Capabilities::PUSH_ONLY);
+        let ablated_no_pull = ProtocolSpec::Ablated {
+            n_estimate: 64,
+            degree: 8,
+            alpha: 1.5,
+            phase1_always_push: true,
+            no_pull: true,
+        };
+        assert_eq!(ablated_no_pull.build().capabilities(), Capabilities::PUSH_ONLY);
+        let four = ProtocolSpec::FourChoice {
+            n_estimate: 64,
+            degree: 8,
+            alpha: 1.5,
+            choices: 4,
+            regime: RegimeSpec::Auto,
+        };
+        assert_eq!(four.build().capabilities(), Capabilities::ALL);
+    }
+
+    #[test]
+    fn sim_config_compiles_stop_failures_measure() {
+        let spec = ScenarioSpec::new(
+            "cfg",
+            GraphSpec::Complete { n: 8 },
+            ProtocolSpec::Silent,
+        )
+        .with_failures(FailureSpec { channel: 0.2, transmission: 0.0, crash: 0.05 })
+        .with_stop(StopSpec::Coverage { max_rounds: 77 })
+        .with_measure(MeasureSpec::Trace);
+        let cfg = spec.sim_config();
+        assert!(cfg.stop_at_coverage);
+        assert_eq!(cfg.max_rounds, 77);
+        assert!(cfg.record_history);
+        assert_eq!(cfg.failures.channel_failure, 0.2);
+        assert_eq!(cfg.failures.node_crash, 0.05);
+        let quiet = ScenarioSpec::new("q", GraphSpec::Complete { n: 8 }, ProtocolSpec::Silent)
+            .sim_config();
+        assert!(!quiet.stop_at_coverage);
+        assert!(quiet.failures.is_none());
+    }
+}

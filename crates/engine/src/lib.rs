@@ -88,7 +88,7 @@ pub use choice::{ChoicePolicy, ChoiceState};
 pub use failure::FailureModel;
 pub use multi::{MultiRumorReport, MultiRumorSimulation, RumorInjection, RumorOutcome};
 pub use observation::{Observation, RumorMeta};
-pub use protocol::{NodeView, Plan, Protocol, Round};
+pub use protocol::{Capabilities, NodeView, Plan, Protocol, Round};
 pub use report::{RoundRecord, RunReport, StopReason};
 pub use simulation::{SimConfig, SimState, Simulation};
 pub use topology::Topology;

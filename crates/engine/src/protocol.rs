@@ -48,6 +48,46 @@ impl Plan {
     }
 }
 
+/// Static description of the transmission directions a protocol can ever
+/// use, reported by [`Protocol::capabilities`].
+///
+/// The engine uses this to pick fast paths. The key one: if a protocol
+/// never serves pulls (`uses_pull == false`), channels opened by
+/// *uninformed* nodes can never carry a rumour (a push travels
+/// caller→callee, and an uninformed caller has nothing to push; a pull
+/// travels callee→caller only when the callee pull-serves), so the engine
+/// skips sampling their targets entirely. Skipped channels are still
+/// *counted* — channel opening is part of the model — but cost no RNG
+/// draws and no buffer traffic.
+///
+/// Capabilities must be **conservative**: report a direction as used if the
+/// protocol could ever transmit in it. The default is [`Capabilities::ALL`],
+/// which disables every capability-gated shortcut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// The protocol may push (caller → callee) in some round.
+    pub uses_push: bool,
+    /// The protocol may pull-serve (callee → caller) in some round.
+    pub uses_pull: bool,
+}
+
+impl Capabilities {
+    /// Both directions possible (the conservative default).
+    pub const ALL: Capabilities = Capabilities { uses_push: true, uses_pull: true };
+    /// Push-only protocols (flood push, budgeted push, quasirandom push).
+    pub const PUSH_ONLY: Capabilities = Capabilities { uses_push: true, uses_pull: false };
+    /// Pull-only protocols (flood pull, budgeted pull).
+    pub const PULL_ONLY: Capabilities = Capabilities { uses_push: false, uses_pull: true };
+    /// Never transmits at all.
+    pub const SILENT: Capabilities = Capabilities { uses_push: false, uses_pull: false };
+}
+
+impl Default for Capabilities {
+    fn default() -> Self {
+        Capabilities::ALL
+    }
+}
+
 /// Read-only view of a node handed to [`Protocol::plan`].
 #[derive(Debug, Clone, Copy)]
 pub struct NodeView<'a, S> {
@@ -110,11 +150,32 @@ pub trait Protocol {
     fn deadline(&self) -> Option<Round> {
         None
     }
+
+    /// Transmission directions this protocol can ever use; must be
+    /// conservative (see [`Capabilities`]). Defaults to
+    /// [`Capabilities::ALL`], which keeps every engine shortcut disabled.
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::ALL
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn capabilities_constants_and_default() {
+        assert_eq!(Capabilities::default(), Capabilities::ALL);
+        let cases = [
+            (Capabilities::ALL, true, true),
+            (Capabilities::PUSH_ONLY, true, false),
+            (Capabilities::PULL_ONLY, false, true),
+            (Capabilities::SILENT, false, false),
+        ];
+        for (caps, uses_push, uses_pull) in cases {
+            assert_eq!(caps, Capabilities { uses_push, uses_pull });
+        }
+    }
 
     #[test]
     fn plan_constructors() {

@@ -2,7 +2,7 @@
 //! building blocks for examples. The paper's algorithms live in `rrb-core`,
 //! the literature baselines in `rrb-baselines`.
 
-use crate::{ChoicePolicy, NodeView, Observation, Plan, Protocol, Round, RumorMeta};
+use crate::{Capabilities, ChoicePolicy, NodeView, Observation, Plan, Protocol, Round, RumorMeta};
 
 /// Unbounded push flooding in the standard (single-choice) phone call
 /// model: every informed node pushes in every round, forever.
@@ -52,6 +52,10 @@ impl Protocol for FloodPush {
     fn is_quiescent(&self, _state: &Self::State, _informed_at: Round, _t: Round) -> bool {
         false
     }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::PUSH_ONLY
+    }
 }
 
 /// Unbounded pull flooding: every informed node answers every incoming
@@ -97,6 +101,10 @@ impl Protocol for FloodPull {
 
     fn is_quiescent(&self, _state: &Self::State, _informed_at: Round, _t: Round) -> bool {
         false
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::PULL_ONLY
     }
 }
 
@@ -175,6 +183,10 @@ impl Protocol for SilentProtocol {
     fn is_quiescent(&self, _state: &Self::State, _informed_at: Round, _t: Round) -> bool {
         true
     }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::SILENT
+    }
 }
 
 #[cfg(test)]
@@ -207,5 +219,14 @@ mod tests {
     fn quiescence_flags() {
         assert!(!FloodPush::new().is_quiescent(&(), 0, 100));
         assert!(SilentProtocol.is_quiescent(&(), 0, 0));
+    }
+
+    #[test]
+    fn capabilities_match_directions() {
+        use crate::Capabilities;
+        assert_eq!(FloodPush::new().capabilities(), Capabilities::PUSH_ONLY);
+        assert_eq!(FloodPull::new().capabilities(), Capabilities::PULL_ONLY);
+        assert_eq!(FloodPushPull::new().capabilities(), Capabilities::ALL);
+        assert_eq!(SilentProtocol.capabilities(), Capabilities::SILENT);
     }
 }

@@ -339,6 +339,19 @@ impl<P: Protocol> SimState<P> {
         // crash-only model still takes the draw-free exchange fast path.
         let fast_path =
             failures.channel_failure == 0.0 && failures.transmission_failure == 0.0;
+        // Capability-gated sampling skip: if the protocol never pull-serves,
+        // a channel opened by an *uninformed* caller can carry nothing (its
+        // push direction has nothing to send, its pull direction is never
+        // served), so sampling its targets is pure waste. Only memoryless
+        // `Distinct` policies qualify — SequentialMemory rings and Cyclic
+        // cursors advance as a side effect of sampling, which skipping would
+        // alter. Under `Distinct(k)` the number of channels such a node
+        // would open is the deterministic `min(k, deg)`, so the `channels`
+        // metric still counts them without touching the RNG.
+        let skip_fanout = match (protocol.capabilities().uses_pull, policy) {
+            (false, crate::ChoicePolicy::Distinct(k)) => Some(k),
+            _ => None,
+        };
 
         // Phase 0: crash-stop sampling (fail-stop nodes never recover).
         // Gated on its own probability, independent of `fast_path`: a
@@ -368,6 +381,13 @@ impl<P: Protocol> SimState<P> {
         for i in 0..n {
             let v = NodeId::new(i);
             if topo.is_alive(v) && !self.crashed[i] {
+                if let (Some(k), None) = (skip_fanout, self.informed_at[i]) {
+                    // Uninformed caller under a push-only protocol: count
+                    // the channels it would open, materialise none.
+                    channels_this_round += topo.stubs(v).len().min(k) as u64;
+                    self.call_offsets.push(self.call_targets.len() as u32);
+                    continue;
+                }
                 sample_targets(topo, v, policy, &mut self.choice, rng, &mut self.target_buf);
                 channels_this_round += self.target_buf.len() as u64;
                 for &w in &self.target_buf {
@@ -791,5 +811,126 @@ mod tests {
     fn origin_must_be_in_range() {
         let proto = FloodPush::new();
         let _ = SimState::<FloodPush>::new(&proto, 4, NodeId::new(9));
+    }
+
+    /// Wrapper forcing the conservative default capabilities, i.e. the
+    /// engine behaviour before the capability-gated sampling skip existed.
+    #[derive(Debug, Clone)]
+    struct ForceAll<P>(P);
+
+    impl<P: Protocol> Protocol for ForceAll<P> {
+        type State = P::State;
+
+        fn init(&self, creator: bool) -> Self::State {
+            self.0.init(creator)
+        }
+
+        fn choice_policy(&self) -> crate::ChoicePolicy {
+            self.0.choice_policy()
+        }
+
+        fn plan(&self, view: NodeView<'_, Self::State>, t: Round) -> Plan {
+            self.0.plan(view, t)
+        }
+
+        fn update(
+            &self,
+            state: &mut Self::State,
+            informed_at: Option<Round>,
+            t: Round,
+            obs: &Observation,
+        ) {
+            self.0.update(state, informed_at, t, obs)
+        }
+
+        fn is_quiescent(&self, state: &Self::State, informed_at: Round, t: Round) -> bool {
+            self.0.is_quiescent(state, informed_at, t)
+        }
+
+        fn deadline(&self) -> Option<Round> {
+            self.0.deadline()
+        }
+        // capabilities(): default ALL — the skip never engages.
+    }
+
+    #[test]
+    fn push_only_skip_is_deterministic_and_covers() {
+        let g = gen::complete(128);
+        let run = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            Simulation::new(&g, FloodPush::new(), SimConfig::default().with_history())
+                .run(NodeId::new(0), &mut rng)
+        };
+        let a = run(11);
+        assert_eq!(a, run(11));
+        assert!(a.all_informed());
+    }
+
+    #[test]
+    fn push_only_skip_still_counts_unopened_channels() {
+        // The skip must not change the channels metric: skipped callers'
+        // would-be channels are counted deterministically (min(k, deg)).
+        let g = gen::complete(48);
+        let step_channels = |skip: bool| {
+            let mut rng = SmallRng::seed_from_u64(7);
+            if skip {
+                let proto = FloodPush::new();
+                let mut sim = SimState::new(&proto, 48, NodeId::new(0));
+                sim.step(&g, &proto, SimConfig::default(), &mut rng).channels
+            } else {
+                let proto = ForceAll(FloodPush::new());
+                let mut sim = SimState::new(&proto, 48, NodeId::new(0));
+                sim.step(&g, &proto, SimConfig::default(), &mut rng).channels
+            }
+        };
+        let skipped = step_channels(true);
+        let sampled = step_channels(false);
+        assert_eq!(skipped, sampled);
+        assert_eq!(skipped, 48); // STANDARD policy: one channel per node.
+    }
+
+    #[test]
+    fn skip_never_engages_for_pull_using_protocols() {
+        // A pull-serving protocol (capabilities ALL) must take the exact
+        // pre-skip code path: byte-identical to the ForceAll wrapper.
+        let g = gen::complete(64);
+        let cfg = SimConfig::default().with_history();
+        let native = {
+            let mut rng = SmallRng::seed_from_u64(5);
+            Simulation::new(&g, FloodPushPull::new(), cfg).run(NodeId::new(2), &mut rng)
+        };
+        let forced = {
+            let mut rng = SmallRng::seed_from_u64(5);
+            Simulation::new(&g, ForceAll(FloodPushPull::new()), cfg).run(NodeId::new(2), &mut rng)
+        };
+        assert_eq!(native, forced);
+    }
+
+    #[test]
+    fn push_only_skip_counts_channels_with_crashes() {
+        // The skip must count skipped callers' channels identically to the
+        // sampled path while part of the network has crash-stopped. Only
+        // the first step is comparable — the two paths consume different
+        // numbers of RNG draws, so the streams diverge afterwards — but
+        // crash sampling runs before any target sampling, so within that
+        // step both paths crash the exact same nodes.
+        let g = gen::complete(64);
+        let cfg = SimConfig::default().with_failures(FailureModel::crashes(0.3));
+        let skipped = {
+            let proto = FloodPush::new();
+            let mut sim = SimState::new(&proto, 64, NodeId::new(0));
+            let mut rng = SmallRng::seed_from_u64(9);
+            sim.step(&g, &proto, cfg, &mut rng).channels
+        };
+        let sampled = {
+            let proto = ForceAll(FloodPush::new());
+            let mut sim = SimState::new(&proto, 64, NodeId::new(0));
+            let mut rng = SmallRng::seed_from_u64(9);
+            sim.step(&g, &proto, cfg, &mut rng).channels
+        };
+        assert_eq!(skipped, sampled);
+        // With p = 0.3 the fixed seed crashes a nonzero, non-total subset,
+        // so the counts above genuinely exercise the crashed-caller branch.
+        assert!(skipped > 0 && skipped < 64, "channels = {skipped}");
     }
 }

@@ -1,8 +1,23 @@
-//! `rrb` — command-line driver for the broadcast simulator.
+//! `rrb` — command-line driver for the broadcast simulator and the
+//! experiment registry.
 //!
-//! Runs any built-in protocol over any built-in topology and prints the
-//! run report (optionally the per-round trace), without writing a line of
-//! Rust. Examples:
+//! # Registry subcommands
+//!
+//! The paper's E1–E18 experiments are registered as declarative scenario
+//! ladders (`rrb_bench::registry`); one binary drives them all:
+//!
+//! ```text
+//! rrb list                          # every registered experiment
+//! rrb describe e5                   # an experiment's ladder as spec JSON
+//! rrb run e5 --quick                # run E5 (same flags as the old exp_* bins)
+//! rrb run e1 --seeds 10 --threads 4 --json out.json
+//! rrb run --spec scenario.json      # run one hand-written ScenarioSpec
+//! ```
+//!
+//! # Ad-hoc mode
+//!
+//! Without a subcommand, runs any built-in protocol over any built-in
+//! topology and prints the run report (optionally the per-round trace):
 //!
 //! ```text
 //! rrb --topology regular --n 8192 --d 8 --protocol four-choice
@@ -18,6 +33,9 @@ use std::process::ExitCode;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rrb::prelude::*;
+use rrb_bench::registry::{self, LadderEntry};
+use rrb_bench::scenario::{MeasureSpec, ScenarioSpec};
+use rrb_bench::{mean_of, mean_rounds_to_coverage, success_rate, BenchRecorder, ExpConfig};
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -98,7 +116,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: rrb [options]\n\
+    "usage: rrb <list | describe <exp> | run <exp> [flags] | run --spec FILE> or rrb [options]\n\
+     \n\
+     registry subcommands:\n\
+     list                     registered experiments (e1..e18)\n\
+     describe <exp> [--quick] an experiment's scenario specs as JSON\n\
+     run <exp>                run an experiment; flags: --quick --seeds N --threads N --json PATH\n\
+     run --spec FILE          run one ScenarioSpec JSON file\n\
+     \n\
+     ad-hoc mode options:\n\
      --topology   regular | config | gnp | complete | hypercube | torus | pa  (default regular)\n\
      --protocol   four-choice | sequential | push | pull | push-pull | push-then-pull |\n\
                   median-counter | quasirandom                                (default four-choice)\n\
@@ -192,8 +218,187 @@ fn run_one(o: &Options, g: &Graph, rng: &mut SmallRng, record: bool) -> Result<R
     Ok(report)
 }
 
+/// Flags shared by `rrb run`.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct RunFlags {
+    name: Option<String>,
+    spec_path: Option<String>,
+    quick: bool,
+    seeds: Option<u64>,
+    threads: Option<usize>,
+    json_path: Option<String>,
+}
+
+fn parse_run_flags(args: &[String]) -> Result<RunFlags, String> {
+    let mut f = RunFlags::default();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--quick" => f.quick = true,
+            "--seeds" => {
+                f.seeds = Some(take("--seeds")?.parse().map_err(|e| format!("--seeds: {e}"))?)
+            }
+            "--threads" => {
+                f.threads =
+                    Some(take("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?)
+            }
+            "--json" => f.json_path = Some(take("--json")?),
+            "--spec" => f.spec_path = Some(take("--spec")?),
+            other if !other.starts_with('-') && f.name.is_none() => {
+                f.name = Some(other.to_string())
+            }
+            other => return Err(format!("unknown argument {other} for rrb run")),
+        }
+    }
+    if f.name.is_none() && f.spec_path.is_none() {
+        return Err("rrb run needs an experiment name or --spec FILE".into());
+    }
+    if f.name.is_some() && f.spec_path.is_some() {
+        return Err("rrb run takes either an experiment name or --spec FILE, not both".into());
+    }
+    Ok(f)
+}
+
+fn exp_config_from(flags: &RunFlags) -> ExpConfig {
+    ExpConfig::with_flags(flags.quick, flags.seeds, flags.threads)
+}
+
+fn cmd_list() -> ExitCode {
+    let mut table = Table::new(vec!["name", "configs (quick/full)", "title"]);
+    for exp in registry::all() {
+        table.row(vec![
+            exp.name.into(),
+            format!("{}/{}", (exp.scenarios)(true).len(), (exp.scenarios)(false).len()),
+            exp.title.into(),
+        ]);
+    }
+    println!("{} registered experiments:\n\n{table}", registry::all().len());
+    println!("run one with `rrb run <name> [--quick --seeds N --threads N --json PATH]`,");
+    println!("inspect its scenario specs with `rrb describe <name>`,");
+    println!("or run a hand-written spec with `rrb run --spec file.json`.");
+    ExitCode::SUCCESS
+}
+
+fn cmd_describe(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        eprintln!("usage: rrb describe <experiment> [--quick]");
+        return ExitCode::FAILURE;
+    };
+    let Some(exp) = registry::find(name) else {
+        eprintln!("unknown experiment {name:?}; see `rrb list`");
+        return ExitCode::FAILURE;
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    println!("{} — {}\n{}\n", exp.name, exp.title, exp.description);
+    for entry in (exp.scenarios)(quick) {
+        println!("# config_ix {}\n{}", entry.config_ix, entry.spec.to_json());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs a single `ScenarioSpec` (from `--spec file.json`) through the
+/// shared replication harness and prints the standard metrics.
+fn run_spec_file(path: &str, flags: &RunFlags) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match ScenarioSpec::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = exp_config_from(flags);
+    let entry = LadderEntry::new(0, spec.clone());
+    let (reports, wall_ms) = registry::run_entry(0, &entry, &cfg);
+    if matches!(spec.measure, MeasureSpec::Trace) {
+        if let Some(first) = reports.first() {
+            let mut t = Table::new(vec!["round", "informed", "new", "push", "pull"]);
+            for rec in &first.history {
+                t.row_display(vec![
+                    rec.round as u64,
+                    rec.informed as u64,
+                    rec.newly_informed as u64,
+                    rec.push_tx,
+                    rec.pull_tx,
+                ]);
+            }
+            println!("per-round trace of seed 0:\n{t}");
+        }
+    }
+    println!(
+        "{} — {} on {}, {} seed(s):",
+        spec.label,
+        spec.protocol.label(),
+        spec.graph.label(),
+        cfg.seeds
+    );
+    println!("  coverage        {:.4}", mean_of(&reports, |r| r.coverage()));
+    println!("  success rate    {:.2}", success_rate(&reports));
+    println!("  rounds          {:.1}", mean_rounds_to_coverage(&reports));
+    println!("  tx per node     {:.2}", mean_of(&reports, |r| r.tx_per_node()));
+    println!("  wall clock      {wall_ms:.1} ms");
+    if let Some(json_path) = &flags.json_path {
+        let mut rec = BenchRecorder::new(spec.label.clone(), cfg.quick);
+        rec.record(spec.label.clone(), spec.graph.node_count(), cfg.seeds, wall_ms, &reports);
+        match rec.write(json_path) {
+            Ok(()) => println!("results written to {json_path}"),
+            Err(e) => eprintln!("warning: could not write {json_path}: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let flags = match parse_run_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &flags.spec_path {
+        return run_spec_file(path, &flags);
+    }
+    let name = flags.name.as_deref().expect("checked by parse_run_flags");
+    let Some(exp) = registry::find(name) else {
+        eprintln!("unknown experiment {name:?}; see `rrb list`");
+        return ExitCode::FAILURE;
+    };
+    let cfg = exp_config_from(&flags);
+    let recorder = (exp.run)(&cfg);
+    if let Some(json_path) = &flags.json_path {
+        match recorder {
+            Some(rec) => match rec.write(json_path) {
+                Ok(()) => println!("timings written to {json_path}"),
+                Err(e) => eprintln!("warning: could not write {json_path}: {e}"),
+            },
+            None => eprintln!(
+                "note: {} uses a bespoke measurement and records no per-config timings; \
+                 --json ignored",
+                exp.name
+            ),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => return cmd_list(),
+        Some("describe") => return cmd_describe(&args[1..]),
+        Some("run") => return cmd_run(&args[1..]),
+        _ => {}
+    }
     let options = match parse_args(&args) {
         Ok(o) => o,
         Err(msg) => {
@@ -295,6 +500,29 @@ mod tests {
         assert!(parse_args(&args(&["--bogus"])).is_err());
         assert!(parse_args(&args(&["--n"])).is_err());
         assert!(parse_args(&args(&["--choices", "0"])).is_err());
+    }
+
+    #[test]
+    fn run_flags_parse() {
+        let f = parse_run_flags(&args(&["e5", "--quick", "--seeds", "4", "--json", "o.json"]))
+            .unwrap();
+        assert_eq!(f.name.as_deref(), Some("e5"));
+        assert!(f.quick);
+        assert_eq!(f.seeds, Some(4));
+        assert_eq!(f.json_path.as_deref(), Some("o.json"));
+        let f = parse_run_flags(&args(&["--spec", "s.json"])).unwrap();
+        assert_eq!(f.spec_path.as_deref(), Some("s.json"));
+        assert!(parse_run_flags(&args(&["--quick"])).is_err()); // no target
+        assert!(parse_run_flags(&args(&["e5", "--bogus"])).is_err());
+        assert!(parse_run_flags(&args(&["e5", "extra"])).is_err());
+        assert!(parse_run_flags(&args(&["e5", "--spec", "s.json"])).is_err()); // not both
+    }
+
+    #[test]
+    fn registry_names_resolve() {
+        for exp in registry::all() {
+            assert!(registry::find(exp.name).is_some());
+        }
     }
 
     #[test]
