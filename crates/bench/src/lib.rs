@@ -268,6 +268,32 @@ impl BenchRecorder {
         });
     }
 
+    /// Records one timed configuration from pre-aggregated metrics, for
+    /// experiments whose per-seed unit is not a single engine
+    /// [`RunReport`] (e.g. the multi-rumour replicated-database runs of
+    /// E14).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_raw(
+        &mut self,
+        label: impl Into<String>,
+        n: usize,
+        seeds: u64,
+        wall_ms: f64,
+        mean_rounds: f64,
+        mean_transmissions: f64,
+        success_rate: f64,
+    ) {
+        self.entries.push(BenchEntry {
+            label: label.into(),
+            n,
+            seeds,
+            wall_ms,
+            mean_rounds,
+            mean_transmissions,
+            success_rate,
+        });
+    }
+
     /// Recorded entries so far.
     pub fn entries(&self) -> &[BenchEntry] {
         &self.entries

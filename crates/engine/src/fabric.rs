@@ -1,0 +1,377 @@
+//! Shared per-round machinery of the flat-arena engines: the channel
+//! fabric (CSR call lists + optional reverse index) and the informed-node
+//! index. Both the single-rumour [`SimState`](crate::SimState) and the
+//! multi-rumour [`MultiSimState`](crate::MultiSimState) round loops are
+//! built from these pieces, so the two engines stay behaviour-identical
+//! where their models coincide (asserted by the seed-for-seed parity
+//! suite in `tests/parity.rs`).
+
+use rand::Rng;
+
+use rrb_graph::NodeId;
+
+use crate::choice::{sample_targets, ChoiceState};
+use crate::{ChoicePolicy, FailureModel, Round, Topology};
+
+/// One round's channel openings in CSR form, with all scratch buffers
+/// reused across rounds (allocation-free once warm).
+///
+/// Channels are sampled once per round by [`sample`](Self::sample) —
+/// every alive, uncrashed node opens channels per the protocol's choice
+/// policy — and then shared by however many rumours ride the fabric. On
+/// the zero-failure fast path only *usable* channels (alive, uncrashed
+/// callee) are materialised and no per-channel flags are stored; on the
+/// slow path every sampled channel is stored together with its
+/// channel-failure outcome.
+#[derive(Debug, Default)]
+pub(crate) struct ChannelFabric {
+    /// CSR offsets: node `i`'s channels are `offsets[i]..offsets[i+1]`.
+    offsets: Vec<u32>,
+    /// Callee per channel.
+    targets: Vec<NodeId>,
+    /// Usability per channel (empty on the fast path: all usable).
+    ok: Vec<bool>,
+    /// `true` when `ok` is not materialised (no channel/transmission
+    /// failures this round).
+    fast_path: bool,
+    /// Reverse CSR offsets: channels *towards* node `w` are
+    /// `in_entries[in_offsets[w]..in_offsets[w+1]]`.
+    in_offsets: Vec<u32>,
+    /// Reverse entries: `(channel id, caller id)`.
+    in_entries: Vec<(u32, u32)>,
+    /// Scatter cursors for the reverse build.
+    in_cursor: Vec<u32>,
+    /// Reusable target scratch for `sample_targets`.
+    target_buf: Vec<NodeId>,
+}
+
+impl ChannelFabric {
+    pub(crate) fn new(node_count: usize) -> Self {
+        ChannelFabric {
+            offsets: Vec::with_capacity(node_count + 1),
+            ..ChannelFabric::default()
+        }
+    }
+
+    /// Samples every alive, uncrashed node's channel targets for this
+    /// round and returns the number of channels opened (skipped callers'
+    /// would-be channels included).
+    ///
+    /// `skip_fanout` is the capability-gated push-only sampling skip: when
+    /// `Some(k)`, a caller for which `is_uninformed` holds can carry no
+    /// rumour in either direction, so its targets are never sampled — its
+    /// deterministic `min(k, deg)` channel count is still added to the
+    /// returned total (channel opening is part of the model), but it costs
+    /// no RNG draws and no buffer traffic.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn sample<T, F, R>(
+        &mut self,
+        topo: &T,
+        policy: ChoicePolicy,
+        choice: &mut ChoiceState,
+        failures: FailureModel,
+        crashed: &[bool],
+        skip_fanout: Option<usize>,
+        is_uninformed: F,
+        rng: &mut R,
+    ) -> u64
+    where
+        T: Topology + ?Sized,
+        F: Fn(usize) -> bool,
+        R: Rng + ?Sized,
+    {
+        let n = topo.node_count();
+        self.fast_path =
+            failures.channel_failure == 0.0 && failures.transmission_failure == 0.0;
+        self.offsets.clear();
+        self.targets.clear();
+        self.ok.clear();
+        self.offsets.push(0);
+        let mut channels = 0u64;
+        for i in 0..n {
+            let v = NodeId::new(i);
+            if topo.is_alive(v) && !crashed[i] {
+                if let (Some(k), true) = (skip_fanout, is_uninformed(i)) {
+                    // Uninformed caller under a push-only protocol: count
+                    // the channels it would open, materialise none.
+                    channels += topo.stubs(v).len().min(k) as u64;
+                    self.offsets.push(self.targets.len() as u32);
+                    continue;
+                }
+                sample_targets(topo, v, policy, choice, rng, &mut self.target_buf);
+                channels += self.target_buf.len() as u64;
+                for &w in &self.target_buf {
+                    // A channel to a dead (departed) or crashed neighbour
+                    // fails to establish; it costs nothing, carries nothing.
+                    let callee_ok = topo.is_alive(w) && !crashed[w.index()];
+                    if self.fast_path {
+                        if callee_ok {
+                            self.targets.push(w);
+                        }
+                    } else {
+                        let ok = callee_ok && failures.channel_ok(rng);
+                        self.targets.push(w);
+                        self.ok.push(ok);
+                    }
+                }
+            }
+            self.offsets.push(self.targets.len() as u32);
+        }
+        channels
+    }
+
+    /// Number of materialised channels this round.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Channel-id range opened by caller `i`.
+    #[inline]
+    pub(crate) fn out_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.offsets[i] as usize..self.offsets[i + 1] as usize
+    }
+
+    /// Callee of channel `c`.
+    #[inline]
+    pub(crate) fn target(&self, c: usize) -> NodeId {
+        self.targets[c]
+    }
+
+    /// Whether channel `c` is usable (established and not failed).
+    #[inline]
+    pub(crate) fn usable(&self, c: usize) -> bool {
+        self.fast_path || self.ok[c]
+    }
+
+    /// Whether this round's fabric was sampled on the zero-failure fast
+    /// path (all materialised channels usable, `ok` not stored).
+    #[cfg(test)]
+    pub(crate) fn is_fast_path(&self) -> bool {
+        self.fast_path
+    }
+
+    /// Builds the reverse (incoming-channel) index: a counting sort of
+    /// the channel list by callee, `O(n + channels)`. Needed only by
+    /// pull-capable protocols — pushes walk the forward lists.
+    pub(crate) fn build_incoming(&mut self, n: usize) {
+        self.in_offsets.clear();
+        self.in_offsets.resize(n + 1, 0);
+        for w in &self.targets {
+            self.in_offsets[w.index() + 1] += 1;
+        }
+        for i in 1..=n {
+            self.in_offsets[i] += self.in_offsets[i - 1];
+        }
+        self.in_cursor.clear();
+        self.in_cursor.extend_from_slice(&self.in_offsets[..n]);
+        self.in_entries.clear();
+        self.in_entries.resize(self.targets.len(), (0, 0));
+        for i in 0..n {
+            for c in self.offsets[i] as usize..self.offsets[i + 1] as usize {
+                let w = self.targets[c].index();
+                self.in_entries[self.in_cursor[w] as usize] = (c as u32, i as u32);
+                self.in_cursor[w] += 1;
+            }
+        }
+    }
+
+    /// Incoming channels of callee `w` as `(channel id, caller id)` pairs
+    /// (valid after [`build_incoming`](Self::build_incoming)).
+    #[inline]
+    pub(crate) fn incoming(&self, w: usize) -> &[(u32, u32)] {
+        &self.in_entries[self.in_offsets[w] as usize..self.in_offsets[w + 1] as usize]
+    }
+
+    /// Heap capacities of every reusable buffer, for the steady-state
+    /// no-allocation tests.
+    pub(crate) fn capacities(&self) -> [usize; 5] {
+        [
+            self.offsets.capacity(),
+            self.targets.capacity(),
+            self.ok.capacity(),
+            self.in_offsets.capacity() + self.in_cursor.capacity(),
+            self.in_entries.capacity() + self.target_buf.capacity(),
+        ]
+    }
+}
+
+/// Informed-node bookkeeping shared by both engines: reception round per
+/// node plus an explicit index list of informed nodes in discovery order,
+/// so the plan, quiescence and coverage passes iterate `O(informed)`
+/// instead of `O(n)`.
+#[derive(Debug)]
+pub(crate) struct InformedIndex {
+    /// Round in which each node first received the rumour (engine-defined
+    /// clock: global rounds for the single-rumour engine, rumour-local
+    /// rounds for the multi-rumour engine).
+    informed_at: Vec<Option<Round>>,
+    /// Indices of informed nodes in discovery order.
+    list: Vec<u32>,
+}
+
+impl InformedIndex {
+    pub(crate) fn new(node_count: usize) -> Self {
+        InformedIndex {
+            informed_at: vec![None; node_count],
+            list: Vec::with_capacity(node_count),
+        }
+    }
+
+    /// Marks `i` informed at round `at`; returns `true` iff it was newly
+    /// informed (already-informed nodes keep their original round).
+    #[inline]
+    pub(crate) fn mark(&mut self, i: usize, at: Round) -> bool {
+        if self.informed_at[i].is_some() {
+            return false;
+        }
+        self.informed_at[i] = Some(at);
+        self.list.push(i as u32);
+        true
+    }
+
+    /// Reception round of node `i`, if informed.
+    #[inline]
+    pub(crate) fn at(&self, i: usize) -> Option<Round> {
+        self.informed_at[i]
+    }
+
+    /// Whether node `i` is informed.
+    #[inline]
+    pub(crate) fn is_informed(&self, i: usize) -> bool {
+        self.informed_at[i].is_some()
+    }
+
+    /// Informed nodes in discovery order.
+    #[inline]
+    pub(crate) fn list(&self) -> &[u32] {
+        &self.list
+    }
+
+    /// Number of informed nodes (alive or dead slots alike).
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Accommodates topology growth (new slots join uninformed).
+    pub(crate) fn ensure_len(&mut self, node_count: usize) {
+        if self.informed_at.len() < node_count {
+            self.informed_at.resize(node_count, None);
+        }
+    }
+
+    /// Consumes the index into the per-node reception-round vector.
+    pub(crate) fn into_informed_at(self) -> Vec<Option<Round>> {
+        self.informed_at
+    }
+
+    /// Index-list heap capacity, for the no-allocation tests.
+    pub(crate) fn capacity(&self) -> usize {
+        self.list.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rrb_graph::gen;
+
+    #[test]
+    fn fabric_reverse_index_inverts_forward_lists() {
+        let g = gen::complete(12);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut choice = ChoiceState::new(12, ChoicePolicy::FOUR);
+        let mut fabric = ChannelFabric::new(12);
+        let crashed = vec![false; 12];
+        let channels = fabric.sample(
+            &g,
+            ChoicePolicy::FOUR,
+            &mut choice,
+            FailureModel::NONE,
+            &crashed,
+            None,
+            |_| false,
+            &mut rng,
+        );
+        assert_eq!(channels, 12 * 4);
+        assert_eq!(fabric.len(), 12 * 4);
+        assert!(fabric.is_fast_path());
+        fabric.build_incoming(12);
+        let mut seen = 0usize;
+        for w in 0..12 {
+            for &(c, caller) in fabric.incoming(w) {
+                assert_eq!(fabric.target(c as usize).index(), w);
+                let range = fabric.out_range(caller as usize);
+                assert!(range.contains(&(c as usize)), "channel not in caller's range");
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, fabric.len(), "reverse index must cover every channel");
+    }
+
+    #[test]
+    fn fabric_skip_counts_channels_without_sampling() {
+        let g = gen::complete(8);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut choice = ChoiceState::new(8, ChoicePolicy::STANDARD);
+        let mut fabric = ChannelFabric::new(8);
+        let crashed = vec![false; 8];
+        // Every caller skipped: full channel count, nothing materialised.
+        let channels = fabric.sample(
+            &g,
+            ChoicePolicy::STANDARD,
+            &mut choice,
+            FailureModel::NONE,
+            &crashed,
+            Some(1),
+            |_| true,
+            &mut rng,
+        );
+        assert_eq!(channels, 8);
+        assert_eq!(fabric.len(), 0);
+    }
+
+    #[test]
+    fn fabric_slow_path_materialises_all_sampled_channels() {
+        let g = gen::complete(16);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut choice = ChoiceState::new(16, ChoicePolicy::STANDARD);
+        let mut fabric = ChannelFabric::new(16);
+        let crashed = vec![false; 16];
+        let channels = fabric.sample(
+            &g,
+            ChoicePolicy::STANDARD,
+            &mut choice,
+            FailureModel::channels(0.5),
+            &crashed,
+            None,
+            |_| false,
+            &mut rng,
+        );
+        assert_eq!(channels, 16);
+        assert_eq!(fabric.len(), 16);
+        assert!(!fabric.is_fast_path());
+        let usable = (0..fabric.len()).filter(|&c| fabric.usable(c)).count();
+        assert!(usable < 16, "with p = 0.5 some channel fails for this seed");
+    }
+
+    #[test]
+    fn informed_index_marks_once_and_keeps_order() {
+        let mut ix = InformedIndex::new(6);
+        assert!(ix.mark(4, 0));
+        assert!(ix.mark(1, 2));
+        assert!(!ix.mark(4, 3), "re-marking must be a no-op");
+        assert_eq!(ix.at(4), Some(0));
+        assert_eq!(ix.at(1), Some(2));
+        assert_eq!(ix.at(0), None);
+        assert!(ix.is_informed(1) && !ix.is_informed(5));
+        assert_eq!(ix.list(), &[4, 1]);
+        assert_eq!(ix.len(), 2);
+        let at = ix.into_informed_at();
+        assert_eq!(at[4], Some(0));
+        assert_eq!(at[2], None);
+    }
+}

@@ -48,6 +48,16 @@
 //! asserted by the `steady_state_rounds_do_not_allocate` test via
 //! capacity-stability fingerprints.
 //!
+//! The **multi-rumour engine** ([`MultiSimState`]) runs on the same
+//! machinery (shared via the internal `fabric` module): one channel fabric
+//! sampled per round and shared by all rumours, per-rumour informed index
+//! lists (plan/update/quiescence/coverage passes are `O(informed·rumours)`,
+//! not `O(n·rumours)`), a single reused observation arena, retirement of
+//! settled rumours, and once-per-channel-direction transmission-failure
+//! draws so combined messages fail atomically (§1.2). Its one-rumour case
+//! is seed-for-seed identical to [`SimState`] across all failure models
+//! (`tests/parity.rs`).
+//!
 //! Seed replication parallelism lives one layer up in `rrb-bench`
 //! (`run_replicated` fans independent seeds over a rayon pool with
 //! deterministic per-seed RNG streams); regenerate the engine's perf
@@ -73,6 +83,7 @@
 #![warn(missing_docs)]
 
 mod choice;
+mod fabric;
 mod failure;
 mod multi;
 mod observation;
@@ -86,7 +97,9 @@ pub mod trace;
 
 pub use choice::{ChoicePolicy, ChoiceState};
 pub use failure::FailureModel;
-pub use multi::{MultiRumorReport, MultiRumorSimulation, RumorInjection, RumorOutcome};
+pub use multi::{
+    MultiRumorReport, MultiRumorSimulation, MultiSimState, RumorInjection, RumorOutcome,
+};
 pub use observation::{Observation, RumorMeta};
 pub use protocol::{Capabilities, NodeView, Plan, Protocol, Round};
 pub use report::{RoundRecord, RunReport, StopReason};

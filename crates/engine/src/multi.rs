@@ -2,10 +2,10 @@ use rand::Rng;
 
 use rrb_graph::NodeId;
 
-use crate::choice::{sample_targets, ChoiceState};
-use crate::{
-    NodeView, Observation, Plan, Protocol, Round, SimConfig, Topology,
-};
+use crate::choice::ChoiceState;
+use crate::fabric::{ChannelFabric, InformedIndex};
+use crate::observation::ObservationArena;
+use crate::{NodeView, Observation, Plan, Protocol, Round, SimConfig, Topology};
 
 /// One rumour to be injected into a [`MultiRumorSimulation`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,7 +23,11 @@ pub struct RumorOutcome {
     pub birth: Round,
     /// Creating node.
     pub origin: NodeId,
-    /// Nodes informed of this rumour at the end.
+    /// Alive, uncrashed nodes informed of this rumour at the end — the
+    /// same census [`full_coverage_at`](Self::full_coverage_at) compares
+    /// against, so `informed == alive` iff coverage was reached. A rumour
+    /// injected at a dead node (or whose origin crash-stops) contributes
+    /// no phantom count.
     pub informed: usize,
     /// Global round at which every alive node knew this rumour, if reached.
     pub full_coverage_at: Option<Round>,
@@ -57,7 +61,9 @@ pub struct MultiRumorReport {
     /// Per-rumour, per-node delivery times in **rumour-local** rounds
     /// (`Some(0)` for the origin; global round = birth + local round).
     /// Indexed `deliveries[rumor][node]`. Applications such as the
-    /// replicated database use this to replay update visibility.
+    /// replicated database use this to replay update visibility. Note the
+    /// trace records *receptions*: a dead or crashed origin still shows
+    /// `Some(0)` here even though it never counts as alive-informed.
     pub deliveries: Vec<Vec<Option<Round>>>,
 }
 
@@ -93,6 +99,578 @@ impl MultiRumorReport {
     }
 }
 
+/// Mutable state of an in-flight **multi-rumour** broadcast — the
+/// flat-arena port of the multi-rumour engine, mirroring
+/// [`SimState`](crate::SimState) for the single-rumour engine.
+///
+/// # Round anatomy
+///
+/// Each [`step`](Self::step) runs shared phases once and per-rumour phases
+/// over per-rumour *informed index lists*:
+///
+/// 1. **Activation** — rumours whose birth round has passed join the
+///    active set (their origins enter the informed census).
+/// 2. **Crash sampling** (skipped unless the model injects crashes).
+/// 3. **Shared channel fabric** — every alive node's call targets are
+///    sampled once into the CSR [`ChannelFabric`] and shared by all
+///    rumours; the capability-gated push-only sampling skip applies to
+///    callers informed of *no* active rumour. Pull-capable protocols also
+///    get a reverse (incoming-channel) index, built once per round.
+/// 4. **Plans** — each active rumour's informed nodes are planned into a
+///    flat CSR plan store: `O(informed · rumours)`, not `O(n · rumours)`.
+/// 5. **Direction census** — one `O(channels)` pass counts combined
+///    messages and draws each channel-direction's transmission failure
+///    **once**, so a combined message succeeds or fails atomically for
+///    every rumour it carries (§1.2).
+/// 6. **Exchanges + digest** per rumour, walking only the rumour's
+///    informed senders (forward lists for pushes, reverse index for
+///    pulls) and the observation arena's touched receivers.
+/// 7. **Coverage** — per-rumour alive-informed counters are maintained
+///    incrementally; no `O(n)` rescans.
+///
+/// All buffers are reused across rounds; once warm, a round performs no
+/// heap allocation (asserted by the steady-state tests).
+///
+/// The one-rumour special case is **seed-for-seed identical** to the
+/// single-rumour engine across all failure models — see `tests/parity.rs`.
+///
+/// Aliveness of the topology is sampled at [`new`](Self::new)
+/// (`alive_count` and per-origin aliveness seed the coverage counters), so
+/// the topology must not change aliveness mid-run; crash-stop failures are
+/// the supported dynamic failure mode.
+#[derive(Debug)]
+pub struct MultiSimState<P: Protocol> {
+    // Run setup (injection order preserved).
+    births: Vec<Round>,
+    origins: Vec<NodeId>,
+    n: usize,
+    /// Alive nodes at `new` — the static part of the coverage denominator.
+    alive: usize,
+    // Per-rumour state (rumour-major flat layout for `states`).
+    states: Vec<P::State>,
+    informed: Vec<InformedIndex>,
+    alive_informed: Vec<usize>,
+    full_coverage_at: Vec<Option<Round>>,
+    tx: Vec<u64>,
+    // Shared node state.
+    /// Number of active, unsettled rumours each node is informed of —
+    /// drives the push-only sampling skip on the shared fabric.
+    informed_of: Vec<u32>,
+    /// Settled rumours (covered under `stop_at_coverage`, past their local
+    /// deadline, or quiescent) are *retired*: frozen and skipped by every
+    /// per-round pass, so the round loop costs `O(Σ informed)` over the
+    /// unsettled rumours only. Retirement is sticky — quiescence is
+    /// monotone and a retired rumour's state never changes again.
+    retired: Vec<bool>,
+    retired_count: usize,
+    /// Rumours whose activation step has run (they joined the informed_of
+    /// census, unless already retired by then).
+    active: Vec<bool>,
+    crashed: Vec<bool>,
+    crashed_count: usize,
+    // Rumour activation, in birth order.
+    activation_order: Vec<u32>,
+    next_activation: usize,
+    // Totals.
+    round: Round,
+    channels: u64,
+    combined: u64,
+    // Scratch buffers reused across rounds (allocation-free once warm).
+    choice: ChoiceState,
+    fabric: ChannelFabric,
+    arena: ObservationArena,
+    scratch_obs: Observation,
+    empty_obs: Observation,
+    /// CSR plan store: rumour `r`'s plans for its informed-list snapshot
+    /// live at `plan_start[r] .. plan_start[r] + snap_len[r]`.
+    plan_store: Vec<Plan>,
+    plan_start: Vec<u32>,
+    snap_len: Vec<u32>,
+    /// Per node: does any active rumour push from / pull-serve at it this
+    /// round (lazily reset via `plan_touched`).
+    push_any: Vec<bool>,
+    pull_any: Vec<bool>,
+    plan_touched: Vec<u32>,
+    /// Per channel-direction transmission outcomes, drawn once per round
+    /// (§1.2: co-riding rumours share the draw). Empty when the model has
+    /// no transmission failures.
+    push_ok: Vec<bool>,
+    pull_ok: Vec<bool>,
+}
+
+impl<P: Protocol> MultiSimState<P> {
+    /// Initialises a multi-rumour broadcast over `topo` (which fixes the
+    /// node count and the alive census for the whole run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any injection's origin is out of range.
+    pub fn new<T: Topology + ?Sized>(
+        protocol: &P,
+        topo: &T,
+        injections: &[RumorInjection],
+    ) -> Self {
+        let n = topo.node_count();
+        let nr = injections.len();
+        let mut states = Vec::with_capacity(nr * n);
+        let mut informed = Vec::with_capacity(nr);
+        let mut alive_informed = Vec::with_capacity(nr);
+        for inj in injections {
+            assert!(inj.origin.index() < n, "rumor origin out of range");
+            for i in 0..n {
+                states.push(protocol.init(i == inj.origin.index()));
+            }
+            let mut ix = InformedIndex::new(n);
+            ix.mark(inj.origin.index(), 0);
+            informed.push(ix);
+            alive_informed.push(usize::from(topo.is_alive(inj.origin)));
+        }
+        let mut activation_order: Vec<u32> = (0..nr as u32).collect();
+        activation_order.sort_by_key(|&r| injections[r as usize].birth);
+        MultiSimState {
+            births: injections.iter().map(|i| i.birth).collect(),
+            origins: injections.iter().map(|i| i.origin).collect(),
+            n,
+            alive: topo.alive_count(),
+            states,
+            informed,
+            alive_informed,
+            full_coverage_at: vec![None; nr],
+            tx: vec![0; nr],
+            informed_of: vec![0; n],
+            retired: vec![false; nr],
+            retired_count: 0,
+            active: vec![false; nr],
+            crashed: vec![false; n],
+            crashed_count: 0,
+            activation_order,
+            next_activation: 0,
+            round: 0,
+            channels: 0,
+            combined: 0,
+            choice: ChoiceState::new(n, protocol.choice_policy()),
+            fabric: ChannelFabric::new(n),
+            arena: ObservationArena::new(n),
+            scratch_obs: Observation::default(),
+            empty_obs: Observation::default(),
+            plan_store: Vec::new(),
+            plan_start: vec![0; nr],
+            snap_len: vec![0; nr],
+            push_any: vec![false; n],
+            pull_any: vec![false; n],
+            plan_touched: Vec::new(),
+            push_ok: Vec::new(),
+            pull_ok: Vec::new(),
+        }
+    }
+
+    /// Current round (0 before the first step).
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Number of scheduled rumours.
+    pub fn rumor_count(&self) -> usize {
+        self.births.len()
+    }
+
+    /// Alive, uncrashed nodes currently informed of rumour `r`.
+    pub fn informed_count(&self, r: usize) -> usize {
+        self.alive_informed[r]
+    }
+
+    /// Number of crash-stopped nodes so far.
+    pub fn crashed_count(&self) -> usize {
+        self.crashed_count
+    }
+
+    /// Alive nodes that have not crash-stopped — the coverage denominator
+    /// (crashes are only ever sampled among alive nodes).
+    fn effective_alive(&self) -> usize {
+        self.alive - self.crashed_count
+    }
+
+    /// Heap capacities of every per-round scratch buffer. Once the engine
+    /// is warm these must stay constant round over round — the arena
+    /// port's "steady-state rounds allocate nothing" guarantee, asserted
+    /// by tests.
+    #[doc(hidden)]
+    pub fn scratch_capacities(&self) -> Vec<usize> {
+        let mut caps = self.fabric.capacities().to_vec();
+        caps.extend([
+            self.plan_store.capacity(),
+            self.plan_touched.capacity(),
+            self.push_ok.capacity(),
+            self.pull_ok.capacity(),
+            self.scratch_obs.pushes.capacity(),
+            self.scratch_obs.pulls.capacity(),
+            self.informed.iter().map(InformedIndex::capacity).sum(),
+        ]);
+        caps.extend(self.arena.capacities());
+        caps
+    }
+
+    /// Marks newly settled rumours as retired. A rumour settles — exactly
+    /// the per-rumour stopping conditions of the single-rumour engine —
+    /// when it is covered (under `stop_at_coverage`), its local clock has
+    /// reached the protocol's designed deadline (the single engine's
+    /// RoundCap), or every informed node is quiescent. Retired rumours are
+    /// frozen: no plans, no transmissions, no updates, and they leave the
+    /// informed_of census that gates the push-only sampling skip.
+    fn settle(&mut self, protocol: &P, config: SimConfig) {
+        let t = self.round;
+        let effective_alive = self.effective_alive();
+        for r in 0..self.births.len() {
+            if self.retired[r] {
+                continue;
+            }
+            let birth = self.births[r];
+            if t < birth {
+                continue; // not yet created
+            }
+            let tl = t - birth;
+            let covered = self.full_coverage_at[r].is_some()
+                || self.alive_informed[r] == effective_alive;
+            let deadline_hit =
+                protocol.deadline().is_some_and(|deadline| tl >= deadline);
+            // Quiescence over the informed index list only — uninformed
+            // nodes are vacuously quiescent, crashed nodes permanently so.
+            let tl_next = tl + 1;
+            let settled = (covered && config.stop_at_coverage)
+                || deadline_hit
+                || self.informed[r].list().iter().all(|&i| {
+                    let i = i as usize;
+                    self.crashed[i]
+                        || protocol.is_quiescent(
+                            &self.states[r * self.n + i],
+                            self.informed[r].at(i).expect("informed list entry"),
+                            tl_next,
+                        )
+                });
+            if settled {
+                self.retired[r] = true;
+                self.retired_count += 1;
+                // A rumour can settle before its activation step (e.g. it
+                // quiesces at creation); only active rumours ever joined
+                // the informed_of census.
+                if self.active[r] {
+                    for &i in self.informed[r].list() {
+                        self.informed_of[i as usize] -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether the run has reached a stopping condition: the round cap, or
+    /// every rumour settled. Also performs the settlement pass, retiring
+    /// rumours that can make no further progress.
+    pub fn finished(&mut self, protocol: &P, config: SimConfig) -> bool {
+        let nr = self.births.len();
+        if nr == 0 {
+            return true;
+        }
+        if self.round >= config.max_rounds {
+            return true;
+        }
+        self.settle(protocol, config);
+        self.retired_count == nr
+    }
+
+    /// Executes one synchronous round over the shared channel fabric.
+    pub fn step<T: Topology + ?Sized, R: Rng + ?Sized>(
+        &mut self,
+        topo: &T,
+        protocol: &P,
+        config: SimConfig,
+        rng: &mut R,
+    ) {
+        let n = self.n;
+        debug_assert_eq!(topo.node_count(), n, "multi-rumour topology must stay static");
+        let failures = config.failures;
+        let policy = protocol.choice_policy();
+        let uses_pull = protocol.capabilities().uses_pull;
+        self.round += 1;
+        let t = self.round;
+
+        // Phase 1: activation — rumours created before this round join the
+        // active set; their origins (the only nodes informed so far) enter
+        // the informed_of census that gates the sampling skip.
+        while let Some(&r) = self.activation_order.get(self.next_activation) {
+            let r = r as usize;
+            if self.births[r] >= t {
+                break;
+            }
+            self.next_activation += 1;
+            if self.retired[r] {
+                continue; // settled before its first communication round
+            }
+            self.active[r] = true;
+            for &i in self.informed[r].list() {
+                self.informed_of[i as usize] += 1;
+            }
+        }
+        let active_end = self.next_activation;
+
+        // Phase 2: crash-stop sampling, identical draw order to the
+        // single-rumour engine; a crashing node leaves every rumour's
+        // alive-informed census.
+        if failures.node_crash > 0.0 {
+            for i in 0..n {
+                if !self.crashed[i]
+                    && topo.is_alive(NodeId::new(i))
+                    && failures.crashes_now(rng)
+                {
+                    self.crashed[i] = true;
+                    self.crashed_count += 1;
+                    for r in 0..self.births.len() {
+                        if self.informed[r].is_informed(i) {
+                            self.alive_informed[r] -= 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 3: the shared channel fabric. The push-only sampling skip
+        // applies to callers informed of no active rumour: their channels
+        // can carry nothing in either direction, so they are counted but
+        // never sampled.
+        let skip_fanout = match (uses_pull, policy) {
+            (false, crate::ChoicePolicy::Distinct(k)) => Some(k),
+            _ => None,
+        };
+        let informed_of = &self.informed_of;
+        self.channels += self.fabric.sample(
+            topo,
+            policy,
+            &mut self.choice,
+            failures,
+            &self.crashed,
+            skip_fanout,
+            |i| informed_of[i] == 0,
+            rng,
+        );
+        if uses_pull {
+            self.fabric.build_incoming(n);
+        }
+
+        // Phase 4: plans. Each active rumour's informed snapshot is planned
+        // into the flat CSR plan store; per-node any-rumour transmit flags
+        // feed the direction census below.
+        for &i in &self.plan_touched {
+            self.push_any[i as usize] = false;
+            self.pull_any[i as usize] = false;
+        }
+        self.plan_touched.clear();
+        self.plan_store.clear();
+        for ai in 0..active_end {
+            let r = self.activation_order[ai] as usize;
+            if self.retired[r] {
+                continue;
+            }
+            let tl = t - self.births[r];
+            self.plan_start[r] = self.plan_store.len() as u32;
+            let snap = self.informed[r].len();
+            self.snap_len[r] = snap as u32;
+            for idx in 0..snap {
+                let i = self.informed[r].list()[idx] as usize;
+                let v = NodeId::new(i);
+                let plan = if !self.crashed[i] && topo.is_alive(v) {
+                    let at = self.informed[r].at(i).expect("informed list entry");
+                    let view = NodeView {
+                        informed_at: at,
+                        is_creator: v == self.origins[r],
+                        state: &self.states[r * n + i],
+                    };
+                    protocol.plan(view, tl)
+                } else {
+                    Plan::SILENT
+                };
+                self.plan_store.push(plan);
+                if (plan.push && !self.push_any[i]) || (plan.pull_serve && !self.pull_any[i])
+                {
+                    self.plan_touched.push(i as u32);
+                }
+                self.push_any[i] |= plan.push;
+                self.pull_any[i] |= plan.pull_serve;
+            }
+        }
+
+        // Phase 5: direction census — one O(channels) pass, shared by all
+        // rumours, that (a) counts combined messages (a channel-direction
+        // used by any number of co-riding rumours is one message) and
+        // (b) draws each used direction's transmission failure exactly
+        // once, so a combined message succeeds or fails atomically (§1.2).
+        // Draw order matches the single-rumour engine's exchange loop.
+        let draw_tx = failures.transmission_failure > 0.0;
+        if draw_tx {
+            self.push_ok.clear();
+            self.push_ok.resize(self.fabric.len(), true);
+            self.pull_ok.clear();
+            self.pull_ok.resize(self.fabric.len(), true);
+        }
+        if !self.plan_touched.is_empty() {
+            for i in 0..n {
+                let range = self.fabric.out_range(i);
+                if range.is_empty() {
+                    continue;
+                }
+                let push_i = self.push_any[i];
+                for c in range {
+                    if !self.fabric.usable(c) {
+                        continue;
+                    }
+                    if push_i {
+                        self.combined += 1;
+                        if draw_tx {
+                            self.push_ok[c] = failures.transmission_ok(rng);
+                        }
+                    }
+                    if self.pull_any[self.fabric.target(c).index()] {
+                        self.combined += 1;
+                        if draw_tx {
+                            self.pull_ok[c] = failures.transmission_ok(rng);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 6: per-rumour exchanges and digest over the shared fabric.
+        // Pushes walk the rumour's informed senders' forward channel lists;
+        // pulls walk its servers' incoming channels via the reverse index —
+        // O(informed · fanout + receipts) per rumour, never O(n).
+        let effective_alive = self.effective_alive();
+        for ai in 0..active_end {
+            let r = self.activation_order[ai] as usize;
+            if self.retired[r] {
+                continue;
+            }
+            let tl = t - self.births[r];
+            let pstart = self.plan_start[r] as usize;
+            let snap = self.snap_len[r] as usize;
+            self.arena.begin_round();
+            let mut tx = 0u64;
+            for idx in 0..snap {
+                let plan = self.plan_store[pstart + idx];
+                if !plan.push {
+                    continue;
+                }
+                let i = self.informed[r].list()[idx] as usize;
+                for c in self.fabric.out_range(i) {
+                    if !self.fabric.usable(c) {
+                        continue;
+                    }
+                    tx += 1;
+                    if !draw_tx || self.push_ok[c] {
+                        self.arena.record_push(self.fabric.target(c).index(), plan.meta);
+                    }
+                }
+            }
+            if uses_pull {
+                for idx in 0..snap {
+                    let plan = self.plan_store[pstart + idx];
+                    if !plan.pull_serve {
+                        continue;
+                    }
+                    let w = self.informed[r].list()[idx] as usize;
+                    for &(c, caller) in self.fabric.incoming(w) {
+                        if !self.fabric.usable(c as usize) {
+                            continue;
+                        }
+                        tx += 1;
+                        if !draw_tx || self.pull_ok[c as usize] {
+                            self.arena.record_pull(caller as usize, plan.meta);
+                        }
+                    }
+                }
+            }
+            self.tx[r] += tx;
+
+            // Digest: receivers via the arena's touched list, then
+            // informed-but-silent nodes via the snapshot.
+            self.arena.build();
+            for dense in 0..self.arena.touched().len() {
+                let i = self.arena.touched()[dense] as usize;
+                let (pushes, pulls) = self.arena.segment(dense);
+                self.scratch_obs.pushes.clear();
+                self.scratch_obs.pulls.clear();
+                self.scratch_obs.pushes.extend_from_slice(pushes);
+                self.scratch_obs.pulls.extend_from_slice(pulls);
+                if self.informed[r].mark(i, tl) {
+                    self.informed_of[i] += 1;
+                    if topo.is_alive(NodeId::new(i)) && !self.crashed[i] {
+                        self.alive_informed[r] += 1;
+                    }
+                }
+                protocol.update(
+                    &mut self.states[r * n + i],
+                    self.informed[r].at(i),
+                    tl,
+                    &self.scratch_obs,
+                );
+            }
+            for idx in 0..snap {
+                let i = self.informed[r].list()[idx] as usize;
+                if self.arena.heard(i) {
+                    continue; // already digested above
+                }
+                protocol.update(
+                    &mut self.states[r * n + i],
+                    self.informed[r].at(i),
+                    tl,
+                    &self.empty_obs,
+                );
+            }
+
+            // Coverage bookkeeping: incremental counters, no O(n) rescan.
+            if self.full_coverage_at[r].is_none()
+                && self.alive_informed[r] == effective_alive
+            {
+                self.full_coverage_at[r] = Some(t);
+            }
+        }
+    }
+
+    /// Runs rounds until [`finished`](Self::finished) fires.
+    pub fn run_to_completion<T: Topology + ?Sized, R: Rng + ?Sized>(
+        &mut self,
+        topo: &T,
+        protocol: &P,
+        config: SimConfig,
+        rng: &mut R,
+    ) {
+        while !self.finished(protocol, config) {
+            self.step(topo, protocol, config, rng);
+        }
+    }
+
+    /// Finalises the run into a [`MultiRumorReport`].
+    pub fn into_report(self) -> MultiRumorReport {
+        let outcomes = (0..self.births.len())
+            .map(|r| RumorOutcome {
+                birth: self.births[r],
+                origin: self.origins[r],
+                informed: self.alive_informed[r],
+                full_coverage_at: self.full_coverage_at[r],
+                tx: self.tx[r],
+            })
+            .collect();
+        MultiRumorReport {
+            rounds: self.round,
+            outcomes,
+            channels: self.channels,
+            combined_messages: self.combined,
+            deliveries: self
+                .informed
+                .into_iter()
+                .map(InformedIndex::into_informed_at)
+                .collect(),
+        }
+    }
+}
+
 /// Simulator for **many concurrent rumours** sharing one channel fabric.
 ///
 /// Every node opens channels once per round (per the protocol's choice
@@ -101,7 +679,12 @@ impl MultiRumorReport {
 /// round − birth`). This reproduces the situation the phone call model is
 /// designed for: "messages are generated with high frequency \[so\] the cost
 /// of establishing communication amortises nicely over all transmissions"
-/// (§1).
+/// (§1). Rumours riding the same channel-direction in the same round are
+/// combined into one message that succeeds or fails **atomically** under
+/// transmission failures (§1.2).
+///
+/// The heavy lifting lives in [`MultiSimState`]; this type is the
+/// convenience runner mirroring [`Simulation`](crate::Simulation).
 ///
 /// ```
 /// use rand::{SeedableRng, rngs::SmallRng};
@@ -145,213 +728,20 @@ impl<P: Protocol> MultiRumorSimulation<P> {
     /// Runs the simulation on a static topology until every rumour is
     /// delivered-or-quiescent, or the round cap is hit.
     pub fn run<T: Topology, R: Rng + ?Sized>(&self, topo: &T, rng: &mut R) -> MultiRumorReport {
-        let n = topo.node_count();
-        let alive = topo.alive_count();
-        let nr = self.injections.len();
-        let protocol = &self.protocol;
-        let failures = self.config.failures;
-
-        // Per-rumour node state.
-        let mut states: Vec<Vec<P::State>> = Vec::with_capacity(nr);
-        let mut informed_at: Vec<Vec<Option<Round>>> = Vec::with_capacity(nr);
-        let mut informed_counts: Vec<usize> = Vec::with_capacity(nr);
-        for inj in &self.injections {
-            assert!(inj.origin.index() < n, "rumor origin out of range");
-            let mut st: Vec<P::State> = (0..n).map(|_| protocol.init(false)).collect();
-            st[inj.origin.index()] = protocol.init(true);
-            states.push(st);
-            let mut ia = vec![None; n];
-            ia[inj.origin.index()] = Some(0);
-            informed_at.push(ia);
-            informed_counts.push(1);
-        }
-        let mut outcomes: Vec<RumorOutcome> = self
-            .injections
-            .iter()
-            .map(|inj| RumorOutcome {
-                birth: inj.birth,
-                origin: inj.origin,
-                informed: 1,
-                full_coverage_at: None,
-                tx: 0,
-            })
-            .collect();
-
-        let mut choice = ChoiceState::new(n, protocol.choice_policy());
-        let mut target_buf: Vec<NodeId> = Vec::new();
-        let mut call_offsets: Vec<u32> = Vec::new();
-        let mut call_targets: Vec<NodeId> = Vec::new();
-        let mut call_ok: Vec<bool> = Vec::new();
-        let mut push_used: Vec<bool> = Vec::new();
-        let mut pull_used: Vec<bool> = Vec::new();
-        let mut observations: Vec<Observation> =
-            (0..n).map(|_| Observation::default()).collect();
-        let mut plans: Vec<Plan> = vec![Plan::SILENT; n];
-
-        let mut channels_total = 0u64;
-        let mut combined_messages = 0u64;
-        let last_birth = self.injections.iter().map(|i| i.birth).max().unwrap_or(0);
-        let mut t: Round = 0;
-
-        loop {
-            // Stop checks.
-            if t >= self.config.max_rounds {
-                break;
-            }
-            if t >= last_birth {
-                let all_settled = (0..nr).all(|r| {
-                    let birth = self.injections[r].birth;
-                    if t < birth {
-                        return false;
-                    }
-                    let tl_next = t - birth + 1;
-                    let covered = outcomes[r].full_coverage_at.is_some();
-                    let quiescent = (0..n).all(|i| match informed_at[r][i] {
-                        Some(at) => protocol.is_quiescent(&states[r][i], at, tl_next),
-                        None => true,
-                    });
-                    (covered && self.config.stop_at_coverage) || quiescent
-                });
-                if all_settled && nr > 0 {
-                    break;
-                }
-                if nr == 0 {
-                    break;
-                }
-            }
-
-            t += 1;
-
-            // Shared channel fabric for this round.
-            call_offsets.clear();
-            call_targets.clear();
-            call_ok.clear();
-            call_offsets.push(0);
-            for i in 0..n {
-                let v = NodeId::new(i);
-                if topo.is_alive(v) {
-                    sample_targets(
-                        topo,
-                        v,
-                        protocol.choice_policy(),
-                        &mut choice,
-                        rng,
-                        &mut target_buf,
-                    );
-                    for &w in &target_buf {
-                        let ok = topo.is_alive(w) && failures.channel_ok(rng);
-                        call_targets.push(w);
-                        call_ok.push(ok);
-                    }
-                }
-                call_offsets.push(call_targets.len() as u32);
-            }
-            channels_total += call_targets.len() as u64;
-            push_used.clear();
-            push_used.resize(call_targets.len(), false);
-            pull_used.clear();
-            pull_used.resize(call_targets.len(), false);
-
-            // Run each active rumour over the shared fabric.
-            for r in 0..nr {
-                let birth = self.injections[r].birth;
-                if t <= birth {
-                    continue; // rumour not yet created (created *at* birth,
-                              // first communication round is birth+1)
-                }
-                let tl = t - birth;
-
-                for i in 0..n {
-                    plans[i] = Plan::SILENT;
-                    if let Some(at) = informed_at[r][i] {
-                        let v = NodeId::new(i);
-                        if topo.is_alive(v) {
-                            let view = NodeView {
-                                informed_at: at,
-                                is_creator: v == self.injections[r].origin,
-                                state: &states[r][i],
-                            };
-                            plans[i] = protocol.plan(view, tl);
-                        }
-                    }
-                }
-
-                for obs in observations.iter_mut() {
-                    obs.clear();
-                }
-                let mut tx = 0u64;
-                for i in 0..n {
-                    let begin = call_offsets[i] as usize;
-                    let end = call_offsets[i + 1] as usize;
-                    for c in begin..end {
-                        if !call_ok[c] {
-                            continue;
-                        }
-                        let w = call_targets[c];
-                        if plans[i].push {
-                            tx += 1;
-                            push_used[c] = true;
-                            if failures.transmission_ok(rng) {
-                                observations[w.index()].pushes.push(plans[i].meta);
-                            }
-                        }
-                        let callee_plan = plans[w.index()];
-                        if callee_plan.pull_serve {
-                            tx += 1;
-                            pull_used[c] = true;
-                            if failures.transmission_ok(rng) {
-                                observations[i].pulls.push(callee_plan.meta);
-                            }
-                        }
-                    }
-                }
-                outcomes[r].tx += tx;
-
-                for i in 0..n {
-                    let heard = observations[i].heard_rumor();
-                    if heard && informed_at[r][i].is_none() {
-                        informed_at[r][i] = Some(tl);
-                        informed_counts[r] += 1;
-                    }
-                    if heard || informed_at[r][i].is_some() {
-                        protocol.update(&mut states[r][i], informed_at[r][i], tl, &observations[i]);
-                    }
-                }
-
-                if outcomes[r].full_coverage_at.is_none() {
-                    let alive_informed = (0..n)
-                        .filter(|&i| {
-                            topo.is_alive(NodeId::new(i)) && informed_at[r][i].is_some()
-                        })
-                        .count();
-                    if alive_informed == alive {
-                        outcomes[r].full_coverage_at = Some(t);
-                    }
-                }
-                outcomes[r].informed = informed_counts[r];
-            }
-
-            combined_messages += push_used.iter().filter(|&&b| b).count() as u64;
-            combined_messages += pull_used.iter().filter(|&&b| b).count() as u64;
-        }
-
-        MultiRumorReport {
-            rounds: t,
-            outcomes,
-            channels: channels_total,
-            combined_messages,
-            deliveries: informed_at,
-        }
+        let mut state = MultiSimState::new(&self.protocol, topo, &self.injections);
+        state.run_to_completion(topo, &self.protocol, self.config, rng);
+        state.into_report()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocols::FloodPushPull;
+    use crate::protocols::{FloodPush, FloodPushPull};
+    use crate::FailureModel;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
-    use rrb_graph::gen;
+    use rrb_graph::{gen, Graph};
 
     #[test]
     fn single_rumor_matches_expectations() {
@@ -443,5 +833,220 @@ mod tests {
         let report = sim.run(&g, &mut rng);
         assert_eq!(report.rounds, 4);
         assert!(!report.all_delivered());
+    }
+
+    #[test]
+    fn co_riding_rumors_share_transmission_fate() {
+        // §1.2 regression: rumours combined into one message must succeed
+        // or fail together. Rumours with identical birth and origin ride
+        // exactly the same channel-directions, so under transmission
+        // failures their delivery traces must stay identical — the old
+        // per-rumour failure draws made them diverge almost surely.
+        let g = gen::complete(24);
+        let cfg = SimConfig::default()
+            .with_failures(FailureModel::transmissions(0.4))
+            .with_max_rounds(300);
+        for seed in 0..4 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut sim = MultiRumorSimulation::new(FloodPushPull::new(), cfg);
+            for _ in 0..5 {
+                sim.inject(RumorInjection { birth: 1, origin: NodeId::new(7) });
+            }
+            let report = sim.run(&g, &mut rng);
+            for r in 1..5 {
+                assert_eq!(
+                    report.deliveries[r], report.deliveries[0],
+                    "co-riding rumour {r} diverged from rumour 0 (seed {seed})"
+                );
+                assert_eq!(report.outcomes[r].tx, report.outcomes[0].tx);
+            }
+        }
+    }
+
+    #[test]
+    fn combining_invariants_hold_under_failures() {
+        // combining_ratio <= 1 and combined_messages <= total_rumor_tx
+        // must hold under channel failures, transmission failures, and
+        // both at once: a channel-direction only counts as a combined
+        // message when at least one rumour transmits on it.
+        let g = gen::complete(24);
+        let models = [
+            FailureModel::channels(0.3),
+            FailureModel::transmissions(0.3),
+            FailureModel { channel_failure: 0.2, transmission_failure: 0.2, node_crash: 0.0 },
+        ];
+        for (mi, failures) in models.into_iter().enumerate() {
+            for seed in 0..5 {
+                let cfg = SimConfig::default().with_failures(failures).with_max_rounds(400);
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut sim = MultiRumorSimulation::new(FloodPushPull::new(), cfg);
+                for i in 0..6u32 {
+                    sim.inject(RumorInjection {
+                        birth: i,
+                        origin: NodeId::new(3 * i as usize),
+                    });
+                }
+                let report = sim.run(&g, &mut rng);
+                assert!(report.total_rumor_tx() > 0, "model {mi} seed {seed} sent nothing");
+                assert!(
+                    report.combined_messages <= report.total_rumor_tx(),
+                    "model {mi} seed {seed}: combined > total"
+                );
+                assert!(
+                    report.combining_ratio() <= 1.0,
+                    "model {mi} seed {seed}: ratio {}",
+                    report.combining_ratio()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_with_failures() {
+        let g = gen::complete(32);
+        let cfg = SimConfig::default()
+            .with_failures(FailureModel {
+                channel_failure: 0.2,
+                transmission_failure: 0.2,
+                node_crash: 0.01,
+            })
+            .with_max_rounds(500);
+        let run = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut sim = MultiRumorSimulation::new(FloodPushPull::new(), cfg);
+            for i in 0..4u32 {
+                sim.inject(RumorInjection { birth: i * 2, origin: NodeId::new(i as usize) });
+            }
+            sim.run(&g, &mut rng)
+        };
+        assert_eq!(run(13), run(13));
+    }
+
+    /// Static topology with a fixed set of dead slots.
+    struct PartiallyDead {
+        g: Graph,
+        dead: Vec<usize>,
+    }
+
+    impl Topology for PartiallyDead {
+        fn node_count(&self) -> usize {
+            rrb_graph::Graph::node_count(&self.g)
+        }
+        fn is_alive(&self, v: NodeId) -> bool {
+            !self.dead.contains(&v.index())
+        }
+        fn stubs(&self, v: NodeId) -> &[NodeId] {
+            self.g.neighbors(v)
+        }
+    }
+
+    #[test]
+    fn dead_origin_counts_no_alive_informed() {
+        // Regression: a rumour injected at a dead node used to report
+        // `informed == 1` while never counting towards coverage. The
+        // alive-informed census must say 0 — nobody alive knows it.
+        let topo = PartiallyDead { g: gen::complete(16), dead: vec![3] };
+        let cfg = SimConfig::default().with_max_rounds(20);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut sim = MultiRumorSimulation::new(FloodPushPull::new(), cfg);
+        sim.inject(RumorInjection { birth: 0, origin: NodeId::new(3) });
+        sim.inject(RumorInjection { birth: 0, origin: NodeId::new(0) });
+        let report = sim.run(&topo, &mut rng);
+        assert_eq!(report.outcomes[0].informed, 0, "dead origin informs nobody");
+        assert_eq!(report.outcomes[0].full_coverage_at, None);
+        // The delivery trace still records the (dead) origin's creation.
+        assert_eq!(report.deliveries[0][3], Some(0));
+        // The co-injected healthy rumour covers all 15 alive nodes.
+        assert_eq!(report.outcomes[1].informed, 15);
+        assert!(report.outcomes[1].full_coverage_at.is_some());
+    }
+
+    #[test]
+    fn crashed_nodes_leave_the_informed_census() {
+        // Under a crash model `informed` must track alive-informed nodes
+        // exactly: coverage implies informed == alive - crashed, and a run
+        // whose origin crashed early can end with informed == 0.
+        let g = gen::complete(48);
+        let proto = FloodPushPull::new();
+        let cfg = SimConfig::default()
+            .with_failures(FailureModel::crashes(0.02))
+            .with_max_rounds(200);
+        let mut exercised = 0;
+        for seed in 0..8 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut st = MultiSimState::new(
+                &proto,
+                &g,
+                &[RumorInjection { birth: 0, origin: NodeId::new(0) }],
+            );
+            st.run_to_completion(&g, &proto, cfg, &mut rng);
+            let crashed = st.crashed_count();
+            let report = st.into_report();
+            let o = &report.outcomes[0];
+            assert!(
+                o.informed <= 48 - crashed,
+                "informed {} exceeds the {} alive uncrashed nodes (seed {seed})",
+                o.informed,
+                48 - crashed
+            );
+            if o.full_coverage_at.is_some() && crashed > 0 {
+                exercised += 1;
+            }
+            if o.full_coverage_at.is_some() {
+                assert_eq!(o.informed, 48 - crashed, "coverage census broke (seed {seed})");
+            }
+        }
+        assert!(exercised >= 4, "only {exercised}/8 seeds crashed someone and covered");
+    }
+
+    #[test]
+    fn steady_state_rounds_do_not_allocate() {
+        // The multi-rumour mirror of the single-engine arena guarantee:
+        // after a warm-up, every per-round scratch buffer keeps its
+        // capacity. Run past full coverage (stop_at_coverage = false) so
+        // late rounds carry the maximum plan/receipt load.
+        let g = gen::complete(64);
+        let proto = FloodPushPull::new();
+        let cfg = SimConfig::until_quiescent().with_max_rounds(100);
+        let mut rng = SmallRng::seed_from_u64(33);
+        let injections: Vec<RumorInjection> = (0..4)
+            .map(|i| RumorInjection { birth: i, origin: NodeId::new(i as usize * 7) })
+            .collect();
+        let mut sim = MultiSimState::new(&proto, &g, &injections);
+        for _ in 0..30 {
+            sim.step(&g, &proto, cfg, &mut rng);
+        }
+        let warm = sim.scratch_capacities();
+        for _ in 0..40 {
+            sim.step(&g, &proto, cfg, &mut rng);
+        }
+        assert_eq!(
+            sim.scratch_capacities(),
+            warm,
+            "per-round scratch buffers reallocated after warm-up"
+        );
+    }
+
+    #[test]
+    fn push_only_protocols_deliver_on_the_shared_fabric() {
+        // The capability-gated sampling skip must engage on the multi
+        // fabric (callers informed of no active rumour) without losing
+        // deliveries.
+        let g = gen::complete(64);
+        let cfg = SimConfig::default().with_max_rounds(200);
+        let run = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut sim = MultiRumorSimulation::new(FloodPush::new(), cfg);
+            for i in 0..3u32 {
+                sim.inject(RumorInjection { birth: i * 3, origin: NodeId::new(i as usize) });
+            }
+            sim.run(&g, &mut rng)
+        };
+        let report = run(9);
+        assert!(report.all_delivered());
+        // Channel accounting includes the skipped callers' channels: one
+        // per alive node per round under the STANDARD policy.
+        assert_eq!(report.channels, 64 * report.rounds as u64);
+        assert_eq!(report, run(9), "skip path must stay deterministic");
     }
 }

@@ -42,7 +42,8 @@ impl Observation {
         self.pushes.iter().chain(self.pulls.iter())
     }
 
-    pub(crate) fn clear(&mut self) {
+    /// Empties both receipt lists, keeping their capacity.
+    pub fn clear(&mut self) {
         self.pushes.clear();
         self.pulls.clear();
     }

@@ -2,7 +2,8 @@ use rand::Rng;
 
 use rrb_graph::NodeId;
 
-use crate::choice::{sample_targets, ChoiceState};
+use crate::choice::ChoiceState;
+use crate::fabric::{ChannelFabric, InformedIndex};
 use crate::observation::ObservationArena;
 use crate::report::StopReason;
 use crate::{
@@ -114,7 +115,10 @@ impl<'a, T: Topology, P: Protocol> Simulation<'a, T, P> {
 #[derive(Debug)]
 pub struct SimState<P: Protocol> {
     states: Vec<P::State>,
-    informed_at: Vec<Option<Round>>,
+    /// Reception round per node plus the informed index list — the plan,
+    /// quiescence and coverage phases iterate `O(informed)` instead of
+    /// `O(n)` (shared with the multi-rumour engine via `fabric.rs`).
+    informed: InformedIndex,
     /// Crash-stopped nodes (see [`FailureModel::node_crash`]): permanently
     /// silent, deaf, and excluded from coverage accounting.
     crashed: Vec<bool>,
@@ -124,25 +128,17 @@ pub struct SimState<P: Protocol> {
     push_tx: u64,
     pull_tx: u64,
     channels: u64,
-    informed_count: usize,
     crashed_count: usize,
     full_coverage_at: Option<Round>,
     tx_at_coverage: Option<u64>,
     stop: Option<StopReason>,
     history: Vec<RoundRecord>,
-    /// Indices of informed nodes in discovery order — lets the plan,
-    /// quiescence and coverage phases iterate `O(informed)` instead of
-    /// `O(n)`.
-    informed: Vec<u32>,
     // Scratch buffers reused across rounds (allocation-free once warm).
-    call_offsets: Vec<u32>,
-    call_targets: Vec<NodeId>,
-    call_ok: Vec<bool>,
+    fabric: ChannelFabric,
     plans: Vec<Plan>,
     arena: ObservationArena,
     scratch_obs: Observation,
     empty_obs: Observation,
-    target_buf: Vec<NodeId>,
 }
 
 impl<P: Protocol> SimState<P> {
@@ -153,13 +149,11 @@ impl<P: Protocol> SimState<P> {
         let mut states: Vec<P::State> =
             (0..node_count).map(|_| protocol.init(false)).collect();
         states[origin.index()] = protocol.init(true);
-        let mut informed_at = vec![None; node_count];
-        informed_at[origin.index()] = Some(0);
-        let mut informed = Vec::with_capacity(node_count);
-        informed.push(origin.index() as u32);
+        let mut informed = InformedIndex::new(node_count);
+        informed.mark(origin.index(), 0);
         SimState {
             states,
-            informed_at,
+            informed,
             crashed: vec![false; node_count],
             creator: origin,
             choice: ChoiceState::new(node_count, protocol.choice_policy()),
@@ -167,21 +161,16 @@ impl<P: Protocol> SimState<P> {
             push_tx: 0,
             pull_tx: 0,
             channels: 0,
-            informed_count: 1,
             crashed_count: 0,
             full_coverage_at: None,
             tx_at_coverage: None,
             stop: None,
             history: Vec::new(),
-            informed,
-            call_offsets: Vec::with_capacity(node_count + 1),
-            call_targets: Vec::new(),
-            call_ok: Vec::new(),
+            fabric: ChannelFabric::new(node_count),
             plans: vec![Plan::SILENT; node_count],
             arena: ObservationArena::new(node_count),
             scratch_obs: Observation::default(),
             empty_obs: Observation::default(),
-            target_buf: Vec::new(),
         }
     }
 
@@ -192,22 +181,22 @@ impl<P: Protocol> SimState<P> {
 
     /// Number of informed alive-or-dead slots.
     pub fn informed_count(&self) -> usize {
-        self.informed_count
+        self.informed.len()
     }
 
     /// Round in which node `v` became informed, if it has.
     pub fn informed_at(&self, v: NodeId) -> Option<Round> {
-        self.informed_at[v.index()]
+        self.informed.at(v.index())
     }
 
     /// Accommodates topology growth (new node slots join uninformed).
     pub fn ensure_len(&mut self, protocol: &P, node_count: usize) {
         while self.states.len() < node_count {
             self.states.push(protocol.init(false));
-            self.informed_at.push(None);
             self.crashed.push(false);
             self.plans.push(Plan::SILENT);
         }
+        self.informed.ensure_len(node_count);
         self.arena.ensure_len(node_count);
         self.choice.ensure_len(node_count);
     }
@@ -239,10 +228,10 @@ impl<P: Protocol> SimState<P> {
         // Uninformed nodes are vacuously quiescent, so only the informed
         // index list needs scanning.
         let t = self.round + 1;
-        let quiescent = self.informed.iter().all(|&i| {
+        let quiescent = self.informed.list().iter().all(|&i| {
             let i = i as usize;
             self.crashed[i]
-                || match self.informed_at[i] {
+                || match self.informed.at(i) {
                     Some(at) => protocol.is_quiescent(&self.states[i], at, t),
                     None => true,
                 }
@@ -262,6 +251,7 @@ impl<P: Protocol> SimState<P> {
         // Every informed node is on the index list, so this is O(informed).
         let n = topo.node_count();
         self.informed
+            .list()
             .iter()
             .filter(|&&i| {
                 let i = i as usize;
@@ -295,21 +285,15 @@ impl<P: Protocol> SimState<P> {
     /// "steady-state rounds allocate nothing" guarantee, asserted by tests.
     #[doc(hidden)]
     pub fn scratch_capacities(&self) -> Vec<usize> {
-        let arena = self.arena.capacities();
-        vec![
-            self.call_offsets.capacity(),
-            self.call_targets.capacity(),
-            self.call_ok.capacity(),
+        let mut caps = self.fabric.capacities().to_vec();
+        caps.extend([
             self.plans.capacity(),
-            self.target_buf.capacity(),
             self.informed.capacity(),
             self.scratch_obs.pushes.capacity(),
             self.scratch_obs.pulls.capacity(),
-            arena[0],
-            arena[1],
-            arena[2],
-            arena[3],
-        ]
+        ]);
+        caps.extend(self.arena.capacities());
+        caps
     }
 
     /// Executes one synchronous round of the phone call model and returns
@@ -368,54 +352,32 @@ impl<P: Protocol> SimState<P> {
             }
         }
 
-        // Phase a: every alive node opens channels. On the fast path a
-        // channel is usable iff the callee slot is alive and uncrashed, so
-        // unusable channels are counted but never materialised and the
-        // per-channel Bernoulli draw is skipped (`FailureModel::NONE` draws
-        // nothing from the RNG either way — the streams stay identical).
-        self.call_offsets.clear();
-        self.call_targets.clear();
-        self.call_ok.clear();
-        self.call_offsets.push(0);
-        let mut channels_this_round = 0u64;
-        for i in 0..n {
-            let v = NodeId::new(i);
-            if topo.is_alive(v) && !self.crashed[i] {
-                if let (Some(k), None) = (skip_fanout, self.informed_at[i]) {
-                    // Uninformed caller under a push-only protocol: count
-                    // the channels it would open, materialise none.
-                    channels_this_round += topo.stubs(v).len().min(k) as u64;
-                    self.call_offsets.push(self.call_targets.len() as u32);
-                    continue;
-                }
-                sample_targets(topo, v, policy, &mut self.choice, rng, &mut self.target_buf);
-                channels_this_round += self.target_buf.len() as u64;
-                for &w in &self.target_buf {
-                    // A channel to a dead (departed) or crashed neighbour
-                    // fails to establish; it costs nothing, carries nothing.
-                    let callee_ok = topo.is_alive(w) && !self.crashed[w.index()];
-                    if fast_path {
-                        if callee_ok {
-                            self.call_targets.push(w);
-                        }
-                    } else {
-                        let ok = callee_ok && failures.channel_ok(rng);
-                        self.call_targets.push(w);
-                        self.call_ok.push(ok);
-                    }
-                }
-            }
-            self.call_offsets.push(self.call_targets.len() as u32);
-        }
+        // Phase a: every alive node opens channels (shared fabric code in
+        // `fabric.rs`). On the fast path a channel is usable iff the callee
+        // slot is alive and uncrashed, so unusable channels are counted but
+        // never materialised and the per-channel Bernoulli draw is skipped
+        // (`FailureModel::NONE` draws nothing from the RNG either way — the
+        // streams stay identical).
+        let informed = &self.informed;
+        let channels_this_round = self.fabric.sample(
+            topo,
+            policy,
+            &mut self.choice,
+            failures,
+            &self.crashed,
+            skip_fanout,
+            |i| informed.at(i).is_none(),
+            rng,
+        );
         self.channels += channels_this_round;
 
         // Phase b: informed nodes decide their plans. Only the informed
         // index list is visited; everyone else keeps a standing SILENT plan,
         // so this phase is O(informed), not O(n).
-        for &i in &self.informed {
+        for &i in self.informed.list() {
             let i = i as usize;
             let v = NodeId::new(i);
-            self.plans[i] = match self.informed_at[i] {
+            self.plans[i] = match self.informed.at(i) {
                 Some(at) if !self.crashed[i] && topo.is_alive(v) => {
                     let view = NodeView {
                         informed_at: at,
@@ -436,14 +398,13 @@ impl<P: Protocol> SimState<P> {
             // Zero-failure fast path: every materialised channel is usable
             // and every transmission arrives — no failure sampling at all.
             for i in 0..n {
-                let begin = self.call_offsets[i] as usize;
-                let end = self.call_offsets[i + 1] as usize;
-                if begin == end {
+                let range = self.fabric.out_range(i);
+                if range.is_empty() {
                     continue;
                 }
                 let caller_plan = self.plans[i];
-                for c in begin..end {
-                    let w = self.call_targets[c].index();
+                for c in range {
+                    let w = self.fabric.target(c).index();
                     // push: caller -> callee.
                     if caller_plan.push {
                         push_tx += 1;
@@ -459,17 +420,16 @@ impl<P: Protocol> SimState<P> {
             }
         } else {
             for i in 0..n {
-                let begin = self.call_offsets[i] as usize;
-                let end = self.call_offsets[i + 1] as usize;
-                if begin == end {
+                let range = self.fabric.out_range(i);
+                if range.is_empty() {
                     continue;
                 }
                 let caller_plan = self.plans[i];
-                for c in begin..end {
-                    if !self.call_ok[c] {
+                for c in range {
+                    if !self.fabric.usable(c) {
                         continue;
                     }
-                    let w = self.call_targets[c].index();
+                    let w = self.fabric.target(c).index();
                     // push: caller -> callee.
                     if caller_plan.push {
                         push_tx += 1;
@@ -505,22 +465,19 @@ impl<P: Protocol> SimState<P> {
             self.scratch_obs.pulls.clear();
             self.scratch_obs.pushes.extend_from_slice(pushes);
             self.scratch_obs.pulls.extend_from_slice(pulls);
-            if self.informed_at[i].is_none() {
-                self.informed_at[i] = Some(t);
-                self.informed.push(i as u32);
-                self.informed_count += 1;
+            if self.informed.mark(i, t) {
                 newly_informed += 1;
             }
-            protocol.update(&mut self.states[i], self.informed_at[i], t, &self.scratch_obs);
+            protocol.update(&mut self.states[i], self.informed.at(i), t, &self.scratch_obs);
         }
         // Informed nodes that heard nothing still observe the (empty) round,
         // so counter-based protocols advance through silent rounds.
         for ix in 0..informed_before {
-            let i = self.informed[ix] as usize;
+            let i = self.informed.list()[ix] as usize;
             if self.arena.heard(i) {
                 continue; // already digested above
             }
-            protocol.update(&mut self.states[i], self.informed_at[i], t, &self.empty_obs);
+            protocol.update(&mut self.states[i], self.informed.at(i), t, &self.empty_obs);
         }
 
         // Phase e: coverage bookkeeping.

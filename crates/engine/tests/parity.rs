@@ -1,0 +1,371 @@
+//! Seed-for-seed parity suite: a one-rumour [`MultiSimState`] must
+//! reproduce the single-rumour [`SimState`] trajectory exactly — same
+//! informed counts every round, same stopping round, same coverage round,
+//! same transmission and channel totals — for the same RNG seed, across
+//! every failure model.
+//!
+//! This is the correctness anchor of the multi-rumour arena port: both
+//! engines are built from the shared fabric/index machinery and consume
+//! identical RNG draw sequences (crash sampling, channel sampling, channel
+//! failures, and — thanks to the once-per-direction transmission draws of
+//! the combining bugfix — transmission failures too), so wherever the two
+//! models coincide the refactor is provably behaviour-preserving.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use rrb_engine::protocols::{FloodPull, FloodPush, FloodPushPull};
+use rrb_engine::{
+    Capabilities, ChoicePolicy, FailureModel, MultiSimState, NodeView, Observation, Plan,
+    Protocol, Round, RumorInjection, RumorMeta, SimConfig, SimState, Topology,
+};
+use rrb_graph::{gen, Graph, NodeId};
+
+/// Stateful push&pull protocol exercising the meta/update paths: each node
+/// transmits for `budget` rounds after reception, stamping ages, and its
+/// state counts every copy it ever received (order-insensitive, like every
+/// real protocol in the workspace).
+#[derive(Debug, Clone)]
+struct CountingGossip {
+    budget: Round,
+}
+
+impl Protocol for CountingGossip {
+    type State = u32;
+
+    fn init(&self, creator: bool) -> Self::State {
+        u32::from(creator)
+    }
+
+    fn choice_policy(&self) -> ChoicePolicy {
+        ChoicePolicy::Distinct(2)
+    }
+
+    fn plan(&self, view: NodeView<'_, Self::State>, t: Round) -> Plan {
+        let age = t - view.informed_at;
+        if age <= self.budget {
+            Plan::push_pull_with(RumorMeta { age, counter: *view.state })
+        } else {
+            Plan::SILENT
+        }
+    }
+
+    fn update(
+        &self,
+        state: &mut Self::State,
+        _informed_at: Option<Round>,
+        _t: Round,
+        obs: &Observation,
+    ) {
+        *state += obs.received() as u32;
+    }
+
+    fn is_quiescent(&self, _state: &Self::State, informed_at: Round, t: Round) -> bool {
+        t > informed_at + self.budget
+    }
+}
+
+/// Push-only variant so the capability-gated sampling skip engages on both
+/// engines.
+#[derive(Debug, Clone)]
+struct CountingPush {
+    inner: CountingGossip,
+}
+
+impl Protocol for CountingPush {
+    type State = u32;
+
+    fn init(&self, creator: bool) -> Self::State {
+        self.inner.init(creator)
+    }
+
+    fn choice_policy(&self) -> ChoicePolicy {
+        ChoicePolicy::FOUR
+    }
+
+    fn plan(&self, view: NodeView<'_, Self::State>, t: Round) -> Plan {
+        let mut plan = self.inner.plan(view, t);
+        plan.pull_serve = false;
+        plan
+    }
+
+    fn update(
+        &self,
+        state: &mut Self::State,
+        informed_at: Option<Round>,
+        t: Round,
+        obs: &Observation,
+    ) {
+        self.inner.update(state, informed_at, t, obs)
+    }
+
+    fn is_quiescent(&self, state: &Self::State, informed_at: Round, t: Round) -> bool {
+        self.inner.is_quiescent(state, informed_at, t)
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::PUSH_ONLY
+    }
+}
+
+/// Drives both engines in lockstep from identical seeds and asserts the
+/// full trajectory matches.
+fn assert_parity<P: Protocol>(
+    label: &str,
+    graph: &Graph,
+    protocol: &P,
+    config: SimConfig,
+    origin: NodeId,
+    seed: u64,
+) {
+    let n = Topology::node_count(graph);
+    let mut single_rng = SmallRng::seed_from_u64(seed);
+    let mut multi_rng = SmallRng::seed_from_u64(seed);
+    let mut single = SimState::new(protocol, n, origin);
+    let mut multi =
+        MultiSimState::new(protocol, graph, &[RumorInjection { birth: 0, origin }]);
+
+    loop {
+        let sf = single.finished(graph, protocol, config);
+        let mf = multi.finished(protocol, config);
+        assert_eq!(
+            sf,
+            mf,
+            "{label} seed {seed}: stop disagreement at round {}",
+            single.round()
+        );
+        if sf {
+            break;
+        }
+        let rec = single.step(graph, protocol, config, &mut single_rng);
+        multi.step(graph, protocol, config, &mut multi_rng);
+        assert_eq!(single.round(), multi.round());
+        assert_eq!(
+            rec.informed,
+            multi.informed_count(0),
+            "{label} seed {seed}: informed trajectory diverged at round {}",
+            rec.round
+        );
+        assert_eq!(
+            single.crashed_count(),
+            multi.crashed_count(),
+            "{label} seed {seed}: crash sets diverged at round {}",
+            rec.round
+        );
+        assert!(rec.round < 5_000, "{label} seed {seed}: runaway run");
+    }
+
+    let rounds = single.round();
+    let m_report = multi.into_report();
+    let s_report = single.into_report(graph, config);
+    assert_eq!(s_report.rounds, rounds);
+    assert_eq!(m_report.rounds, rounds, "{label} seed {seed}: round totals diverged");
+    let outcome = &m_report.outcomes[0];
+    assert_eq!(
+        s_report.full_coverage_at, outcome.full_coverage_at,
+        "{label} seed {seed}: coverage round diverged"
+    );
+    assert_eq!(
+        s_report.informed_count, outcome.informed,
+        "{label} seed {seed}: final informed census diverged"
+    );
+    assert_eq!(
+        s_report.total_tx(),
+        outcome.tx,
+        "{label} seed {seed}: transmission totals diverged"
+    );
+    assert_eq!(
+        s_report.channels, m_report.channels,
+        "{label} seed {seed}: channel totals diverged"
+    );
+}
+
+/// Variant of `assert_parity` that cross-checks the full per-node delivery
+/// trace via the reports (the lockstep version only compares counts; birth
+/// 0 makes the multi engine's local rounds coincide with global rounds).
+fn assert_parity_with_deliveries<P: Protocol>(
+    label: &str,
+    graph: &Graph,
+    protocol: &P,
+    config: SimConfig,
+    origin: NodeId,
+    seed: u64,
+) {
+    let n = Topology::node_count(graph);
+    let mut single_rng = SmallRng::seed_from_u64(seed);
+    let mut multi_rng = SmallRng::seed_from_u64(seed);
+    let mut single = SimState::new(protocol, n, origin);
+    let mut multi =
+        MultiSimState::new(protocol, graph, &[RumorInjection { birth: 0, origin }]);
+    while !single.finished(graph, protocol, config) {
+        single.step(graph, protocol, config, &mut single_rng);
+        multi.step(graph, protocol, config, &mut multi_rng);
+    }
+    let single_at: Vec<Option<Round>> =
+        (0..n).map(|i| single.informed_at(NodeId::new(i))).collect();
+    let m_report = multi.into_report();
+    assert_eq!(
+        single_at, m_report.deliveries[0],
+        "{label} seed {seed}: delivery traces diverged"
+    );
+}
+
+fn regular_graph(seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    gen::random_regular(128, 6, &mut rng).expect("graph generation")
+}
+
+#[test]
+fn parity_without_failures() {
+    let g = regular_graph(1);
+    let cfg = SimConfig::default().with_max_rounds(400);
+    for seed in 0..4 {
+        assert_parity("flood-pushpull", &g, &FloodPushPull::new(), cfg, NodeId::new(5), seed);
+        assert_parity("flood-push", &g, &FloodPush::new(), cfg, NodeId::new(5), seed);
+        assert_parity("flood-pull", &g, &FloodPull::new(), cfg, NodeId::new(5), seed);
+        assert_parity(
+            "counting",
+            &g,
+            &CountingGossip { budget: 12 },
+            SimConfig::until_quiescent().with_max_rounds(400),
+            NodeId::new(5),
+            seed,
+        );
+    }
+}
+
+#[test]
+fn parity_with_channel_failures() {
+    let g = regular_graph(2);
+    let cfg = SimConfig::default()
+        .with_failures(FailureModel::channels(0.25))
+        .with_max_rounds(600);
+    for seed in 0..4 {
+        assert_parity("pushpull+chfail", &g, &FloodPushPull::new(), cfg, NodeId::new(0), seed);
+        assert_parity(
+            "counting+chfail",
+            &g,
+            &CountingGossip { budget: 16 },
+            cfg,
+            NodeId::new(0),
+            seed,
+        );
+    }
+}
+
+#[test]
+fn parity_with_transmission_failures() {
+    // The strongest case: the combining bugfix draws transmission failures
+    // once per channel-direction, in exactly the single-rumour engine's
+    // order, so even lossy-transmission trajectories match seed for seed.
+    let g = regular_graph(3);
+    let cfg = SimConfig::default()
+        .with_failures(FailureModel::transmissions(0.35))
+        .with_max_rounds(800);
+    for seed in 0..4 {
+        assert_parity("pushpull+txfail", &g, &FloodPushPull::new(), cfg, NodeId::new(9), seed);
+        assert_parity("push+txfail", &g, &FloodPush::new(), cfg, NodeId::new(9), seed);
+        assert_parity(
+            "counting+txfail",
+            &g,
+            &CountingGossip { budget: 20 },
+            cfg,
+            NodeId::new(9),
+            seed,
+        );
+    }
+}
+
+#[test]
+fn parity_with_crashes() {
+    let g = regular_graph(4);
+    let cfg = SimConfig::default()
+        .with_failures(FailureModel::crashes(0.01))
+        .with_max_rounds(400);
+    for seed in 0..4 {
+        assert_parity("pushpull+crash", &g, &FloodPushPull::new(), cfg, NodeId::new(2), seed);
+    }
+}
+
+#[test]
+fn parity_with_all_failures_combined() {
+    let g = regular_graph(5);
+    let cfg = SimConfig::default()
+        .with_failures(FailureModel {
+            channel_failure: 0.15,
+            transmission_failure: 0.2,
+            node_crash: 0.005,
+        })
+        .with_max_rounds(800);
+    for seed in 0..4 {
+        assert_parity("pushpull+all", &g, &FloodPushPull::new(), cfg, NodeId::new(7), seed);
+        assert_parity(
+            "counting+all",
+            &g,
+            &CountingGossip { budget: 24 },
+            cfg,
+            NodeId::new(7),
+            seed,
+        );
+    }
+}
+
+#[test]
+fn parity_of_delivery_traces() {
+    let g = regular_graph(6);
+    for seed in 0..3 {
+        assert_parity_with_deliveries(
+            "pushpull-traces",
+            &g,
+            &FloodPushPull::new(),
+            SimConfig::default().with_max_rounds(400),
+            NodeId::new(11),
+            seed,
+        );
+        assert_parity_with_deliveries(
+            "pushpull-traces+txfail",
+            &g,
+            &FloodPushPull::new(),
+            SimConfig::default()
+                .with_failures(FailureModel::transmissions(0.3))
+                .with_max_rounds(800),
+            NodeId::new(11),
+            seed,
+        );
+    }
+}
+
+#[test]
+fn parity_with_push_only_sampling_skip() {
+    // Push-only protocol under Distinct(k): both engines must take the
+    // capability-gated sampling skip and stay byte-identical — the multi
+    // fabric's informed_of census must agree with the single engine's
+    // per-node informedness in the one-rumour case.
+    let g = regular_graph(7);
+    let proto = CountingPush { inner: CountingGossip { budget: 14 } };
+    for seed in 0..4 {
+        assert_parity(
+            "counting-push-skip",
+            &g,
+            &proto,
+            SimConfig::until_quiescent().with_max_rounds(400),
+            NodeId::new(3),
+            seed,
+        );
+    }
+    let cfg = SimConfig::default()
+        .with_failures(FailureModel::channels(0.2))
+        .with_max_rounds(600);
+    for seed in 0..2 {
+        assert_parity("counting-push-skip+chfail", &g, &proto, cfg, NodeId::new(3), seed);
+    }
+}
+
+#[test]
+fn parity_on_complete_graph() {
+    let g = gen::complete(48);
+    let cfg = SimConfig::default().with_max_rounds(200);
+    for seed in 0..3 {
+        assert_parity("complete-pushpull", &g, &FloodPushPull::new(), cfg, NodeId::new(0), seed);
+    }
+}

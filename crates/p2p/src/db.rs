@@ -131,6 +131,11 @@ impl<P: Protocol + Clone> ReplicatedDb<P> {
 
     /// Issues `count` updates at uniformly random origins and rounds in
     /// `0..window`, over `key_space` distinct keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topo` has no alive nodes — rejection-sampling an origin
+    /// would otherwise loop forever.
     pub fn push_random_updates<T: Topology, R: Rng + ?Sized>(
         &mut self,
         topo: &T,
@@ -139,6 +144,10 @@ impl<P: Protocol + Clone> ReplicatedDb<P> {
         key_space: u64,
         rng: &mut R,
     ) -> &mut Self {
+        assert!(
+            topo.alive_count() > 0,
+            "push_random_updates requires a topology with at least one alive node"
+        );
         for _ in 0..count {
             let origin = loop {
                 let i = rng.gen_range(0..topo.node_count());
@@ -278,6 +287,34 @@ mod tests {
         assert!(!report.converged);
         assert_eq!(report.latencies[0], None);
         assert_eq!(report.mean_latency(), None);
+    }
+
+    /// A topology whose slots are all dead (departed peers).
+    struct DeadTopology {
+        g: rrb_graph::Graph,
+    }
+
+    impl rrb_engine::Topology for DeadTopology {
+        fn node_count(&self) -> usize {
+            self.g.node_count()
+        }
+        fn is_alive(&self, _v: NodeId) -> bool {
+            false
+        }
+        fn stubs(&self, v: NodeId) -> &[NodeId] {
+            self.g.neighbors(v)
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one alive node")]
+    fn random_updates_reject_dead_topology() {
+        // Regression: with zero alive nodes the origin rejection-sampling
+        // loop used to spin forever; it must fail fast instead.
+        let mut rng = SmallRng::seed_from_u64(6);
+        let topo = DeadTopology { g: gen::complete(8) };
+        let mut db = ReplicatedDb::new(FloodPushPull::new(), SimConfig::default());
+        db.push_random_updates(&topo, 1, 4, 8, &mut rng);
     }
 
     #[test]
