@@ -11,20 +11,19 @@
 //! blocks — the legacy binary reused the same indices for two different
 //! failure kinds).
 
-use rand::Rng;
-
 use crate::registry::{deadline_of, run_entry, Experiment, LadderEntry};
 use crate::scenario::{
-    FailureSpec, GossipModeSpec, GraphSpec, MeasureSpec, PolicySpec, ProtocolSpec, RegimeSpec,
-    ScenarioSpec, StopSpec,
+    ChurnSpec, DynamicsSpec, FailureSpec, GossipModeSpec, GraphSpec, MeasureSpec, PolicySpec,
+    ProtocolSpec, RegimeSpec, ScenarioSpec, StopSpec,
 };
 use crate::{
-    mean_of, mean_rounds_to_coverage, replicate, success_rate, BenchRecorder, ExpConfig,
+    mean_of, mean_rounds_to_coverage, peak_rss_kib, replicate, success_rate, BenchRecorder,
+    ExpConfig,
 };
 use rrb_core::{AlgorithmVariant, DegreeRegime};
-use rrb_engine::{RoundRecord, SimConfig, SimState, Simulation, Topology};
+use rrb_engine::{RoundRecord, SimConfig, Simulation};
 use rrb_graph::{gen, spectral, NodeId};
-use rrb_p2p::{ChurnProcess, Overlay, ReplicatedDb};
+use rrb_p2p::ReplicatedDb;
 use rrb_stats::{fit_log2, fit_loglog2, Summary, Table};
 
 /// Mirrors `ExpConfig::size_exponents` for ladder builders that only get
@@ -102,6 +101,43 @@ fn e1_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
         }
     }
     println!("\n{table}");
+
+    // Memory-smoke rung (skipped under --quick): a single seed at
+    // n = 2^20 ≈ 10^6, recording the process's peak RSS around the CSR
+    // graph + arena run — the first step toward the ROADMAP 10^6 ladder.
+    if !cfg.quick {
+        let n = 1usize << 20;
+        let d = 8usize;
+        let rss_before = peak_rss_kib();
+        let entry = LadderEntry::new(
+            9000,
+            ScenarioSpec::new(
+                format!("memsmoke_n{n}"),
+                GraphSpec::RandomRegular { n, d },
+                four_choice(n, d),
+            )
+            .with_stop(StopSpec::COVERAGE),
+        );
+        let one_seed = ExpConfig { quick: false, seeds: 1, threads: cfg.threads };
+        let (reports, wall_ms) = run_entry(1, &entry, &one_seed);
+        recorder.record(entry.spec.label.clone(), n, 1, wall_ms, &reports);
+        let rss_after = peak_rss_kib();
+        let fmt_mib = |kib: Option<u64>| match kib {
+            Some(k) => format!("{:.0} MiB", k as f64 / 1024.0),
+            None => "n/a".into(),
+        };
+        println!(
+            "\nmemory smoke (single seed, n = 2^20, d = {d}): rounds {:.0}, coverage \
+             {:.4}, wall {wall_ms:.0} ms\n  peak RSS before {} / after {} (VmHWM; \
+             CSR graph ≈ {:.0} MiB of stubs alone)",
+            mean_rounds_to_coverage(&reports),
+            mean_of(&reports, |r| r.coverage()),
+            fmt_mib(rss_before),
+            fmt_mib(rss_after),
+            (n * d * 4) as f64 / (1024.0 * 1024.0),
+        );
+    }
+
     let json_path =
         std::env::var("RRB_BENCH_JSON").unwrap_or_else(|_| "BENCH_engine.json".into());
     match recorder.write(&json_path) {
@@ -818,38 +854,64 @@ fn e9_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
 }
 
 // ---------------------------------------------------------------------------
-// E10 — churn (bespoke: drives SimState + overlay mutation per round)
+// E10 — churn (pure registry data: DynamicsSpec::Churn drives the shared
+// churn harness; no bespoke round loop here)
 // ---------------------------------------------------------------------------
 
 const E10_RATES: [f64; 5] = [0.0, 1.0, 4.0, 16.0, 64.0];
+/// The multi-rumour-under-churn rung: staggered rumours riding one fabric
+/// while peers join and leave — the scenario family the alive-census
+/// refactor unlocked.
+const E10_MULTI_RUMORS: usize = 8;
+const E10_MULTI_STAGGER: u32 = 3;
+const E10_MULTI_RATE: f64 = 4.0;
 
 fn e10_params(quick: bool) -> (usize, usize) {
     (if quick { 1 << 11 } else { 1 << 13 }, 8)
 }
 
+fn e10_entry(n: usize, d: usize, i: usize, rate: f64) -> LadderEntry {
+    LadderEntry::new(
+        i as u64,
+        ScenarioSpec::new(
+            format!("churn_{rate:.0}"),
+            GraphSpec::RandomRegular { n, d },
+            four_choice(n, d),
+        )
+        .with_dynamics(DynamicsSpec::Churn(ChurnSpec::symmetric(rate))),
+    )
+}
+
+fn e10_multi_entry(n: usize, d: usize) -> LadderEntry {
+    LadderEntry::new(
+        E10_RATES.len() as u64,
+        ScenarioSpec::new(
+            format!("multi_churn_{E10_MULTI_RATE:.0}"),
+            GraphSpec::RandomRegular { n, d },
+            four_choice(n, d),
+        )
+        .with_dynamics(DynamicsSpec::Churn(ChurnSpec::symmetric(E10_MULTI_RATE)))
+        .with_measure(MeasureSpec::Custom(format!(
+            "multi-rumour under churn: {E10_MULTI_RUMORS} rumours staggered \
+             {E10_MULTI_STAGGER} rounds apart on the shared fabric"
+        ))),
+    )
+}
+
 fn e10_scenarios(quick: bool) -> Vec<LadderEntry> {
     let (n, d) = e10_params(quick);
-    E10_RATES
+    let mut out: Vec<LadderEntry> = E10_RATES
         .iter()
         .enumerate()
-        .map(|(i, &rate)| {
-            LadderEntry::new(
-                i as u64,
-                ScenarioSpec::new(
-                    format!("churn_{rate:.0}"),
-                    GraphSpec::RandomRegular { n, d },
-                    four_choice(n, d),
-                )
-                .with_measure(MeasureSpec::Custom(format!(
-                    "overlay churn: {rate:.0} joins+leaves per round, flip-rewired"
-                ))),
-            )
-        })
-        .collect()
+        .map(|(i, &rate)| e10_entry(n, d, i, rate))
+        .collect();
+    out.push(e10_multi_entry(n, d));
+    out
 }
 
 fn e10_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
     let (n, d) = e10_params(cfg.quick);
+    let mut recorder = BenchRecorder::new("e10_churn", cfg.quick);
     println!("E10: four-choice broadcast under churn at n = {n}, d = {d} ({} seeds)\n", cfg.seeds);
     let mut table = Table::new(vec![
         "joins+leaves/round",
@@ -857,51 +919,100 @@ fn e10_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
         "full success",
         "rounds run",
         "tx/node",
+        "joins",
+        "leaves",
     ]);
     for (i, &rate) in E10_RATES.iter().enumerate() {
-        // Each seed runs its own churn trajectory on the rayon pool; the
-        // per-seed RNG stream makes the outcome thread-count invariant.
-        let per_seed = replicate(10, i as u64, cfg.seeds, |_, rng| {
-            let mut overlay = Overlay::random(n, d, rng).expect("overlay");
-            let alg = rrb_core::FourChoice::for_graph(n, d);
-            let mut churn = ChurnProcess::symmetric(rate, n / 2);
-            let config = SimConfig::until_quiescent();
-            let origin = {
-                let i = rng.gen_range(0..Topology::node_count(&overlay));
-                NodeId::new(i)
-            };
-            let mut sim = SimState::new(&alg, Topology::node_count(&overlay), origin);
-            while !sim.finished(&overlay, &alg, config) {
-                sim.step(&overlay, &alg, config, rng);
-                churn.step(&mut overlay, rng).expect("churn");
-                overlay.rewire(rate.ceil() as usize * 2, rng);
-            }
-            let report = sim.into_report(&overlay, config);
-            (
-                report.coverage(),
-                if report.all_informed() { 1.0 } else { 0.0 },
-                report.rounds as f64,
-                report.tx_per_node(),
-            )
-        });
-        let coverages: Vec<f64> = per_seed.iter().map(|r| r.0).collect();
-        let successes: Vec<f64> = per_seed.iter().map(|r| r.1).collect();
-        let rounds_v: Vec<f64> = per_seed.iter().map(|r| r.2).collect();
-        let txs: Vec<f64> = per_seed.iter().map(|r| r.3).collect();
+        let entry = e10_entry(n, d, i, rate);
+        let (runs, wall_ms) = crate::registry::run_entry_churned(10, &entry, cfg);
+        let reports: Vec<_> = runs.iter().map(|r| r.report.clone()).collect();
+        recorder.record(entry.spec.label.clone(), n, cfg.seeds, wall_ms, &reports);
         table.row(vec![
             format!("{rate:.0}"),
-            format!("{:.4}", Summary::from_slice(&coverages).mean),
-            format!("{:.2}", Summary::from_slice(&successes).mean),
-            format!("{:.1}", Summary::from_slice(&rounds_v).mean),
-            format!("{:.1}", Summary::from_slice(&txs).mean),
+            format!("{:.4}", mean_of(&reports, |r| r.coverage())),
+            format!("{:.2}", success_rate(&reports)),
+            format!("{:.1}", mean_of(&reports, |r| r.rounds as f64)),
+            format!("{:.1}", mean_of(&reports, |r| r.tx_per_node())),
+            format!("{:.1}", Summary::from_slice(
+                &runs.iter().map(|r| r.churn.joins as f64).collect::<Vec<_>>()
+            ).mean),
+            format!("{:.1}", Summary::from_slice(
+                &runs.iter().map(|r| r.churn.leaves as f64).collect::<Vec<_>>()
+            ).mean),
         ]);
     }
     println!("{table}");
+
+    // Multi-rumour-under-churn rung: the MultiSimState path with live
+    // membership deltas (staggered rumours + symmetric churn).
+    let entry = e10_multi_entry(n, d);
+    let DynamicsSpec::Churn(churn) = entry.spec.dynamics else { unreachable!() };
+    let proto = entry.spec.protocol.build();
+    let graph = entry.spec.graph.clone();
+    let start = std::time::Instant::now();
+    let outs = crate::run_replicated_multi_churned(
+        move |rng| graph.build(rng).expect("graph generation"),
+        entry.spec.graph.target_degree(),
+        &proto,
+        entry.spec.sim_config(),
+        churn.to_process(n),
+        churn.rewire_per_round,
+        E10_MULTI_RUMORS,
+        E10_MULTI_STAGGER,
+        10,
+        entry.config_ix,
+        cfg.seeds,
+    );
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let survivor_cov: Vec<f64> = outs
+        .iter()
+        .flat_map(|o| {
+            o.report
+                .outcomes
+                .iter()
+                .map(|r| r.informed as f64 / o.final_alive.max(1) as f64)
+        })
+        .collect();
+    let delivered: Vec<f64> = outs
+        .iter()
+        .map(|o| {
+            o.report.outcomes.iter().filter(|r| r.full_coverage_at.is_some()).count() as f64
+                / o.report.outcomes.len().max(1) as f64
+        })
+        .collect();
+    let rounds_v: Vec<f64> = outs.iter().map(|o| o.report.rounds as f64).collect();
+    let ratios: Vec<f64> = outs.iter().map(|o| o.report.combining_ratio()).collect();
+    recorder.record_raw(
+        entry.spec.label.clone(),
+        n,
+        cfg.seeds,
+        wall_ms,
+        Summary::from_slice(&rounds_v).mean,
+        Summary::from_slice(
+            &outs.iter().map(|o| o.report.total_rumor_tx() as f64).collect::<Vec<_>>(),
+        )
+        .mean,
+        Summary::from_slice(&delivered).mean,
+    );
+    println!(
+        "multi-rumour rung ({E10_MULTI_RUMORS} rumours staggered {E10_MULTI_STAGGER} \
+         rounds apart, churn {E10_MULTI_RATE:.0}+{E10_MULTI_RATE:.0}/round):\n  \
+         mean survivor coverage per rumour  {:.4}\n  \
+         rumours reaching full coverage     {:.2}\n  \
+         combining ratio                    {:.3}\n  \
+         rounds                             {:.1}   (wall {wall_ms:.1} ms)\n",
+        Summary::from_slice(&survivor_cov).mean,
+        Summary::from_slice(&delivered).mean,
+        Summary::from_slice(&ratios).mean,
+        Summary::from_slice(&rounds_v).mean,
+    );
     println!(
         "expected: coverage ≈ 1 at limited churn; graceful decay as churn grows\n\
-         (late joiners can miss the pull step); cost stays O(log log n)/node."
+         (late joiners can miss the pull step); cost stays O(log log n)/node. The\n\
+         multi rung shows staggered rumours co-riding the fabric while the\n\
+         membership census shifts underneath them."
     );
-    None
+    Some(recorder)
 }
 
 // ---------------------------------------------------------------------------
@@ -1722,7 +1833,9 @@ pub(crate) static REGISTRY: &[Experiment] = &[
         id: 10,
         title: "robustness to membership churn (abstract)",
         description: "Peers join/leave during the broadcast on a near-regular overlay with \
-                      flip rewiring; survivor coverage decays gracefully with churn rate.",
+                      flip rewiring (DynamicsSpec::Churn scenario data feeding the engines' \
+                      alive census); survivor coverage decays gracefully with churn rate, \
+                      plus a multi-rumour-under-churn rung on the shared fabric.",
         scenarios: e10_scenarios,
         run: e10_run,
     },

@@ -40,8 +40,12 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
-use rrb_engine::{Protocol, RunReport, SimConfig, Simulation, Topology};
-use rrb_graph::NodeId;
+use rrb_engine::{
+    MultiRumorReport, MultiSimState, Protocol, Round, RumorInjection, RunReport, SimConfig,
+    SimState, Simulation, Topology,
+};
+use rrb_graph::{Graph, NodeId};
+use rrb_p2p::{ChurnProcess, ChurnStats, Overlay};
 
 /// Command-line configuration shared by all experiment binaries.
 #[derive(Debug, Clone, Copy)]
@@ -168,6 +172,152 @@ where
         };
         Simulation::new(&topo, protocol.clone(), config).run(origin, rng)
     })
+}
+
+/// One seed's outcome of a broadcast under membership churn: the engine
+/// report (coverage is measured over **survivors** — the alive, uncrashed
+/// census at the end of the run) plus the totals of the membership events
+/// applied while it ran.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnRunReport {
+    /// The engine's run report; `alive_count` is the final survivor
+    /// census, so `coverage()` is survivor coverage.
+    pub report: RunReport,
+    /// Join/leave totals applied over the run.
+    pub churn: ChurnStats,
+}
+
+/// Replicated single-rumour broadcasts under membership churn — the
+/// dynamic-membership twin of [`run_replicated`].
+///
+/// The **base graph** is generated once per configuration on the
+/// [`TOPOLOGY_STREAM`] (generation dominates wall-clock at large n); each
+/// seed then wraps it in its own mutable [`Overlay`] and runs its own
+/// churn trajectory on the per-seed [`rng_for`] stream: one engine round,
+/// one [`ChurnProcess`] step, `rewire_per_round` flip switches, then the
+/// structured [`ChurnEvents`](rrb_p2p::ChurnEvents) are fed to the
+/// engine's alive census (`apply_joins` / `apply_leaves`). Outcomes are
+/// therefore byte-identical for every thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_replicated_churned<P, F>(
+    base_builder: F,
+    target_degree: usize,
+    protocol: &P,
+    config: SimConfig,
+    churn: ChurnProcess,
+    rewire_per_round: usize,
+    experiment: u64,
+    config_ix: u64,
+    seeds: u64,
+) -> Vec<ChurnRunReport>
+where
+    P: Protocol + Clone + Sync,
+    F: FnOnce(&mut SmallRng) -> Graph,
+{
+    let mut topo_rng = rng_for(experiment, config_ix, TOPOLOGY_STREAM);
+    let base = base_builder(&mut topo_rng);
+    replicate(experiment, config_ix, seeds, |_, rng| {
+        let mut overlay = Overlay::from_graph(&base, target_degree);
+        let origin = random_alive_origin(&overlay, rng);
+        let mut process = churn; // Copy: every seed starts with fresh debts
+        let mut totals = ChurnStats::default();
+        let mut sim = SimState::new(protocol, Topology::node_count(&overlay), origin);
+        while !sim.finished(&overlay, protocol, config) {
+            sim.step(&overlay, protocol, config, rng);
+            let events = process.step(&mut overlay, rng).expect("churn step");
+            overlay.rewire(rewire_per_round, rng);
+            totals.absorb(events.stats());
+            sim.apply_joins(protocol, &events.joined);
+            sim.apply_leaves(&events.left);
+        }
+        ChurnRunReport { report: sim.into_report(&overlay, config), churn: totals }
+    })
+}
+
+/// One seed's outcome of a **multi-rumour** run under churn.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiChurnReport {
+    /// The multi-rumour engine report (per-rumour `informed` counts alive,
+    /// uncrashed survivors).
+    pub report: MultiRumorReport,
+    /// Join/leave totals applied over the run.
+    pub churn: ChurnStats,
+    /// Final survivor census — the denominator for per-rumour survivor
+    /// coverage.
+    pub final_alive: usize,
+}
+
+/// Replicated **multi-rumour** broadcasts under membership churn:
+/// `rumors` rumours injected `stagger` rounds apart at random alive
+/// origins, riding one shared channel fabric while peers join and leave —
+/// the scenario family (multi-rumour × churn) the alive-census refactor
+/// unlocked. Same topology-sharing and determinism contract as
+/// [`run_replicated_churned`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_replicated_multi_churned<P, F>(
+    base_builder: F,
+    target_degree: usize,
+    protocol: &P,
+    config: SimConfig,
+    churn: ChurnProcess,
+    rewire_per_round: usize,
+    rumors: usize,
+    stagger: Round,
+    experiment: u64,
+    config_ix: u64,
+    seeds: u64,
+) -> Vec<MultiChurnReport>
+where
+    P: Protocol + Clone + Sync,
+    F: FnOnce(&mut SmallRng) -> Graph,
+{
+    let mut topo_rng = rng_for(experiment, config_ix, TOPOLOGY_STREAM);
+    let base = base_builder(&mut topo_rng);
+    replicate(experiment, config_ix, seeds, |_, rng| {
+        let mut overlay = Overlay::from_graph(&base, target_degree);
+        let injections: Vec<RumorInjection> = (0..rumors)
+            .map(|r| RumorInjection {
+                birth: r as Round * stagger,
+                origin: random_alive_origin(&overlay, rng),
+            })
+            .collect();
+        let mut process = churn;
+        let mut totals = ChurnStats::default();
+        let mut sim = MultiSimState::new(protocol, &overlay, &injections);
+        while !sim.finished(protocol, config) {
+            sim.step(&overlay, protocol, config, rng);
+            let events = process.step(&mut overlay, rng).expect("churn step");
+            overlay.rewire(rewire_per_round, rng);
+            totals.absorb(events.stats());
+            sim.apply_joins(protocol, &events.joined);
+            sim.apply_leaves(&events.left);
+        }
+        let final_alive = sim.effective_alive();
+        MultiChurnReport { report: sim.into_report(), churn: totals, final_alive }
+    })
+}
+
+fn random_alive_origin<T: Topology, R: rand::Rng + ?Sized>(topo: &T, rng: &mut R) -> NodeId {
+    loop {
+        let i = rng.gen_range(0..topo.node_count());
+        if topo.is_alive(NodeId::new(i)) {
+            return NodeId::new(i);
+        }
+    }
+}
+
+/// Peak resident set size of this process (`VmHWM`) in kibibytes, read
+/// from `/proc/self/status`; `None` where the procfs field is unavailable.
+/// Used by the n = 10^6 memory-smoke rung of E1.
+pub fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
 }
 
 /// Like [`run_replicated`], additionally timing the configuration's total
@@ -434,6 +584,94 @@ mod tests {
         }
         let again = replicate(9, 0, 16, |seed, rng| (seed, rng.gen::<u64>()));
         assert_eq!(out, again);
+    }
+
+    #[test]
+    fn churned_runs_are_deterministic_and_apply_churn() {
+        let run = || {
+            run_replicated_churned(
+                |rng| gen::random_regular(128, 6, rng).unwrap(),
+                6,
+                &FloodPushPull::new(),
+                SimConfig::default().with_max_rounds(200),
+                ChurnProcess::symmetric(2.0, 32),
+                4,
+                10,
+                90,
+                4,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must give identical churn trajectories");
+        for r in &a {
+            assert!(r.churn.joins > 0 && r.churn.leaves > 0, "churn never fired");
+            // Joins create fresh slots, so the slot count grew past the
+            // base size while survivors stay near it (symmetric rates).
+            assert!(r.report.node_count > 128, "slots did not grow: {}", r.report.node_count);
+            assert!(r.report.alive_count <= r.report.node_count);
+            assert!(r.report.coverage() <= 1.0);
+        }
+        // At this mild churn rate flood push&pull reaches every survivor
+        // at some instant (joiners arriving afterwards may still be
+        // uninformed at the end — that is what survivor coverage < 1
+        // means under sustained joins).
+        assert!(
+            a.iter().any(|r| r.report.full_coverage_at.is_some()),
+            "no seed ever covered the survivors"
+        );
+    }
+
+    #[test]
+    fn churned_runs_are_thread_count_invariant() {
+        let run_with = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    run_replicated_churned(
+                        |rng| gen::random_regular(128, 6, rng).unwrap(),
+                        6,
+                        &FloodPushPull::new(),
+                        SimConfig::default().with_history().with_max_rounds(200),
+                        ChurnProcess::symmetric(4.0, 32),
+                        8,
+                        11,
+                        91,
+                        6,
+                    )
+                })
+        };
+        assert_eq!(run_with(1), run_with(8), "churn outcomes depend on the thread schedule");
+    }
+
+    #[test]
+    fn multi_churned_runs_are_deterministic() {
+        let run = || {
+            run_replicated_multi_churned(
+                |rng| gen::random_regular(96, 6, rng).unwrap(),
+                6,
+                &FloodPushPull::new(),
+                SimConfig::default().with_max_rounds(200),
+                ChurnProcess::symmetric(1.0, 24),
+                2,
+                4,
+                3,
+                12,
+                92,
+                3,
+            )
+        };
+        let a = run();
+        assert_eq!(a, run());
+        for seed in &a {
+            assert_eq!(seed.report.outcomes.len(), 4);
+            assert!(seed.final_alive > 0);
+            for o in &seed.report.outcomes {
+                assert!(o.informed <= seed.final_alive, "informed exceeds survivors");
+            }
+        }
     }
 
     #[test]

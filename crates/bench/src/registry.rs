@@ -14,8 +14,10 @@
 //! registry entries, so `cargo run --bin exp_e5_crossover` and
 //! `rrb run e5` are the same code path — seed for seed.
 
-use crate::scenario::ScenarioSpec;
-use crate::{run_replicated_timed, BenchRecorder, ExpConfig};
+use std::time::Instant;
+
+use crate::scenario::{DynamicsSpec, ScenarioSpec};
+use crate::{run_replicated_churned, run_replicated_timed, BenchRecorder, ChurnRunReport, ExpConfig};
 use rrb_engine::{Protocol, Round, RunReport};
 
 /// One rung of an experiment's configuration ladder: a scenario plus the
@@ -82,27 +84,76 @@ pub fn cli_main(name: &str) {
 
 /// Runs one ladder entry through the shared replication harness:
 /// spec → protocol/graph/config, fanned out over the rayon pool under
-/// `(experiment_id, entry.config_ix, seed)` RNG streams.
+/// `(experiment_id, entry.config_ix, seed)` RNG streams. Specs with churn
+/// dynamics route through the churn harness (per-seed mutable overlays
+/// over a shared base graph) and return the plain engine reports; use
+/// [`run_entry_churned`] when the churn totals matter too.
 pub fn run_entry(
     experiment_id: u64,
     entry: &LadderEntry,
     cfg: &ExpConfig,
 ) -> (Vec<RunReport>, f64) {
+    match entry.spec.dynamics {
+        DynamicsSpec::Static => {
+            let proto = entry.spec.protocol.build();
+            let config = entry.spec.sim_config();
+            let graph = entry.spec.graph.clone();
+            run_replicated_timed(
+                move |rng| {
+                    graph
+                        .build(rng)
+                        .unwrap_or_else(|e| panic!("graph generation for {}: {e}", graph.label()))
+                },
+                &proto,
+                config,
+                experiment_id,
+                entry.config_ix,
+                cfg.seeds,
+            )
+        }
+        DynamicsSpec::Churn(_) => {
+            let (runs, wall_ms) = run_entry_churned(experiment_id, entry, cfg);
+            (runs.into_iter().map(|r| r.report).collect(), wall_ms)
+        }
+    }
+}
+
+/// Churn-dynamics twin of [`run_entry`], additionally surfacing the
+/// membership-event totals of every seed.
+///
+/// # Panics
+///
+/// Panics if the entry's spec has static dynamics.
+pub fn run_entry_churned(
+    experiment_id: u64,
+    entry: &LadderEntry,
+    cfg: &ExpConfig,
+) -> (Vec<ChurnRunReport>, f64) {
+    let DynamicsSpec::Churn(churn) = entry.spec.dynamics else {
+        panic!("run_entry_churned on a static spec ({})", entry.spec.label);
+    };
     let proto = entry.spec.protocol.build();
     let config = entry.spec.sim_config();
     let graph = entry.spec.graph.clone();
-    run_replicated_timed(
+    let n = graph.node_count();
+    let target_degree = graph.target_degree();
+    let start = Instant::now();
+    let runs = run_replicated_churned(
         move |rng| {
             graph
                 .build(rng)
                 .unwrap_or_else(|e| panic!("graph generation for {}: {e}", graph.label()))
         },
+        target_degree,
         &proto,
         config,
+        churn.to_process(n),
+        churn.rewire_per_round,
         experiment_id,
         entry.config_ix,
         cfg.seeds,
-    )
+    );
+    (runs, start.elapsed().as_secs_f64() * 1e3)
 }
 
 /// The protocol's designed round budget (schedule end), if it has one —
@@ -114,7 +165,9 @@ pub fn deadline_of(spec: &ScenarioSpec) -> Option<Round> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{GraphSpec, MeasureSpec, ProtocolSpec, RegimeSpec};
+    use crate::scenario::{
+        ChurnSpec, GraphSpec, MeasureSpec, PolicySpec, ProtocolSpec, RegimeSpec, StopSpec,
+    };
 
     #[test]
     fn registry_is_complete_and_names_unique() {
@@ -206,6 +259,29 @@ mod tests {
             4,
         );
         assert_eq!(via_spec, via_hand);
+    }
+
+    #[test]
+    fn churned_entries_are_seed_for_seed_deterministic() {
+        let cfg = ExpConfig { quick: true, seeds: 3, threads: None };
+        let entry = LadderEntry::new(
+            7,
+            ScenarioSpec::new(
+                "churn-x",
+                GraphSpec::RandomRegular { n: 128, d: 6 },
+                ProtocolSpec::FloodPushPull { policy: PolicySpec::Distinct(4) },
+            )
+            .with_dynamics(DynamicsSpec::Churn(ChurnSpec::symmetric(2.0)))
+            .with_stop(StopSpec::Coverage { max_rounds: 200 }),
+        );
+        let (a, _) = run_entry_churned(99, &entry, &cfg);
+        let (b, _) = run_entry_churned(99, &entry, &cfg);
+        assert_eq!(a, b, "churned entry must be seed-for-seed deterministic");
+        assert!(a.iter().any(|r| r.churn.joins > 0), "churn never fired");
+        // The generic entry point dispatches to the same path.
+        let (plain, _) = run_entry(99, &entry, &cfg);
+        let reports: Vec<_> = a.into_iter().map(|r| r.report).collect();
+        assert_eq!(plain, reports);
     }
 
     #[test]

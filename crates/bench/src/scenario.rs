@@ -23,6 +23,7 @@ use rrb_engine::{
     RumorMeta, SimConfig,
 };
 use rrb_graph::{gen, Graph};
+use rrb_p2p::ChurnProcess;
 
 // ---------------------------------------------------------------------------
 // Spec types
@@ -201,6 +202,22 @@ impl GraphSpec {
             GraphSpec::PreferentialAttachment { n, m } => {
                 gen::preferential_attachment(n, m, rng).map_err(|e| e.to_string())
             }
+        }
+    }
+
+    /// The natural per-node degree of this family — the target degree the
+    /// churn overlay's joins aim for when the scenario runs under
+    /// [`DynamicsSpec::Churn`].
+    pub fn target_degree(&self) -> usize {
+        match *self {
+            GraphSpec::RandomRegular { d, .. } | GraphSpec::ConfigurationModel { d, .. } => d,
+            GraphSpec::Gnp { expected_degree, .. } => (expected_degree.round() as usize).max(1),
+            GraphSpec::Complete { n } => n.saturating_sub(1).max(1),
+            GraphSpec::Hypercube { dim } => (dim as usize).max(1),
+            GraphSpec::Torus { .. } => 4,
+            GraphSpec::Cycle { .. } => 2,
+            GraphSpec::ProductK { base_d, clique, .. } => base_d + clique.saturating_sub(1),
+            GraphSpec::PreferentialAttachment { m, .. } => (2 * m).max(1),
         }
     }
 
@@ -438,6 +455,72 @@ impl FailureSpec {
     }
 }
 
+/// Stochastic membership churn as declarative scenario data (compiles to a
+/// [`ChurnProcess`] plus a per-round flip-rewiring budget).
+///
+/// Rates are *expected events per round*; fractional rates accumulate
+/// across rounds (`leaves_per_round = 0.25` departs one node every four
+/// rounds on average). The runner interleaves one churn step and
+/// `rewire_per_round` degree-preserving 2-switches after every engine
+/// round, then feeds the resulting join/leave node lists to the engine's
+/// alive census.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnSpec {
+    /// Expected joins per round.
+    pub joins_per_round: f64,
+    /// Expected leaves per round.
+    pub leaves_per_round: f64,
+    /// Floor on the alive population; `None` defaults to half the
+    /// topology's initial size.
+    pub min_alive: Option<usize>,
+    /// Degree-preserving 2-switches applied per round (the flip-chain
+    /// remixing of Mahlmann–Schindelhauer \[29\]).
+    pub rewire_per_round: usize,
+}
+
+impl ChurnSpec {
+    /// Symmetric join/leave churn with a rewiring budget of twice the
+    /// (ceiled) rate — the E10 shape.
+    pub fn symmetric(rate_per_round: f64) -> Self {
+        ChurnSpec {
+            joins_per_round: rate_per_round,
+            leaves_per_round: rate_per_round,
+            min_alive: None,
+            rewire_per_round: (rate_per_round.ceil() as usize) * 2,
+        }
+    }
+
+    /// Compiles to the runtime churn driver for a topology of initial size
+    /// `n` (resolving the `min_alive` default).
+    pub fn to_process(&self, n: usize) -> ChurnProcess {
+        ChurnProcess::new(
+            self.joins_per_round,
+            self.leaves_per_round,
+            self.min_alive.unwrap_or(n / 2),
+        )
+    }
+}
+
+/// How the topology's membership behaves while the scenario runs — the
+/// dynamics dimension of the scenario space. `Static` is the default (and
+/// serialises to nothing, so existing spec files are untouched).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DynamicsSpec {
+    /// Membership never changes (crash-stop failures, if any, are part of
+    /// [`FailureSpec`], not dynamics).
+    #[default]
+    Static,
+    /// Peers join and leave during the run per the churn process.
+    Churn(ChurnSpec),
+}
+
+impl DynamicsSpec {
+    /// `true` when membership never changes.
+    pub fn is_static(&self) -> bool {
+        matches!(self, DynamicsSpec::Static)
+    }
+}
+
 /// Stop condition (compiles into [`SimConfig`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopSpec {
@@ -483,6 +566,8 @@ pub struct ScenarioSpec {
     pub protocol: ProtocolSpec,
     /// Failure injection.
     pub failures: FailureSpec,
+    /// Membership dynamics (churn); static by default.
+    pub dynamics: DynamicsSpec,
     /// Stop condition.
     pub stop: StopSpec,
     /// Measurement mode.
@@ -498,6 +583,7 @@ impl ScenarioSpec {
             graph,
             protocol,
             failures: FailureSpec::NONE,
+            dynamics: DynamicsSpec::Static,
             stop: StopSpec::QUIESCENT,
             measure: MeasureSpec::Standard,
         }
@@ -506,6 +592,12 @@ impl ScenarioSpec {
     /// Builder-style: set the failure rates.
     pub fn with_failures(mut self, failures: FailureSpec) -> Self {
         self.failures = failures;
+        self
+    }
+
+    /// Builder-style: set the membership dynamics.
+    pub fn with_dynamics(mut self, dynamics: DynamicsSpec) -> Self {
+        self.dynamics = dynamics;
         self
     }
 
@@ -894,10 +986,26 @@ impl ScenarioSpec {
                 format!("{{\"kind\": \"custom\", \"name\": {}}}", crate::json_string(name))
             }
         };
+        // Static dynamics serialise to nothing, so pre-dynamics spec files
+        // round-trip byte-identically.
+        let dynamics = match self.dynamics {
+            DynamicsSpec::Static => String::new(),
+            DynamicsSpec::Churn(c) => {
+                let min_alive = c
+                    .min_alive
+                    .map(|m| format!(", \"min_alive\": {m}"))
+                    .unwrap_or_default();
+                format!(
+                    "  \"dynamics\": {{\"churn\": {{\"joins_per_round\": {}, \
+                     \"leaves_per_round\": {}, \"rewire_per_round\": {}{min_alive}}}}},\n",
+                    c.joins_per_round, c.leaves_per_round, c.rewire_per_round,
+                )
+            }
+        };
         format!(
             "{{\n  \"schema\": \"{SCENARIO_SCHEMA}\",\n  \"label\": {},\n  \"graph\": {graph},\n  \
              \"protocol\": {protocol},\n  \"failures\": {{\"channel\": {}, \"transmission\": {}, \
-             \"crash\": {}}},\n  \"stop\": {{\"mode\": \"{stop_mode}\", \"max_rounds\": \
+             \"crash\": {}}},\n{dynamics}  \"stop\": {{\"mode\": \"{stop_mode}\", \"max_rounds\": \
              {max_rounds}}},\n  \"measure\": {measure}\n}}\n",
             crate::json_string(&self.label),
             self.failures.channel,
@@ -908,10 +1016,35 @@ impl ScenarioSpec {
 
     /// Parses a scenario from its JSON form.
     pub fn from_json(text: &str) -> Result<ScenarioSpec, String> {
-        let v = json::parse(text)?;
+        Self::from_value(&json::parse(text)?)
+    }
+
+    /// Parses either a single scenario object or a JSON **array** of them
+    /// (a whole hand-written ladder in one file — `rrb run --spec` runs
+    /// every element in order).
+    pub fn list_from_json(text: &str) -> Result<Vec<ScenarioSpec>, String> {
+        match json::parse(text)? {
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    return Err("the scenario array is empty".into());
+                }
+                items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, item)| {
+                        Self::from_value(item).map_err(|e| format!("scenario [{i}]: {e}"))
+                    })
+                    .collect()
+            }
+            v => Ok(vec![Self::from_value(&v)?]),
+        }
+    }
+
+    /// Parses a scenario from an already-parsed JSON value.
+    fn from_value(v: &Json) -> Result<ScenarioSpec, String> {
         expect_keys(
-            &v,
-            &["schema", "label", "graph", "protocol", "failures", "stop", "measure"],
+            v,
+            &["schema", "label", "graph", "protocol", "failures", "dynamics", "stop", "measure"],
             "the scenario object",
         )?;
         if let Some(schema) = v.get("schema").and_then(Json::as_str) {
@@ -947,6 +1080,10 @@ impl ScenarioSpec {
             }
             None => FailureSpec::NONE,
         };
+        let dynamics = match v.get("dynamics") {
+            Some(d) => parse_dynamics(d)?,
+            None => DynamicsSpec::Static,
+        };
         let stop = match v.get("stop") {
             Some(s) => {
                 expect_keys(s, &["mode", "max_rounds"], "\"stop\"")?;
@@ -973,8 +1110,45 @@ impl ScenarioSpec {
             }
             None => MeasureSpec::Standard,
         };
-        Ok(ScenarioSpec { label, graph, protocol, failures, stop, measure })
+        Ok(ScenarioSpec { label, graph, protocol, failures, dynamics, stop, measure })
     }
+}
+
+/// Parses the `"dynamics"` object with the same strictness as every other
+/// section: unknown keys, mistyped values and out-of-range rates are
+/// refused loudly instead of silently running a different scenario.
+fn parse_dynamics(v: &Json) -> Result<DynamicsSpec, String> {
+    expect_keys(v, &["churn"], "\"dynamics\"")?;
+    let Some(c) = v.get("churn") else {
+        return Ok(DynamicsSpec::Static);
+    };
+    expect_keys(
+        c,
+        &["joins_per_round", "leaves_per_round", "min_alive", "rewire_per_round"],
+        "\"dynamics\".\"churn\"",
+    )?;
+    let joins_per_round = opt_f64(c, "joins_per_round", 0.0)?;
+    let leaves_per_round = opt_f64(c, "leaves_per_round", 0.0)?;
+    for (name, rate) in
+        [("joins_per_round", joins_per_round), ("leaves_per_round", leaves_per_round)]
+    {
+        if !rate.is_finite() || rate < 0.0 {
+            return Err(format!("\"{name}\" must be a finite non-negative rate"));
+        }
+    }
+    let min_alive = match c.get("min_alive") {
+        None => None,
+        Some(j) => Some(
+            j.as_u64().ok_or("\"min_alive\" must be a non-negative integer")? as usize,
+        ),
+    };
+    let rewire_per_round = opt_u64(c, "rewire_per_round", 0)? as usize;
+    Ok(DynamicsSpec::Churn(ChurnSpec {
+        joins_per_round,
+        leaves_per_round,
+        min_alive,
+        rewire_per_round,
+    }))
 }
 
 fn req_usize(v: &Json, key: &str) -> Result<usize, String> {
@@ -1476,6 +1650,29 @@ mod tests {
                 GraphSpec::Hypercube { dim: 6 },
                 ProtocolSpec::Quasirandom { max_age: Some(40) },
             ),
+            ScenarioSpec::new(
+                "churny",
+                GraphSpec::RandomRegular { n: 512, d: 8 },
+                ProtocolSpec::FourChoice {
+                    n_estimate: 512,
+                    degree: 8,
+                    alpha: 1.5,
+                    choices: 4,
+                    regime: RegimeSpec::Auto,
+                },
+            )
+            .with_dynamics(DynamicsSpec::Churn(ChurnSpec {
+                joins_per_round: 4.0,
+                leaves_per_round: 2.5,
+                min_alive: Some(128),
+                rewire_per_round: 8,
+            })),
+            ScenarioSpec::new(
+                "churny-defaults",
+                GraphSpec::RandomRegular { n: 256, d: 6 },
+                ProtocolSpec::FloodPushPull { policy: PolicySpec::Distinct(4) },
+            )
+            .with_dynamics(DynamicsSpec::Churn(ChurnSpec::symmetric(1.0))),
         ]
     }
 
@@ -1549,6 +1746,67 @@ mod tests {
              \"degree\": 3, \"alpha\": \"big\"}}"
         )
         .is_err());
+    }
+
+    #[test]
+    fn dynamics_json_round_trips_and_validates_strictly() {
+        let with = |dynamics: &str| {
+            format!(
+                "{{\"label\": \"x\", \"graph\": {{\"kind\": \"complete\", \"n\": 8}}, \
+                 \"protocol\": {{\"kind\": \"silent\"}}, \"dynamics\": {dynamics}}}"
+            )
+        };
+        // Well-formed churn parses with defaults resolved lazily.
+        let ok = ScenarioSpec::from_json(&with(
+            "{\"churn\": {\"joins_per_round\": 2, \"leaves_per_round\": 0.5}}",
+        ))
+        .unwrap();
+        let DynamicsSpec::Churn(c) = ok.dynamics else { panic!("expected churn") };
+        assert_eq!(c.joins_per_round, 2.0);
+        assert_eq!(c.leaves_per_round, 0.5);
+        assert_eq!(c.min_alive, None);
+        assert_eq!(c.rewire_per_round, 0);
+        assert_eq!(c.to_process(100).min_alive, 50, "min_alive defaults to n/2");
+        // An empty dynamics object means static.
+        assert!(ScenarioSpec::from_json(&with("{}")).unwrap().dynamics.is_static());
+        // Misspelled / mistyped / out-of-range fields error loudly.
+        assert!(ScenarioSpec::from_json(&with("{\"chrn\": {}}")).is_err());
+        assert!(ScenarioSpec::from_json(&with(
+            "{\"churn\": {\"joins_per_rnd\": 2}}"
+        ))
+        .is_err());
+        assert!(ScenarioSpec::from_json(&with(
+            "{\"churn\": {\"joins_per_round\": \"two\"}}"
+        ))
+        .is_err());
+        assert!(ScenarioSpec::from_json(&with(
+            "{\"churn\": {\"joins_per_round\": -1}}"
+        ))
+        .is_err());
+        assert!(ScenarioSpec::from_json(&with(
+            "{\"churn\": {\"min_alive\": 1.5}}"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn spec_arrays_parse_as_ladders() {
+        let one = ScenarioSpec::new("solo", GraphSpec::Complete { n: 8 }, ProtocolSpec::Silent);
+        // A single object still parses through the list entry point.
+        let parsed = ScenarioSpec::list_from_json(&one.to_json()).unwrap();
+        assert_eq!(parsed, vec![one]);
+        // An array parses element-wise, order preserved.
+        let ladder = sample_specs();
+        let joined = format!(
+            "[\n{}\n]",
+            ladder.iter().map(|s| s.to_json()).collect::<Vec<_>>().join(",\n")
+        );
+        let parsed = ScenarioSpec::list_from_json(&joined).unwrap();
+        assert_eq!(parsed, ladder);
+        // Errors name the offending element.
+        let err = ScenarioSpec::list_from_json("[{\"label\": \"x\"}]").unwrap_err();
+        assert!(err.starts_with("scenario [0]"), "{err}");
+        assert!(ScenarioSpec::list_from_json("[]").is_err());
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! The **alive census**: the engines' incrementally-maintained view of
+//! which node slots currently host live, uncrashed peers.
+//!
+//! The paper's setting is a network whose membership "changes dynamically
+//! due to clients joining or leaving" (§1). Before this module existed the
+//! engines assumed a frozen alive population (the multi-rumour engine
+//! sampled `alive_count` once at construction; the single-rumour engine
+//! re-derived it from the topology with `O(n)` scans under crashes), which
+//! made churn a bespoke side-channel. [`AliveCensus`] turns aliveness into
+//! first-class engine state:
+//!
+//! * it is **seeded** from the topology once (`sync_from` — `O(n)`, at
+//!   construction or on the first round);
+//! * afterwards every membership change arrives as a **delta**: crash-stop
+//!   failures via [`mark_crashed`](AliveCensus::mark_crashed), peer joins
+//!   and departures via [`apply_join`](AliveCensus::apply_join) /
+//!   [`apply_leave`](AliveCensus::apply_leave) (surfaced on the engines as
+//!   `SimState::apply_joins` / `apply_leaves` and their `MultiSimState`
+//!   twins);
+//! * the coverage denominator [`effective_alive`](AliveCensus::effective_alive)
+//!   (alive ∧ uncrashed) and the crash count are maintained as counters, so
+//!   per-round coverage checks are `O(1)` — no rescans, no frozen
+//!   assumptions.
+//!
+//! **Contract**: once an engine's census is synced, aliveness flips on
+//! *existing* slots must be reported through the delta hooks. Slot *growth*
+//! (the churn overlay never recycles ids, so joins always create fresh
+//! slots) is also adopted automatically at the start of each round via
+//! [`adopt_new_slots`](AliveCensus::adopt_new_slots), which reads only the
+//! new slots' aliveness from the topology.
+
+use rrb_graph::NodeId;
+
+use crate::Topology;
+
+/// Incrementally-maintained membership view shared by both engines: which
+/// slots are alive, which crashed, and the derived counters the coverage
+/// and retirement logic runs on. See the module docs for the sync/delta
+/// contract.
+#[derive(Debug, Clone, Default)]
+pub struct AliveCensus {
+    /// Per-slot aliveness (mirrors the topology under the delta contract).
+    alive: Vec<bool>,
+    /// Per-slot crash-stop flags ([`crate::FailureModel::node_crash`]):
+    /// crashed nodes are permanently silent, deaf, and outside the
+    /// coverage denominator.
+    crashed: Vec<bool>,
+    /// Number of alive slots.
+    alive_count: usize,
+    /// Number of slots that are both alive and crashed (a crashed node
+    /// that later *leaves* drops out of this counter too).
+    crashed_alive: usize,
+    /// Total crash-stop events so far (never decremented; departures do
+    /// not un-crash history).
+    crashed_total: usize,
+    /// `true` once `sync_from` has run.
+    synced: bool,
+}
+
+impl AliveCensus {
+    /// Empty, unsynced census.
+    pub fn new() -> Self {
+        AliveCensus::default()
+    }
+
+    /// Whether the full snapshot has been taken yet.
+    #[inline]
+    pub fn is_synced(&self) -> bool {
+        self.synced
+    }
+
+    /// Number of tracked slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// `true` when no slots are tracked.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.alive.is_empty()
+    }
+
+    /// Takes the full `O(n)` aliveness snapshot from `topo`. Crash flags
+    /// are preserved (a re-sync never un-crashes anyone); counters are
+    /// rebuilt.
+    pub fn sync_from<T: Topology + ?Sized>(&mut self, topo: &T) {
+        let n = topo.node_count();
+        self.alive.clear();
+        self.alive.extend((0..n).map(|i| topo.is_alive(NodeId::new(i))));
+        self.crashed.resize(n, false);
+        self.alive_count = self.alive.iter().filter(|&&a| a).count();
+        self.crashed_alive = (0..n).filter(|&i| self.alive[i] && self.crashed[i]).count();
+        self.synced = true;
+    }
+
+    /// Adopts slots the topology gained since the last sync (joins create
+    /// fresh slots), reading only the *new* slots' aliveness — `O(growth)`.
+    /// Slots already tracked are never re-read; their changes must arrive
+    /// as deltas.
+    pub fn adopt_new_slots<T: Topology + ?Sized>(&mut self, topo: &T) {
+        let n = topo.node_count();
+        for i in self.alive.len()..n {
+            let alive = topo.is_alive(NodeId::new(i));
+            self.alive.push(alive);
+            self.crashed.push(false);
+            self.alive_count += usize::from(alive);
+        }
+    }
+
+    /// Whether slot `i` is alive (out-of-range slots are dead).
+    #[inline]
+    pub fn is_alive(&self, i: usize) -> bool {
+        self.alive.get(i).copied().unwrap_or(false)
+    }
+
+    /// Whether slot `i` has crash-stopped.
+    #[inline]
+    pub fn is_crashed(&self, i: usize) -> bool {
+        self.crashed.get(i).copied().unwrap_or(false)
+    }
+
+    /// Alive and uncrashed — the nodes that can still participate.
+    #[inline]
+    pub fn is_effective(&self, i: usize) -> bool {
+        self.is_alive(i) && !self.is_crashed(i)
+    }
+
+    /// Per-slot crash flags (the fabric's caller/callee filter).
+    #[inline]
+    pub fn crashed_slice(&self) -> &[bool] {
+        &self.crashed
+    }
+
+    /// Number of alive slots.
+    #[inline]
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Total crash-stop events so far (includes crashed nodes that later
+    /// departed — the historical count the reports surface).
+    #[inline]
+    pub fn crashed_count(&self) -> usize {
+        self.crashed_total
+    }
+
+    /// Alive, uncrashed nodes — the coverage denominator, maintained as a
+    /// counter (`O(1)` per query).
+    #[inline]
+    pub fn effective_alive(&self) -> usize {
+        self.alive_count - self.crashed_alive
+    }
+
+    /// Marks slot `i` crash-stopped; returns `true` iff it newly crashed.
+    pub fn mark_crashed(&mut self, i: usize) -> bool {
+        if self.crashed[i] {
+            return false;
+        }
+        self.crashed[i] = true;
+        self.crashed_total += 1;
+        if self.alive[i] {
+            self.crashed_alive += 1;
+        }
+        true
+    }
+
+    /// Applies a join delta: slot `i` (growing the census if needed) now
+    /// hosts a live, uncrashed peer. Returns `true` iff the slot was newly
+    /// brought alive.
+    pub fn apply_join(&mut self, i: usize) -> bool {
+        if i >= self.alive.len() {
+            self.alive.resize(i + 1, false);
+            self.crashed.resize(i + 1, false);
+        }
+        if self.alive[i] {
+            return false;
+        }
+        self.alive[i] = true;
+        self.alive_count += 1;
+        if self.crashed[i] {
+            self.crashed_alive += 1;
+        }
+        true
+    }
+
+    /// Applies a leave delta: slot `i` no longer hosts a live peer.
+    /// Returns `true` iff the slot was alive **and uncrashed** before — the
+    /// case where the departure shrinks the coverage denominator (crashed
+    /// slots already left it).
+    pub fn apply_leave(&mut self, i: usize) -> bool {
+        if i >= self.alive.len() || !self.alive[i] {
+            return false;
+        }
+        self.alive[i] = false;
+        self.alive_count -= 1;
+        if self.crashed[i] {
+            self.crashed_alive -= 1;
+            false
+        } else {
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrb_graph::gen;
+
+    #[test]
+    fn sync_snapshots_the_topology() {
+        let g = gen::complete(8);
+        let mut c = AliveCensus::new();
+        assert!(!c.is_synced() && c.is_empty());
+        c.sync_from(&g);
+        assert!(c.is_synced());
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.alive_count(), 8);
+        assert_eq!(c.effective_alive(), 8);
+        assert!(c.is_effective(3));
+        assert!(!c.is_alive(99), "out-of-range slots are dead");
+    }
+
+    #[test]
+    fn crash_and_leave_interaction_keeps_counters_exact() {
+        let g = gen::complete(6);
+        let mut c = AliveCensus::new();
+        c.sync_from(&g);
+        assert!(c.mark_crashed(2));
+        assert!(!c.mark_crashed(2), "re-crash is a no-op");
+        assert_eq!(c.effective_alive(), 5);
+        assert_eq!(c.crashed_count(), 1);
+        // A crashed node leaving must not double-shrink the denominator.
+        assert!(!c.apply_leave(2), "crashed leaver already left the denominator");
+        assert_eq!(c.alive_count(), 5);
+        assert_eq!(c.effective_alive(), 5);
+        assert_eq!(c.crashed_count(), 1, "history keeps the crash");
+        // A healthy node leaving shrinks it by one.
+        assert!(c.apply_leave(0));
+        assert_eq!(c.effective_alive(), 4);
+        assert!(!c.apply_leave(0), "double-leave is a no-op");
+    }
+
+    #[test]
+    fn joins_grow_the_census() {
+        let g = gen::complete(4);
+        let mut c = AliveCensus::new();
+        c.sync_from(&g);
+        assert!(c.apply_join(6), "join beyond the tracked range grows it");
+        assert_eq!(c.len(), 7);
+        assert!(c.is_alive(6) && !c.is_alive(5));
+        assert_eq!(c.alive_count(), 5);
+        assert!(!c.apply_join(6), "re-join is a no-op");
+        assert!(c.apply_leave(6));
+        assert_eq!(c.alive_count(), 4);
+    }
+
+    #[test]
+    fn adopt_new_slots_reads_only_growth() {
+        struct HalfAlive(usize);
+        impl Topology for HalfAlive {
+            fn node_count(&self) -> usize {
+                self.0
+            }
+            fn is_alive(&self, v: NodeId) -> bool {
+                v.index().is_multiple_of(2)
+            }
+            fn stubs(&self, _v: NodeId) -> &[NodeId] {
+                &[]
+            }
+        }
+        let mut c = AliveCensus::new();
+        c.sync_from(&HalfAlive(4));
+        assert_eq!(c.alive_count(), 2);
+        c.adopt_new_slots(&HalfAlive(8));
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.alive_count(), 4);
+        // Existing slots are never re-read: flipping one in the topology
+        // without a delta leaves the census unchanged (the contract).
+        c.adopt_new_slots(&HalfAlive(8));
+        assert_eq!(c.alive_count(), 4);
+    }
+}

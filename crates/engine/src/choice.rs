@@ -42,6 +42,21 @@ impl ChoicePolicy {
             ChoicePolicy::SequentialMemory { .. } | ChoicePolicy::Cyclic => 1,
         }
     }
+
+    /// `true` iff sampling this policy reads and writes **no per-node
+    /// state**, so a round's targets for one node may be skipped without
+    /// changing any later round's draws for it.
+    ///
+    /// This is the query behind the engines' capability-gated sampling
+    /// skip: for a memoryless policy the skipped node's channel count is
+    /// the deterministic `min(fanout, deg)` and nothing else observes the
+    /// omission. `SequentialMemory` rings and `Cyclic` cursors advance as a
+    /// side effect of sampling — skipping them would alter every
+    /// subsequent choice — so they report `false` and the skip never
+    /// engages (asserted byte-for-byte by the engine tests).
+    pub fn is_memoryless(&self) -> bool {
+        matches!(self, ChoicePolicy::Distinct(_))
+    }
 }
 
 impl Default for ChoicePolicy {
@@ -469,6 +484,16 @@ mod tests {
         assert_eq!(ChoicePolicy::STANDARD.fanout(), 1);
         assert_eq!(ChoicePolicy::SEQUENTIAL.fanout(), 1);
         assert_eq!(ChoicePolicy::default(), ChoicePolicy::FOUR);
+    }
+
+    #[test]
+    fn memoryless_query_matches_statefulness() {
+        assert!(ChoicePolicy::FOUR.is_memoryless());
+        assert!(ChoicePolicy::STANDARD.is_memoryless());
+        assert!(ChoicePolicy::Distinct(7).is_memoryless());
+        assert!(!ChoicePolicy::SEQUENTIAL.is_memoryless());
+        assert!(!ChoicePolicy::SequentialMemory { window: 1 }.is_memoryless());
+        assert!(!ChoicePolicy::Cyclic.is_memoryless());
     }
 
     #[test]

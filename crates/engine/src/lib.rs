@@ -58,6 +58,12 @@
 //! is seed-for-seed identical to [`SimState`] across all failure models
 //! (`tests/parity.rs`).
 //!
+//! **Dynamic membership** is first-class: both engines track aliveness in
+//! an incrementally-maintained [`AliveCensus`] and accept join/leave
+//! deltas between rounds (`apply_joins` / `apply_leaves`), so coverage,
+//! quiescence and retirement update from `O(1)` counters while peers churn
+//! — the regime §1 of the paper attributes to P2P networks.
+//!
 //! Seed replication parallelism lives one layer up in `rrb-bench`
 //! (`run_replicated` fans independent seeds over a rayon pool with
 //! deterministic per-seed RNG streams); regenerate the engine's perf
@@ -82,6 +88,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod census;
 mod choice;
 mod fabric;
 mod failure;
@@ -95,6 +102,7 @@ mod topology;
 pub mod protocols;
 pub mod trace;
 
+pub use census::AliveCensus;
 pub use choice::{ChoicePolicy, ChoiceState};
 pub use failure::FailureModel;
 pub use multi::{

@@ -2,6 +2,7 @@ use rand::Rng;
 
 use rrb_graph::NodeId;
 
+use crate::census::AliveCensus;
 use crate::choice::ChoiceState;
 use crate::fabric::{ChannelFabric, InformedIndex};
 use crate::observation::ObservationArena;
@@ -134,20 +135,27 @@ impl MultiRumorReport {
 /// The one-rumour special case is **seed-for-seed identical** to the
 /// single-rumour engine across all failure models — see `tests/parity.rs`.
 ///
-/// Aliveness of the topology is sampled at [`new`](Self::new)
-/// (`alive_count` and per-origin aliveness seed the coverage counters), so
-/// the topology must not change aliveness mid-run; crash-stop failures are
-/// the supported dynamic failure mode.
+/// # Dynamic membership
+///
+/// Aliveness is tracked by an [`AliveCensus`] snapshotted from the
+/// topology at [`new`](Self::new) and maintained incrementally from then
+/// on: crash-stop failures are sampled internally, and peer joins/leaves
+/// arrive as deltas via [`apply_joins`](Self::apply_joins) /
+/// [`apply_leaves`](Self::apply_leaves) between rounds (after overlay
+/// rewiring), updating every rumour's coverage and retirement counters in
+/// `O(events · rumours)` — no per-round rescans, no frozen `alive_count`.
+/// Slot growth is also adopted automatically at the start of each round.
 #[derive(Debug)]
 pub struct MultiSimState<P: Protocol> {
     // Run setup (injection order preserved).
     births: Vec<Round>,
     origins: Vec<NodeId>,
     n: usize,
-    /// Alive nodes at `new` — the static part of the coverage denominator.
-    alive: usize,
-    // Per-rumour state (rumour-major flat layout for `states`).
-    states: Vec<P::State>,
+    /// Alive/crashed membership view (see [`AliveCensus`]), the coverage
+    /// denominator's source of truth.
+    census: AliveCensus,
+    // Per-rumour state (one state vector per rumour, growable under churn).
+    states: Vec<Vec<P::State>>,
     informed: Vec<InformedIndex>,
     alive_informed: Vec<usize>,
     full_coverage_at: Vec<Option<Round>>,
@@ -166,8 +174,6 @@ pub struct MultiSimState<P: Protocol> {
     /// Rumours whose activation step has run (they joined the informed_of
     /// census, unless already retired by then).
     active: Vec<bool>,
-    crashed: Vec<bool>,
-    crashed_count: usize,
     // Rumour activation, in birth order.
     activation_order: Vec<u32>,
     next_activation: usize,
@@ -212,18 +218,18 @@ impl<P: Protocol> MultiSimState<P> {
     ) -> Self {
         let n = topo.node_count();
         let nr = injections.len();
-        let mut states = Vec::with_capacity(nr * n);
+        let mut census = AliveCensus::new();
+        census.sync_from(topo);
+        let mut states = Vec::with_capacity(nr);
         let mut informed = Vec::with_capacity(nr);
         let mut alive_informed = Vec::with_capacity(nr);
         for inj in injections {
             assert!(inj.origin.index() < n, "rumor origin out of range");
-            for i in 0..n {
-                states.push(protocol.init(i == inj.origin.index()));
-            }
+            states.push((0..n).map(|i| protocol.init(i == inj.origin.index())).collect());
             let mut ix = InformedIndex::new(n);
             ix.mark(inj.origin.index(), 0);
             informed.push(ix);
-            alive_informed.push(usize::from(topo.is_alive(inj.origin)));
+            alive_informed.push(usize::from(census.is_effective(inj.origin.index())));
         }
         let mut activation_order: Vec<u32> = (0..nr as u32).collect();
         activation_order.sort_by_key(|&r| injections[r as usize].birth);
@@ -231,7 +237,7 @@ impl<P: Protocol> MultiSimState<P> {
             births: injections.iter().map(|i| i.birth).collect(),
             origins: injections.iter().map(|i| i.origin).collect(),
             n,
-            alive: topo.alive_count(),
+            census,
             states,
             informed,
             alive_informed,
@@ -241,8 +247,6 @@ impl<P: Protocol> MultiSimState<P> {
             retired: vec![false; nr],
             retired_count: 0,
             active: vec![false; nr],
-            crashed: vec![false; n],
-            crashed_count: 0,
             activation_order,
             next_activation: 0,
             round: 0,
@@ -279,15 +283,70 @@ impl<P: Protocol> MultiSimState<P> {
         self.alive_informed[r]
     }
 
-    /// Number of crash-stopped nodes so far.
+    /// Number of crash-stop events so far.
     pub fn crashed_count(&self) -> usize {
-        self.crashed_count
+        self.census.crashed_count()
     }
 
-    /// Alive nodes that have not crash-stopped — the coverage denominator
-    /// (crashes are only ever sampled among alive nodes).
-    fn effective_alive(&self) -> usize {
-        self.alive - self.crashed_count
+    /// Alive nodes that have not crash-stopped — the coverage denominator,
+    /// `O(1)` from the census counters.
+    pub fn effective_alive(&self) -> usize {
+        self.census.effective_alive()
+    }
+
+    /// Accommodates topology growth (new node slots join uninformed, with
+    /// no knowledge of any rumour).
+    pub fn ensure_len(&mut self, protocol: &P, node_count: usize) {
+        if self.n >= node_count {
+            return;
+        }
+        for r in 0..self.births.len() {
+            while self.states[r].len() < node_count {
+                self.states[r].push(protocol.init(false));
+            }
+            self.informed[r].ensure_len(node_count);
+        }
+        self.informed_of.resize(node_count, 0);
+        self.push_any.resize(node_count, false);
+        self.pull_any.resize(node_count, false);
+        self.arena.ensure_len(node_count);
+        self.choice.ensure_len(node_count);
+        self.n = node_count;
+    }
+
+    /// Applies membership **join** deltas: each listed slot (growing the
+    /// engine as needed) now hosts a live, uninformed peer. Call between
+    /// rounds after overlay mutation.
+    pub fn apply_joins(&mut self, protocol: &P, joined: &[NodeId]) {
+        for &v in joined {
+            self.ensure_len(protocol, v.index() + 1);
+            // Fresh overlay slots are never informed; a custom topology
+            // reviving a slot counts only if effective (it can still be
+            // crash-stopped).
+            if self.census.apply_join(v.index()) && self.census.is_effective(v.index()) {
+                for r in 0..self.births.len() {
+                    if self.informed[r].is_informed(v.index()) {
+                        self.alive_informed[r] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies membership **leave** deltas: each listed slot no longer
+    /// hosts a live peer. Every rumour's alive-informed counter (retired
+    /// rumours included, mirroring the crash path) and the shared coverage
+    /// denominator update in `O(1)` per event per rumour.
+    pub fn apply_leaves(&mut self, left: &[NodeId]) {
+        for &v in left {
+            if self.census.apply_leave(v.index()) {
+                for r in 0..self.births.len() {
+                    if self.informed[r].is_informed(v.index()) {
+                        self.alive_informed[r] -= 1;
+                    }
+                }
+            }
+        }
     }
 
     /// Heap capacities of every per-round scratch buffer. Once the engine
@@ -340,9 +399,9 @@ impl<P: Protocol> MultiSimState<P> {
                 || deadline_hit
                 || self.informed[r].list().iter().all(|&i| {
                     let i = i as usize;
-                    self.crashed[i]
+                    self.census.is_crashed(i)
                         || protocol.is_quiescent(
-                            &self.states[r * self.n + i],
+                            &self.states[r][i],
                             self.informed[r].at(i).expect("informed list entry"),
                             tl_next,
                         )
@@ -385,8 +444,9 @@ impl<P: Protocol> MultiSimState<P> {
         config: SimConfig,
         rng: &mut R,
     ) {
-        let n = self.n;
-        debug_assert_eq!(topo.node_count(), n, "multi-rumour topology must stay static");
+        let n = topo.node_count();
+        self.ensure_len(protocol, n);
+        self.census.adopt_new_slots(topo);
         let failures = config.failures;
         let policy = protocol.choice_policy();
         let uses_pull = protocol.capabilities().uses_pull;
@@ -417,12 +477,11 @@ impl<P: Protocol> MultiSimState<P> {
         // alive-informed census.
         if failures.node_crash > 0.0 {
             for i in 0..n {
-                if !self.crashed[i]
-                    && topo.is_alive(NodeId::new(i))
+                if !self.census.is_crashed(i)
+                    && self.census.is_alive(i)
                     && failures.crashes_now(rng)
                 {
-                    self.crashed[i] = true;
-                    self.crashed_count += 1;
+                    self.census.mark_crashed(i);
                     for r in 0..self.births.len() {
                         if self.informed[r].is_informed(i) {
                             self.alive_informed[r] -= 1;
@@ -436,17 +495,14 @@ impl<P: Protocol> MultiSimState<P> {
         // applies to callers informed of no active rumour: their channels
         // can carry nothing in either direction, so they are counted but
         // never sampled.
-        let skip_fanout = match (uses_pull, policy) {
-            (false, crate::ChoicePolicy::Distinct(k)) => Some(k),
-            _ => None,
-        };
+        let skip_fanout = (!uses_pull && policy.is_memoryless()).then(|| policy.fanout());
         let informed_of = &self.informed_of;
         self.channels += self.fabric.sample(
             topo,
             policy,
             &mut self.choice,
             failures,
-            &self.crashed,
+            self.census.crashed_slice(),
             skip_fanout,
             |i| informed_of[i] == 0,
             rng,
@@ -476,12 +532,12 @@ impl<P: Protocol> MultiSimState<P> {
             for idx in 0..snap {
                 let i = self.informed[r].list()[idx] as usize;
                 let v = NodeId::new(i);
-                let plan = if !self.crashed[i] && topo.is_alive(v) {
+                let plan = if self.census.is_effective(i) {
                     let at = self.informed[r].at(i).expect("informed list entry");
                     let view = NodeView {
                         informed_at: at,
                         is_creator: v == self.origins[r],
-                        state: &self.states[r * n + i],
+                        state: &self.states[r][i],
                     };
                     protocol.plan(view, tl)
                 } else {
@@ -600,12 +656,12 @@ impl<P: Protocol> MultiSimState<P> {
                 self.scratch_obs.pulls.extend_from_slice(pulls);
                 if self.informed[r].mark(i, tl) {
                     self.informed_of[i] += 1;
-                    if topo.is_alive(NodeId::new(i)) && !self.crashed[i] {
+                    if self.census.is_effective(i) {
                         self.alive_informed[r] += 1;
                     }
                 }
                 protocol.update(
-                    &mut self.states[r * n + i],
+                    &mut self.states[r][i],
                     self.informed[r].at(i),
                     tl,
                     &self.scratch_obs,
@@ -617,7 +673,7 @@ impl<P: Protocol> MultiSimState<P> {
                     continue; // already digested above
                 }
                 protocol.update(
-                    &mut self.states[r * n + i],
+                    &mut self.states[r][i],
                     self.informed[r].at(i),
                     tl,
                     &self.empty_obs,

@@ -2,6 +2,7 @@ use rand::Rng;
 
 use rrb_graph::NodeId;
 
+use crate::census::AliveCensus;
 use crate::choice::ChoiceState;
 use crate::fabric::{ChannelFabric, InformedIndex};
 use crate::observation::ObservationArena;
@@ -95,6 +96,16 @@ impl<'a, T: Topology, P: Protocol> Simulation<'a, T, P> {
 /// Mutable state of an in-flight broadcast; step it manually to interleave
 /// topology mutations (churn) between rounds.
 ///
+/// # Dynamic membership
+///
+/// Aliveness is tracked by an incrementally-maintained [`AliveCensus`]
+/// (snapshotted from the topology on the first round). Slot *growth* is
+/// adopted automatically each round, but aliveness flips on existing slots
+/// must be reported as deltas: call [`apply_leaves`](Self::apply_leaves)
+/// for departed peers and [`apply_joins`](Self::apply_joins) for joiners
+/// after mutating the overlay between rounds. Coverage then updates from
+/// `O(1)` counters instead of per-round rescans.
+///
 /// ```
 /// use rand::{SeedableRng, rngs::SmallRng};
 /// use rrb_engine::{protocols::FloodPush, SimConfig, SimState};
@@ -107,7 +118,9 @@ impl<'a, T: Topology, P: Protocol> Simulation<'a, T, P> {
 /// let cfg = SimConfig::default();
 /// while !sim.finished(&g, &proto, cfg) {
 ///     sim.step(&g, &proto, cfg, &mut rng);
-///     // ... mutate a dynamic topology here ...
+///     // ... mutate a dynamic topology here, then report the deltas:
+///     // sim.apply_joins(&proto, &events.joined);
+///     // sim.apply_leaves(&events.left);
 /// }
 /// let report = sim.into_report(&g, cfg);
 /// assert!(report.all_informed());
@@ -119,16 +132,19 @@ pub struct SimState<P: Protocol> {
     /// quiescence and coverage phases iterate `O(informed)` instead of
     /// `O(n)` (shared with the multi-rumour engine via `fabric.rs`).
     informed: InformedIndex,
-    /// Crash-stopped nodes (see [`FailureModel::node_crash`]): permanently
-    /// silent, deaf, and excluded from coverage accounting.
-    crashed: Vec<bool>,
+    /// Alive/crashed membership view (see [`AliveCensus`]): synced from
+    /// the topology on the first round, then updated by crash sampling and
+    /// the join/leave delta hooks.
+    census: AliveCensus,
+    /// Informed nodes that are alive and uncrashed — the coverage
+    /// numerator, maintained incrementally from census deltas.
+    alive_informed: usize,
     creator: NodeId,
     choice: ChoiceState,
     round: Round,
     push_tx: u64,
     pull_tx: u64,
     channels: u64,
-    crashed_count: usize,
     full_coverage_at: Option<Round>,
     tx_at_coverage: Option<u64>,
     stop: Option<StopReason>,
@@ -154,14 +170,14 @@ impl<P: Protocol> SimState<P> {
         SimState {
             states,
             informed,
-            crashed: vec![false; node_count],
+            census: AliveCensus::new(),
+            alive_informed: 0,
             creator: origin,
             choice: ChoiceState::new(node_count, protocol.choice_policy()),
             round: 0,
             push_tx: 0,
             pull_tx: 0,
             channels: 0,
-            crashed_count: 0,
             full_coverage_at: None,
             tx_at_coverage: None,
             stop: None,
@@ -193,12 +209,59 @@ impl<P: Protocol> SimState<P> {
     pub fn ensure_len(&mut self, protocol: &P, node_count: usize) {
         while self.states.len() < node_count {
             self.states.push(protocol.init(false));
-            self.crashed.push(false);
             self.plans.push(Plan::SILENT);
         }
         self.informed.ensure_len(node_count);
         self.arena.ensure_len(node_count);
         self.choice.ensure_len(node_count);
+    }
+
+    /// Takes the initial `O(n)` census snapshot if it has not happened yet
+    /// (first `finished`/`step` call), seeding the incremental
+    /// alive-informed counter; afterwards only adopts new slots.
+    fn sync_census<T: Topology + ?Sized>(&mut self, topo: &T) {
+        if self.census.is_synced() {
+            self.census.adopt_new_slots(topo);
+            return;
+        }
+        self.census.sync_from(topo);
+        self.alive_informed = self
+            .informed
+            .list()
+            .iter()
+            .filter(|&&i| self.census.is_effective(i as usize))
+            .count();
+    }
+
+    /// Applies membership **join** deltas: each listed node slot now hosts
+    /// a live peer (growing per-node state as needed; joiners start
+    /// uninformed). Call between rounds after overlay mutation — see the
+    /// type-level docs.
+    pub fn apply_joins(&mut self, protocol: &P, joined: &[NodeId]) {
+        for &v in joined {
+            self.ensure_len(protocol, v.index() + 1);
+            // Slots are normally never recycled, but a custom topology may
+            // revive one: count it only if informed *and* effective (a
+            // revived slot can still be crash-stopped).
+            if self.census.apply_join(v.index())
+                && self.census.is_effective(v.index())
+                && self.informed.is_informed(v.index())
+            {
+                self.alive_informed += 1;
+            }
+        }
+    }
+
+    /// Applies membership **leave** deltas: each listed node slot no
+    /// longer hosts a live peer. Informed leavers drop out of the coverage
+    /// numerator, and the denominator shrinks with them — both `O(1)` per
+    /// event.
+    pub fn apply_leaves(&mut self, left: &[NodeId]) {
+        for &v in left {
+            if self.census.apply_leave(v.index()) && self.informed.is_informed(v.index()) {
+                self.alive_informed -= 1;
+            }
+        }
     }
 
     /// Effective round cap: protocol deadline if set, else the config cap.
@@ -216,9 +279,16 @@ impl<P: Protocol> SimState<P> {
         if self.stop.is_some() {
             return true;
         }
-        let alive_informed = self.alive_informed(topo);
-        let alive = self.effective_alive(topo);
-        if config.stop_at_coverage && alive_informed == alive {
+        self.sync_census(topo);
+        // Covered once every alive, uncrashed node is informed — either
+        // right now, or at some instant during a past round
+        // (`full_coverage_at`; under churn a joiner arriving *after* that
+        // instant must not retroactively un-finish the broadcast). The
+        // disjunction mirrors the multi-rumour engine's settlement rule.
+        if config.stop_at_coverage
+            && (self.full_coverage_at.is_some()
+                || self.alive_informed == self.census.effective_alive())
+        {
             self.stop = Some(StopReason::FullCoverage);
             return true;
         }
@@ -230,7 +300,7 @@ impl<P: Protocol> SimState<P> {
         let t = self.round + 1;
         let quiescent = self.informed.list().iter().all(|&i| {
             let i = i as usize;
-            self.crashed[i]
+            self.census.is_crashed(i)
                 || match self.informed.at(i) {
                     Some(at) => protocol.is_quiescent(&self.states[i], at, t),
                     None => true,
@@ -247,37 +317,15 @@ impl<P: Protocol> SimState<P> {
         false
     }
 
-    fn alive_informed<T: Topology + ?Sized>(&self, topo: &T) -> usize {
-        // Every informed node is on the index list, so this is O(informed).
-        let n = topo.node_count();
-        self.informed
-            .list()
-            .iter()
-            .filter(|&&i| {
-                let i = i as usize;
-                i < n && !self.crashed[i] && topo.is_alive(NodeId::new(i))
-            })
-            .count()
+    /// Alive, uncrashed nodes — the coverage denominator, `O(1)` from the
+    /// census counters.
+    pub fn effective_alive(&self) -> usize {
+        self.census.effective_alive()
     }
 
-    /// Alive nodes that have not crash-stopped — the coverage denominator.
-    fn effective_alive<T: Topology + ?Sized>(&self, topo: &T) -> usize {
-        if self.crashed_count == 0 {
-            // Nothing has crashed: the topology's own alive count is exact
-            // (O(1) for static graphs), skipping the O(n) scan per round.
-            return topo.alive_count();
-        }
-        (0..topo.node_count())
-            .filter(|&i| {
-                topo.is_alive(NodeId::new(i))
-                    && self.crashed.get(i).copied() != Some(true)
-            })
-            .count()
-    }
-
-    /// Number of crash-stopped nodes so far.
+    /// Number of crash-stop events so far.
     pub fn crashed_count(&self) -> usize {
-        self.crashed_count
+        self.census.crashed_count()
     }
 
     /// Heap capacities of every per-round scratch buffer. Once the engine is
@@ -314,6 +362,7 @@ impl<P: Protocol> SimState<P> {
     ) -> RoundRecord {
         let n = topo.node_count();
         self.ensure_len(protocol, n);
+        self.sync_census(topo);
         self.round += 1;
         let t = self.round;
         let policy = protocol.choice_policy();
@@ -326,28 +375,30 @@ impl<P: Protocol> SimState<P> {
         // Capability-gated sampling skip: if the protocol never pull-serves,
         // a channel opened by an *uninformed* caller can carry nothing (its
         // push direction has nothing to send, its pull direction is never
-        // served), so sampling its targets is pure waste. Only memoryless
-        // `Distinct` policies qualify — SequentialMemory rings and Cyclic
-        // cursors advance as a side effect of sampling, which skipping would
-        // alter. Under `Distinct(k)` the number of channels such a node
-        // would open is the deterministic `min(k, deg)`, so the `channels`
-        // metric still counts them without touching the RNG.
-        let skip_fanout = match (protocol.capabilities().uses_pull, policy) {
-            (false, crate::ChoicePolicy::Distinct(k)) => Some(k),
-            _ => None,
-        };
+        // served), so sampling its targets is pure waste. Only policies
+        // whose sampling touches no per-node state qualify
+        // (`ChoicePolicy::is_memoryless` — SequentialMemory rings and
+        // Cyclic cursors advance as a side effect of sampling, which
+        // skipping would alter). For a memoryless policy the number of
+        // channels such a node would open is the deterministic
+        // `min(fanout, deg)`, so the `channels` metric still counts them
+        // without touching the RNG.
+        let skip_fanout = (!protocol.capabilities().uses_pull && policy.is_memoryless())
+            .then(|| policy.fanout());
 
         // Phase 0: crash-stop sampling (fail-stop nodes never recover).
         // Gated on its own probability, independent of `fast_path`: a
         // crash-only model draws here but still skips the per-call draws.
         if failures.node_crash > 0.0 {
             for i in 0..n {
-                if !self.crashed[i]
-                    && topo.is_alive(NodeId::new(i))
+                if !self.census.is_crashed(i)
+                    && self.census.is_alive(i)
                     && failures.crashes_now(rng)
                 {
-                    self.crashed[i] = true;
-                    self.crashed_count += 1;
+                    self.census.mark_crashed(i);
+                    if self.informed.is_informed(i) {
+                        self.alive_informed -= 1;
+                    }
                 }
             }
         }
@@ -364,7 +415,7 @@ impl<P: Protocol> SimState<P> {
             policy,
             &mut self.choice,
             failures,
-            &self.crashed,
+            self.census.crashed_slice(),
             skip_fanout,
             |i| informed.at(i).is_none(),
             rng,
@@ -378,7 +429,7 @@ impl<P: Protocol> SimState<P> {
             let i = i as usize;
             let v = NodeId::new(i);
             self.plans[i] = match self.informed.at(i) {
-                Some(at) if !self.crashed[i] && topo.is_alive(v) => {
+                Some(at) if self.census.is_effective(i) => {
                     let view = NodeView {
                         informed_at: at,
                         is_creator: v == self.creator,
@@ -467,6 +518,13 @@ impl<P: Protocol> SimState<P> {
             self.scratch_obs.pulls.extend_from_slice(pulls);
             if self.informed.mark(i, t) {
                 newly_informed += 1;
+                // Receivers are alive and uncrashed by construction (the
+                // fabric filters callees, crash sampling precedes channel
+                // opening), so this always increments — checked anyway so
+                // an exotic topology cannot skew the census.
+                if self.census.is_effective(i) {
+                    self.alive_informed += 1;
+                }
             }
             protocol.update(&mut self.states[i], self.informed.at(i), t, &self.scratch_obs);
         }
@@ -480,17 +538,17 @@ impl<P: Protocol> SimState<P> {
             protocol.update(&mut self.states[i], self.informed.at(i), t, &self.empty_obs);
         }
 
-        // Phase e: coverage bookkeeping.
-        let alive = self.effective_alive(topo);
-        let alive_informed = self.alive_informed(topo);
-        if self.full_coverage_at.is_none() && alive_informed == alive {
+        // Phase e: coverage bookkeeping — O(1) from the census counters.
+        if self.full_coverage_at.is_none()
+            && self.alive_informed == self.census.effective_alive()
+        {
             self.full_coverage_at = Some(t);
             self.tx_at_coverage = Some(self.push_tx + self.pull_tx);
         }
 
         let record = RoundRecord {
             round: t,
-            informed: alive_informed,
+            informed: self.alive_informed,
             newly_informed,
             push_tx,
             pull_tx,
@@ -516,13 +574,12 @@ impl<P: Protocol> SimState<P> {
     }
 
     /// Finalises the run into a [`RunReport`].
-    pub fn into_report<T: Topology + ?Sized>(self, topo: &T, _config: SimConfig) -> RunReport {
-        let alive = self.effective_alive(topo);
-        let alive_informed = self.alive_informed(topo);
+    pub fn into_report<T: Topology + ?Sized>(mut self, topo: &T, _config: SimConfig) -> RunReport {
+        self.sync_census(topo);
         RunReport {
             node_count: topo.node_count(),
-            alive_count: alive,
-            informed_count: alive_informed,
+            alive_count: self.census.effective_alive(),
+            informed_count: self.alive_informed,
             rounds: self.round,
             full_coverage_at: self.full_coverage_at,
             tx_at_coverage: self.tx_at_coverage,
@@ -861,6 +918,93 @@ mod tests {
             Simulation::new(&g, ForceAll(FloodPushPull::new()), cfg).run(NodeId::new(2), &mut rng)
         };
         assert_eq!(native, forced);
+    }
+
+    #[test]
+    fn skip_never_engages_for_stateful_policies() {
+        // The memoryless-policy query must keep the skip off for
+        // SequentialMemory and Cyclic policies even under a push-only
+        // protocol: sampling them mutates per-node state (rings, cursors),
+        // so the run must be byte-identical to the ForceAll wrapper that
+        // disables every capability shortcut.
+        let g = gen::complete(48);
+        let cfg = SimConfig::default().with_history().with_max_rounds(500);
+        for policy in [
+            crate::ChoicePolicy::SequentialMemory { window: 3 },
+            crate::ChoicePolicy::Cyclic,
+        ] {
+            let native = {
+                let mut rng = SmallRng::seed_from_u64(15);
+                Simulation::new(&g, FloodPush::with_policy(policy), cfg)
+                    .run(NodeId::new(2), &mut rng)
+            };
+            let forced = {
+                let mut rng = SmallRng::seed_from_u64(15);
+                Simulation::new(&g, ForceAll(FloodPush::with_policy(policy)), cfg)
+                    .run(NodeId::new(2), &mut rng)
+            };
+            assert_eq!(native, forced, "stateful policy {policy:?} diverged");
+            assert!(native.all_informed());
+        }
+    }
+
+    /// Static graph with mutable per-slot aliveness, for exercising the
+    /// membership delta hooks without a full overlay.
+    struct DynAlive {
+        g: rrb_graph::Graph,
+        alive: Vec<bool>,
+    }
+
+    impl Topology for DynAlive {
+        fn node_count(&self) -> usize {
+            rrb_graph::Graph::node_count(&self.g)
+        }
+        fn is_alive(&self, v: NodeId) -> bool {
+            self.alive[v.index()]
+        }
+        fn stubs(&self, v: NodeId) -> &[NodeId] {
+            self.g.neighbors(v)
+        }
+    }
+
+    #[test]
+    fn leave_deltas_shrink_the_coverage_denominator() {
+        let proto = FloodPushPull::new();
+        let cfg = SimConfig::default().with_max_rounds(100);
+        let mut topo = DynAlive { g: gen::complete(24), alive: vec![true; 24] };
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut sim = SimState::new(&proto, 24, NodeId::new(0));
+        sim.step(&topo, &proto, cfg, &mut rng);
+        // Peer 5 departs between rounds; the census shrinks by one whether
+        // or not it was already informed.
+        topo.alive[5] = false;
+        sim.apply_leaves(&[NodeId::new(5)]);
+        assert_eq!(sim.effective_alive(), 23);
+        sim.run_to_completion(&topo, &proto, cfg, &mut rng);
+        let report = sim.into_report(&topo, cfg);
+        assert_eq!(report.alive_count, 23);
+        assert!(report.all_informed(), "survivors must all be informed");
+        assert_eq!(report.informed_count, 23);
+    }
+
+    #[test]
+    fn coverage_stop_accounts_for_informed_leavers() {
+        // Depart the *origin* right after round 1: its copy leaves the
+        // numerator with it, so coverage only fires once every survivor is
+        // informed — the run must still terminate with exact accounting.
+        let proto = FloodPushPull::new();
+        let cfg = SimConfig::default().with_max_rounds(100);
+        let mut topo = DynAlive { g: gen::complete(16), alive: vec![true; 16] };
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut sim = SimState::new(&proto, 16, NodeId::new(3));
+        sim.step(&topo, &proto, cfg, &mut rng);
+        topo.alive[3] = false;
+        sim.apply_leaves(&[NodeId::new(3)]);
+        sim.run_to_completion(&topo, &proto, cfg, &mut rng);
+        let report = sim.into_report(&topo, cfg);
+        assert_eq!(report.alive_count, 15);
+        assert_eq!(report.informed_count, 15);
+        assert_eq!(report.stop, StopReason::FullCoverage);
     }
 
     #[test]

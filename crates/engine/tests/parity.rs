@@ -369,3 +369,119 @@ fn parity_on_complete_graph() {
         assert_parity("complete-pushpull", &g, &FloodPushPull::new(), cfg, NodeId::new(0), seed);
     }
 }
+
+/// Drives both engines in lockstep over a churning overlay: the same
+/// membership deltas (structured `ChurnEvents` from the churn process) are
+/// applied to both alive censuses after every round, so the one-rumour
+/// multi-engine trajectory must stay identical to the single-rumour one —
+/// informed counts, coverage rounds, the final survivor census, and the
+/// stopping decision.
+fn assert_churn_parity<P: Protocol>(
+    label: &str,
+    protocol: &P,
+    config: SimConfig,
+    rate: f64,
+    seed: u64,
+) {
+    use rrb_p2p::{ChurnProcess, Overlay};
+
+    let mut overlay_rng = SmallRng::seed_from_u64(seed.wrapping_add(0x0EA1));
+    let mut overlay = Overlay::random(96, 6, &mut overlay_rng).expect("overlay");
+    let origin = NodeId::new(4);
+    let n = Topology::node_count(&overlay);
+    let mut churn = ChurnProcess::symmetric(rate, 48);
+    let mut churn_rng = SmallRng::seed_from_u64(seed.wrapping_add(0xC0DE));
+    let mut single_rng = SmallRng::seed_from_u64(seed);
+    let mut multi_rng = SmallRng::seed_from_u64(seed);
+    let mut single = SimState::new(protocol, n, origin);
+    let mut multi =
+        MultiSimState::new(protocol, &overlay, &[RumorInjection { birth: 0, origin }]);
+
+    loop {
+        let sf = single.finished(&overlay, protocol, config);
+        let mf = multi.finished(protocol, config);
+        assert_eq!(sf, mf, "{label} seed {seed}: stop disagreement at round {}", single.round());
+        if sf {
+            break;
+        }
+        let rec = single.step(&overlay, protocol, config, &mut single_rng);
+        multi.step(&overlay, protocol, config, &mut multi_rng);
+        assert_eq!(
+            rec.informed,
+            multi.informed_count(0),
+            "{label} seed {seed}: informed trajectory diverged at round {}",
+            rec.round
+        );
+        // One churn step + rewiring, then the same deltas to both censuses.
+        let events = churn.step(&mut overlay, &mut churn_rng).expect("churn step");
+        overlay.rewire(4, &mut churn_rng);
+        single.apply_joins(protocol, &events.joined);
+        single.apply_leaves(&events.left);
+        multi.apply_joins(protocol, &events.joined);
+        multi.apply_leaves(&events.left);
+        assert_eq!(
+            single.effective_alive(),
+            multi.effective_alive(),
+            "{label} seed {seed}: censuses diverged at round {}",
+            rec.round
+        );
+        assert!(rec.round < 2_000, "{label} seed {seed}: runaway run");
+    }
+
+    let survivors = single.effective_alive();
+    let rounds = single.round();
+    let s_report = single.into_report(&overlay, config);
+    let m_report = multi.into_report();
+    assert_eq!(s_report.rounds, rounds);
+    assert_eq!(m_report.rounds, rounds, "{label} seed {seed}: round totals diverged");
+    let outcome = &m_report.outcomes[0];
+    assert_eq!(s_report.alive_count, survivors);
+    assert_eq!(
+        s_report.informed_count, outcome.informed,
+        "{label} seed {seed}: survivor-informed census diverged"
+    );
+    assert_eq!(
+        s_report.full_coverage_at, outcome.full_coverage_at,
+        "{label} seed {seed}: coverage round diverged"
+    );
+    assert_eq!(
+        s_report.total_tx(),
+        outcome.tx,
+        "{label} seed {seed}: transmission totals diverged"
+    );
+    assert_eq!(
+        s_report.channels, m_report.channels,
+        "{label} seed {seed}: channel totals diverged"
+    );
+}
+
+#[test]
+fn parity_under_churn() {
+    // One rumour under live membership churn: the multi engine's census
+    // hooks must match the single engine's exactly, at mild and heavy
+    // churn, for flooding and counting protocols alike.
+    let cfg = SimConfig::default().with_max_rounds(400);
+    for seed in 0..3 {
+        assert_churn_parity("churn-pushpull", &FloodPushPull::new(), cfg, 2.0, seed);
+        assert_churn_parity(
+            "churn-counting",
+            &CountingGossip { budget: 16 },
+            SimConfig::until_quiescent().with_max_rounds(400),
+            2.0,
+            seed,
+        );
+    }
+    assert_churn_parity("churn-heavy", &FloodPushPull::new(), cfg, 8.0, 0);
+}
+
+#[test]
+fn parity_under_churn_with_crashes() {
+    // Churn and crash-stop failures interact in the census (a crashed node
+    // may later depart); the engines must keep agreeing.
+    let cfg = SimConfig::default()
+        .with_failures(FailureModel::crashes(0.005))
+        .with_max_rounds(400);
+    for seed in 0..3 {
+        assert_churn_parity("churn+crash", &FloodPushPull::new(), cfg, 2.0, seed);
+    }
+}

@@ -1,5 +1,7 @@
 use rand::Rng;
 
+use rrb_graph::NodeId;
+
 use crate::{Overlay, OverlayError};
 
 /// Stochastic membership churn driver.
@@ -34,6 +36,34 @@ pub struct ChurnStats {
     pub leaves: u64,
 }
 
+impl ChurnStats {
+    /// Accumulates another batch of counters (per-run totals).
+    pub fn absorb(&mut self, other: ChurnStats) {
+        self.joins += other.joins;
+        self.leaves += other.leaves;
+    }
+}
+
+/// The membership events one churn step actually applied, as **node
+/// lists** — the deltas an engine's alive census consumes exactly
+/// (`SimState::apply_joins` / `apply_leaves` and their `MultiSimState`
+/// twins), rather than mere counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChurnEvents {
+    /// Slots that came alive this step (fresh ids — the overlay never
+    /// recycles slots), in application order.
+    pub joined: Vec<NodeId>,
+    /// Slots that went dead this step, in application order.
+    pub left: Vec<NodeId>,
+}
+
+impl ChurnEvents {
+    /// Event counters (the old `ChurnStats` view of this step).
+    pub fn stats(&self) -> ChurnStats {
+        ChurnStats { joins: self.joined.len() as u64, leaves: self.left.len() as u64 }
+    }
+}
+
 impl ChurnProcess {
     /// Creates a churn process with symmetric join/leave rates.
     pub fn symmetric(rate_per_step: f64, min_alive: usize) -> Self {
@@ -57,7 +87,9 @@ impl ChurnProcess {
         }
     }
 
-    /// Applies one step of churn to `overlay`, returning the events applied.
+    /// Applies one step of churn to `overlay`, returning the structured
+    /// events applied so callers can feed the engines' alive census exactly
+    /// (see [`ChurnEvents`]).
     ///
     /// # Errors
     ///
@@ -67,14 +99,13 @@ impl ChurnProcess {
         &mut self,
         overlay: &mut Overlay,
         rng: &mut R,
-    ) -> Result<ChurnStats, OverlayError> {
-        let mut stats = ChurnStats::default();
+    ) -> Result<ChurnEvents, OverlayError> {
+        let mut events = ChurnEvents::default();
         self.join_debt += self.joins_per_step;
         self.leave_debt += self.leaves_per_step;
         while self.join_debt >= 1.0 {
             self.join_debt -= 1.0;
-            overlay.join(rng)?;
-            stats.joins += 1;
+            events.joined.push(overlay.join(rng)?);
         }
         while self.leave_debt >= 1.0 {
             self.leave_debt -= 1.0;
@@ -83,9 +114,9 @@ impl ChurnProcess {
             }
             let victim = overlay.random_alive(rng);
             overlay.leave(victim, rng)?;
-            stats.leaves += 1;
+            events.left.push(victim);
         }
-        Ok(stats)
+        Ok(events)
     }
 }
 
@@ -103,9 +134,8 @@ mod tests {
         let mut churn = ChurnProcess::symmetric(0.5, 16);
         let mut total = ChurnStats::default();
         for _ in 0..100 {
-            let s = churn.step(&mut o, &mut rng).unwrap();
-            total.joins += s.joins;
-            total.leaves += s.leaves;
+            let events = churn.step(&mut o, &mut rng).unwrap();
+            total.absorb(events.stats());
             o.check_invariants().unwrap();
         }
         assert_eq!(total.joins, 50);
@@ -120,10 +150,38 @@ mod tests {
         let mut churn = ChurnProcess::new(0.25, 0.0, 8);
         let mut joins = 0;
         for _ in 0..8 {
-            joins += churn.step(&mut o, &mut rng).unwrap().joins;
+            joins += churn.step(&mut o, &mut rng).unwrap().stats().joins;
         }
         assert_eq!(joins, 2);
         assert_eq!(o.alive_count(), 34);
+    }
+
+    #[test]
+    fn events_name_the_exact_membership_deltas() {
+        // The returned node lists must match the overlay's own view: every
+        // joiner is a fresh alive slot, every leaver a now-dead one, and
+        // the lists fully explain the alive-count change — exactly what the
+        // engines' census hooks consume.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut o = Overlay::random(48, 6, &mut rng).unwrap();
+        let mut churn = ChurnProcess::new(3.0, 2.0, 8);
+        let before = o.alive_count();
+        let slots_before = rrb_engine::Topology::node_count(&o);
+        let events = churn.step(&mut o, &mut rng).unwrap();
+        assert_eq!(events.joined.len(), 3);
+        assert_eq!(events.left.len(), 2);
+        assert_eq!(events.stats(), ChurnStats { joins: 3, leaves: 2 });
+        for &v in &events.joined {
+            assert!(v.index() >= slots_before, "joiner {v} must be a fresh slot");
+            assert!(o.is_alive(v) || events.left.contains(&v));
+        }
+        for &v in &events.left {
+            assert!(!o.is_alive(v), "leaver {v} still alive");
+        }
+        assert_eq!(
+            o.alive_count() as i64 - before as i64,
+            events.joined.len() as i64 - events.left.len() as i64
+        );
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //!   ([`Overlay::rewire`]) that re-randomises the topology between events,
 //!   in the spirit of Mahlmann–Schindelhauer \[29\].
 //! * [`ChurnProcess`] — a stochastic join/leave driver used by the
-//!   robustness experiments (E10).
+//!   robustness experiments (E10); each step returns the applied
+//!   [`ChurnEvents`] node lists, the exact deltas the engines' alive
+//!   census consumes.
 //! * [`ReplicatedDb`] — the flagship application: a versioned key-value
 //!   store whose updates ride on broadcast rumours; convergence and
 //!   staleness are measured from the engine's delivery traces (E14).
@@ -37,6 +39,6 @@ mod churn;
 mod db;
 mod overlay;
 
-pub use churn::{ChurnProcess, ChurnStats};
+pub use churn::{ChurnEvents, ChurnProcess, ChurnStats};
 pub use db::{DbReport, ReplicatedDb, Update};
 pub use overlay::{Overlay, OverlayError};

@@ -34,11 +34,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let config = SimConfig::until_quiescent();
         let mut sim = SimState::new(&alg, Topology::node_count(&o), NodeId::new(0));
         let mut rounds = 0u32;
-        // Drive the engine manually so churn interleaves with rounds.
+        // Drive the engine manually so churn interleaves with rounds; the
+        // structured events feed the engine's alive census, so coverage
+        // accounting tracks the survivors exactly.
         while !sim.finished(&o, &alg, config) {
             sim.step(&o, &alg, config, &mut rng);
-            churn.step(&mut o, &mut rng)?;
+            let events = churn.step(&mut o, &mut rng)?;
             o.rewire(8, &mut rng); // keep the overlay mixed
+            sim.apply_joins(&alg, &events.joined);
+            sim.apply_leaves(&events.left);
             rounds += 1;
         }
         let report = sim.into_report(&o, config);

@@ -11,7 +11,8 @@
 //! rrb describe e5                   # an experiment's ladder as spec JSON
 //! rrb run e5 --quick                # run E5 (same flags as the old exp_* bins)
 //! rrb run e1 --seeds 10 --threads 4 --json out.json
-//! rrb run --spec scenario.json      # run one hand-written ScenarioSpec
+//! rrb run --spec scenario.json      # one hand-written ScenarioSpec, or an
+//!                                   # array of them (a whole ladder)
 //! ```
 //!
 //! # Ad-hoc mode
@@ -34,7 +35,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rrb::prelude::*;
 use rrb_bench::registry::{self, LadderEntry};
-use rrb_bench::scenario::{MeasureSpec, ScenarioSpec};
+use rrb_bench::scenario::{DynamicsSpec, MeasureSpec, ScenarioSpec};
 use rrb_bench::{mean_of, mean_rounds_to_coverage, success_rate, BenchRecorder, ExpConfig};
 
 #[derive(Debug, Clone)]
@@ -122,7 +123,7 @@ fn usage() -> String {
      list                     registered experiments (e1..e18)\n\
      describe <exp> [--quick] an experiment's scenario specs as JSON\n\
      run <exp>                run an experiment; flags: --quick --seeds N --threads N --json PATH\n\
-     run --spec FILE          run one ScenarioSpec JSON file\n\
+     run --spec FILE          run a ScenarioSpec JSON file (one object, or an array = a ladder)\n\
      \n\
      ad-hoc mode options:\n\
      --topology   regular | config | gnp | complete | hypercube | torus | pa  (default regular)\n\
@@ -299,8 +300,10 @@ fn cmd_describe(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Runs a single `ScenarioSpec` (from `--spec file.json`) through the
-/// shared replication harness and prints the standard metrics.
+/// Runs the scenarios in a `--spec file.json` — a single `ScenarioSpec`
+/// object or a JSON **array** of them (a whole hand-written ladder) —
+/// through the shared replication harness and prints the standard metrics
+/// (plus churn stats and survivor coverage for dynamic-membership specs).
 fn run_spec_file(path: &str, flags: &RunFlags) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -309,7 +312,7 @@ fn run_spec_file(path: &str, flags: &RunFlags) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let spec = match ScenarioSpec::from_json(&text) {
+    let specs = match ScenarioSpec::list_from_json(&text) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot parse {path}: {e}");
@@ -317,39 +320,79 @@ fn run_spec_file(path: &str, flags: &RunFlags) -> ExitCode {
         }
     };
     let cfg = exp_config_from(flags);
-    let entry = LadderEntry::new(0, spec.clone());
-    let (reports, wall_ms) = registry::run_entry(0, &entry, &cfg);
-    if matches!(spec.measure, MeasureSpec::Trace) {
-        if let Some(first) = reports.first() {
-            let mut t = Table::new(vec!["round", "informed", "new", "push", "pull"]);
-            for rec in &first.history {
-                t.row_display(vec![
-                    rec.round as u64,
-                    rec.informed as u64,
-                    rec.newly_informed as u64,
-                    rec.push_tx,
-                    rec.pull_tx,
-                ]);
+    let mut recorder = BenchRecorder::new(format!("spec:{path}"), cfg.quick);
+    for (ix, spec) in specs.iter().enumerate() {
+        // Each array element gets its own config_ix, hence its own RNG
+        // stream — reordering a ladder file never changes a rung's numbers
+        // beyond its position-derived stream.
+        let entry = LadderEntry::new(ix as u64, spec.clone());
+        let (reports, wall_ms, churn_stats) = match spec.dynamics {
+            DynamicsSpec::Churn(_) => {
+                let (runs, wall_ms) = registry::run_entry_churned(0, &entry, &cfg);
+                let joins = runs.iter().map(|r| r.churn.joins as f64).collect::<Vec<_>>();
+                let leaves = runs.iter().map(|r| r.churn.leaves as f64).collect::<Vec<_>>();
+                let reports: Vec<_> = runs.into_iter().map(|r| r.report).collect();
+                (
+                    reports,
+                    wall_ms,
+                    Some((
+                        Summary::from_slice(&joins).mean,
+                        Summary::from_slice(&leaves).mean,
+                    )),
+                )
             }
-            println!("per-round trace of seed 0:\n{t}");
+            DynamicsSpec::Static => {
+                let (reports, wall_ms) = registry::run_entry(0, &entry, &cfg);
+                (reports, wall_ms, None)
+            }
+        };
+        if matches!(spec.measure, MeasureSpec::Trace) {
+            if let Some(first) = reports.first() {
+                let mut t = Table::new(vec!["round", "informed", "new", "push", "pull"]);
+                for rec in &first.history {
+                    t.row_display(vec![
+                        rec.round as u64,
+                        rec.informed as u64,
+                        rec.newly_informed as u64,
+                        rec.push_tx,
+                        rec.pull_tx,
+                    ]);
+                }
+                println!("per-round trace of seed 0:\n{t}");
+            }
         }
+        println!(
+            "{} — {} on {}, {} seed(s):",
+            spec.label,
+            spec.protocol.label(),
+            spec.graph.label(),
+            cfg.seeds
+        );
+        if let Some((joins, leaves)) = churn_stats {
+            println!("  survivor coverage {:.4}", mean_of(&reports, |r| r.coverage()));
+            println!("  success rate      {:.2}", success_rate(&reports));
+            println!("  rounds            {:.1}", mean_rounds_to_coverage(&reports));
+            println!("  tx per node       {:.2}", mean_of(&reports, |r| r.tx_per_node()));
+            println!("  churn joins       {joins:.1}");
+            println!("  churn leaves      {leaves:.1}");
+            println!(
+                "  survivors         {:.1}",
+                mean_of(&reports, |r| r.alive_count as f64)
+            );
+        } else {
+            println!("  coverage        {:.4}", mean_of(&reports, |r| r.coverage()));
+            println!("  success rate    {:.2}", success_rate(&reports));
+            println!("  rounds          {:.1}", mean_rounds_to_coverage(&reports));
+            println!("  tx per node     {:.2}", mean_of(&reports, |r| r.tx_per_node()));
+        }
+        println!("  wall clock      {wall_ms:.1} ms");
+        if specs.len() > 1 {
+            println!();
+        }
+        recorder.record(spec.label.clone(), spec.graph.node_count(), cfg.seeds, wall_ms, &reports);
     }
-    println!(
-        "{} — {} on {}, {} seed(s):",
-        spec.label,
-        spec.protocol.label(),
-        spec.graph.label(),
-        cfg.seeds
-    );
-    println!("  coverage        {:.4}", mean_of(&reports, |r| r.coverage()));
-    println!("  success rate    {:.2}", success_rate(&reports));
-    println!("  rounds          {:.1}", mean_rounds_to_coverage(&reports));
-    println!("  tx per node     {:.2}", mean_of(&reports, |r| r.tx_per_node()));
-    println!("  wall clock      {wall_ms:.1} ms");
     if let Some(json_path) = &flags.json_path {
-        let mut rec = BenchRecorder::new(spec.label.clone(), cfg.quick);
-        rec.record(spec.label.clone(), spec.graph.node_count(), cfg.seeds, wall_ms, &reports);
-        match rec.write(json_path) {
+        match recorder.write(json_path) {
             Ok(()) => println!("results written to {json_path}"),
             Err(e) => eprintln!("warning: could not write {json_path}: {e}"),
         }
