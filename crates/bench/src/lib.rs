@@ -41,8 +41,8 @@ use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
 use rrb_engine::{
-    MultiRumorReport, MultiSimState, Protocol, Round, RumorInjection, RunReport, SimConfig,
-    SimState, Simulation, Topology,
+    FaultPlan, FaultState, MultiRumorReport, MultiSimState, Protocol, Round, RumorInjection,
+    RunReport, SimConfig, SimState, Simulation, Topology,
 };
 use rrb_graph::{Graph, NodeId};
 use rrb_p2p::{ChurnProcess, ChurnStats, Overlay};
@@ -172,6 +172,67 @@ where
         };
         Simulation::new(&topo, protocol.clone(), config).run(origin, rng)
     })
+}
+
+/// Reserved seed coordinate of the per-seed *fault stream*:
+/// [`run_replicated_faulted`] seeds each replication's
+/// [`FaultState`] from `rng_for(experiment, config_ix, FAULT_STREAM ^ seed)`,
+/// disjoint from the per-seed run streams (seeds are small integers) and
+/// from [`TOPOLOGY_STREAM`].
+pub const FAULT_STREAM: u64 = 0xFA17_07A1;
+
+/// Like [`run_replicated`], with an adversarial [`FaultPlan`] installed in
+/// every replication. Each seed gets its own fault state on the reserved
+/// [`FAULT_STREAM`], so outcomes stay byte-identical for every thread
+/// count, and an **empty plan reproduces [`run_replicated`] exactly** —
+/// the fault stream is derived but never advanced by the engine.
+pub fn run_replicated_faulted<T, P, F>(
+    topo_builder: F,
+    protocol: &P,
+    config: SimConfig,
+    plan: &FaultPlan,
+    experiment: u64,
+    config_ix: u64,
+    seeds: u64,
+) -> Vec<RunReport>
+where
+    T: Topology + Sync,
+    P: Protocol + Clone + Sync,
+    F: FnOnce(&mut SmallRng) -> T,
+{
+    let mut topo_rng = rng_for(experiment, config_ix, TOPOLOGY_STREAM);
+    let topo = topo_builder(&mut topo_rng);
+    replicate(experiment, config_ix, seeds, |s, rng| {
+        let origin = random_alive_origin(&topo, rng);
+        let fault_seed: u64 = rng_for(experiment, config_ix, FAULT_STREAM ^ s).gen();
+        let mut state = SimState::new(protocol, topo.node_count(), origin);
+        state.set_faults(Some(FaultState::new(plan, topo.node_count(), fault_seed)));
+        state.run_to_completion(&topo, protocol, config, rng);
+        state.into_report(&topo, config)
+    })
+}
+
+/// Like [`run_replicated_faulted`], additionally timing the
+/// configuration's total wall-clock (milliseconds).
+#[allow(clippy::too_many_arguments)]
+pub fn run_replicated_faulted_timed<T, P, F>(
+    topo_builder: F,
+    protocol: &P,
+    config: SimConfig,
+    plan: &FaultPlan,
+    experiment: u64,
+    config_ix: u64,
+    seeds: u64,
+) -> (Vec<RunReport>, f64)
+where
+    T: Topology + Sync,
+    P: Protocol + Clone + Sync,
+    F: FnOnce(&mut SmallRng) -> T,
+{
+    let start = Instant::now();
+    let reports =
+        run_replicated_faulted(topo_builder, protocol, config, plan, experiment, config_ix, seeds);
+    (reports, start.elapsed().as_secs_f64() * 1e3)
 }
 
 /// One seed's outcome of a broadcast under membership churn: the engine
@@ -356,6 +417,25 @@ pub fn success_rate(reports: &[RunReport]) -> f64 {
 /// Mean rounds-to-coverage over successful runs (cap value for failures).
 pub fn mean_rounds_to_coverage(reports: &[RunReport]) -> f64 {
     mean_of(reports, |r| r.full_coverage_at.unwrap_or(r.rounds) as f64)
+}
+
+/// Mean survivor coverage across the replications — the *residual
+/// coverage* of a degraded run (1.0 means every survivor was informed
+/// despite the faults).
+pub fn mean_coverage(reports: &[RunReport]) -> f64 {
+    mean_of(reports, |r| r.coverage())
+}
+
+/// Mean **recovery rounds** — healed rounds needed to reach full coverage
+/// after the scripted heal ([`FaultPlan::heal_round`], the first round the
+/// last partition no longer blocks). Covering *in* the heal round counts
+/// as 1; covering before the heal (the partition never bit) counts as 0.
+/// Replications that never reach full coverage count at their total round
+/// count, mirroring [`mean_rounds_to_coverage`]'s cap convention.
+pub fn mean_recovery_rounds(reports: &[RunReport], heal: Round) -> f64 {
+    mean_of(reports, |r| {
+        (r.full_coverage_at.unwrap_or(r.rounds) + 1).saturating_sub(heal) as f64
+    })
 }
 
 /// One timed configuration in a [`BenchRecorder`].
@@ -584,6 +664,87 @@ mod tests {
         }
         let again = replicate(9, 0, 16, |seed, rng| (seed, rng.gen::<u64>()));
         assert_eq!(out, again);
+    }
+
+    #[test]
+    fn faulted_runs_with_empty_plan_match_run_replicated() {
+        // The fault stream is derived but never advanced for an empty
+        // plan, so the faulted runner is byte-identical to the plain one.
+        let base = run_replicated(
+            |rng| gen::random_regular(128, 6, rng).unwrap(),
+            &FloodPushPull::new(),
+            SimConfig::default(),
+            21,
+            0,
+            4,
+        );
+        let faulted = run_replicated_faulted(
+            |rng| gen::random_regular(128, 6, rng).unwrap(),
+            &FloodPushPull::new(),
+            SimConfig::default(),
+            &FaultPlan::default(),
+            21,
+            0,
+            4,
+        );
+        assert_eq!(base, faulted);
+    }
+
+    #[test]
+    fn faulted_runs_are_thread_count_invariant() {
+        use rrb_engine::{FaultEvent, GilbertElliott, OutageSpec};
+        let plan = FaultPlan {
+            burst: Some(GilbertElliott::new(0.1, 0.3, 0.02, 0.7)),
+            schedule: vec![FaultEvent::Partition { from: 2, until: 8, parts: 2 }],
+            adversary: None,
+            outages: Some(OutageSpec::new(0.05, 1, 3)),
+        };
+        let run_with = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    run_replicated_faulted(
+                        |rng| gen::random_regular(128, 6, rng).unwrap(),
+                        &FloodPushPull::new(),
+                        SimConfig::default().with_max_rounds(300),
+                        &plan,
+                        22,
+                        1,
+                        8,
+                    )
+                })
+        };
+        assert_eq!(run_with(1), run_with(4), "fault outcomes depend on the thread schedule");
+    }
+
+    #[test]
+    fn degradation_helpers_report_recovery_after_heal() {
+        use rrb_engine::FaultEvent;
+        let plan = FaultPlan {
+            schedule: vec![FaultEvent::Partition { from: 1, until: 12, parts: 2 }],
+            ..FaultPlan::default()
+        };
+        let heal = plan.heal_round().unwrap();
+        let reports = run_replicated_faulted(
+            |rng| gen::random_regular(128, 6, rng).unwrap(),
+            &FloodPushPull::new(),
+            SimConfig::default().with_max_rounds(300),
+            &plan,
+            23,
+            0,
+            6,
+        );
+        // Flood push&pull cannot cover a partitioned overlay: every seed
+        // completes only after the heal, then recovers within a few rounds.
+        assert!((success_rate(&reports) - 1.0).abs() < 1e-12);
+        assert!((mean_coverage(&reports) - 1.0).abs() < 1e-12);
+        for r in &reports {
+            assert!(r.full_coverage_at.unwrap() >= heal, "covered while partitioned");
+        }
+        let recovery = mean_recovery_rounds(&reports, heal);
+        assert!(recovery > 0.0 && recovery < 50.0, "recovery {recovery}");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The experiment registry: every E1–E18 measurement of the paper as a
+//! The experiment registry: every E1–E19 measurement of the paper as a
 //! named entry whose configuration ladder is [`ScenarioSpec`] **data**.
 //!
 //! One binary (`rrb`) drives the whole fleet:
@@ -17,7 +17,10 @@
 use std::time::Instant;
 
 use crate::scenario::{DynamicsSpec, ScenarioSpec};
-use crate::{run_replicated_churned, run_replicated_timed, BenchRecorder, ChurnRunReport, ExpConfig};
+use crate::{
+    run_replicated_churned, run_replicated_faulted_timed, run_replicated_timed, BenchRecorder,
+    ChurnRunReport, ExpConfig,
+};
 use rrb_engine::{Protocol, Round, RunReport};
 
 /// One rung of an experiment's configuration ladder: a scenario plus the
@@ -49,7 +52,7 @@ pub type ScenariosFn = fn(bool) -> Vec<LadderEntry>;
 /// A registered experiment.
 #[derive(Debug, Clone, Copy)]
 pub struct Experiment {
-    /// Registry name (`"e1"` … `"e18"`).
+    /// Registry name (`"e1"` … `"e19"`).
     pub name: &'static str,
     /// First coordinate of the [`crate::rng_for`] stream.
     pub id: u64,
@@ -87,14 +90,17 @@ pub fn cli_main(name: &str) {
 /// `(experiment_id, entry.config_ix, seed)` RNG streams. Specs with churn
 /// dynamics route through the churn harness (per-seed mutable overlays
 /// over a shared base graph) and return the plain engine reports; use
-/// [`run_entry_churned`] when the churn totals matter too.
+/// [`run_entry_churned`] when the churn totals matter too. Specs with a
+/// fault plan route through the faulted harness, which installs the plan
+/// on the reserved [`crate::FAULT_STREAM`]; plain specs keep the
+/// pre-fault code path byte for byte.
 pub fn run_entry(
     experiment_id: u64,
     entry: &LadderEntry,
     cfg: &ExpConfig,
 ) -> (Vec<RunReport>, f64) {
     match entry.spec.dynamics {
-        DynamicsSpec::Static => {
+        DynamicsSpec::Static if entry.spec.failures.is_plain() => {
             let proto = entry.spec.protocol.build();
             let config = entry.spec.sim_config();
             let graph = entry.spec.graph.clone();
@@ -106,6 +112,25 @@ pub fn run_entry(
                 },
                 &proto,
                 config,
+                experiment_id,
+                entry.config_ix,
+                cfg.seeds,
+            )
+        }
+        DynamicsSpec::Static => {
+            let proto = entry.spec.protocol.build();
+            let config = entry.spec.sim_config();
+            let plan = entry.spec.failures.to_plan();
+            let graph = entry.spec.graph.clone();
+            run_replicated_faulted_timed(
+                move |rng| {
+                    graph
+                        .build(rng)
+                        .unwrap_or_else(|e| panic!("graph generation for {}: {e}", graph.label()))
+                },
+                &proto,
+                config,
+                &plan,
                 experiment_id,
                 entry.config_ix,
                 cfg.seeds,
@@ -132,6 +157,11 @@ pub fn run_entry_churned(
     let DynamicsSpec::Churn(churn) = entry.spec.dynamics else {
         panic!("run_entry_churned on a static spec ({})", entry.spec.label);
     };
+    assert!(
+        entry.spec.failures.is_plain(),
+        "fault plans are not supported under churn dynamics yet ({})",
+        entry.spec.label
+    );
     let proto = entry.spec.protocol.build();
     let config = entry.spec.sim_config();
     let graph = entry.spec.graph.clone();
@@ -172,7 +202,7 @@ mod tests {
     #[test]
     fn registry_is_complete_and_names_unique() {
         let exps = all();
-        assert_eq!(exps.len(), 18, "all 18 experiments must be registered");
+        assert_eq!(exps.len(), 19, "all 19 experiments must be registered");
         for (i, e) in exps.iter().enumerate() {
             assert_eq!(e.name, format!("e{}", i + 1), "registry out of order");
             assert_eq!(e.id, (i + 1) as u64, "experiment id must match its E number");
@@ -181,7 +211,7 @@ mod tests {
         let mut names: Vec<&str> = exps.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 18, "duplicate experiment names");
+        assert_eq!(names.len(), 19, "duplicate experiment names");
     }
 
     #[test]
@@ -221,7 +251,8 @@ mod tests {
     fn find_is_case_insensitive_and_total() {
         assert!(find("e1").is_some());
         assert!(find("E18").is_some());
-        assert!(find("e19").is_none());
+        assert!(find("e19").is_some());
+        assert!(find("e20").is_none());
         assert!(find("bogus").is_none());
     }
 
@@ -282,6 +313,57 @@ mod tests {
         let (plain, _) = run_entry(99, &entry, &cfg);
         let reports: Vec<_> = a.into_iter().map(|r| r.report).collect();
         assert_eq!(plain, reports);
+    }
+
+    #[test]
+    fn faulted_entries_dispatch_and_are_deterministic() {
+        use crate::scenario::{FailureSpec, FaultSpec};
+        use rrb_engine::FaultEvent;
+
+        let cfg = ExpConfig { quick: true, seeds: 3, threads: None };
+        let entry = LadderEntry::new(
+            5,
+            ScenarioSpec::new(
+                "fault-x",
+                GraphSpec::RandomRegular { n: 128, d: 6 },
+                ProtocolSpec::FloodPushPull { policy: PolicySpec::Distinct(4) },
+            )
+            .with_failures(FaultSpec {
+                rates: FailureSpec { channel: 0.05, transmission: 0.0, crash: 0.0 },
+                schedule: vec![FaultEvent::Partition { from: 1, until: 10, parts: 2 }],
+                ..FaultSpec::NONE
+            })
+            .with_stop(StopSpec::Coverage { max_rounds: 300 }),
+        );
+        let (a, _) = run_entry(98, &entry, &cfg);
+        let (b, _) = run_entry(98, &entry, &cfg);
+        assert_eq!(a, b, "faulted entry must be seed-for-seed deterministic");
+        // The plan actually bit: no seed covers before the heal.
+        for r in &a {
+            assert!(r.full_coverage_at.unwrap_or(10) >= 10, "covered mid-partition");
+        }
+        // A plain spec must not be rerouted through the faulted runner.
+        let plain = LadderEntry::new(
+            5,
+            ScenarioSpec::new(
+                "plain-x",
+                GraphSpec::RandomRegular { n: 128, d: 6 },
+                ProtocolSpec::FloodPushPull { policy: PolicySpec::Distinct(4) },
+            )
+            .with_stop(StopSpec::Coverage { max_rounds: 300 }),
+        );
+        let (via_entry, _) = run_entry(98, &plain, &cfg);
+        let via_hand = crate::run_replicated(
+            |rng| rrb_graph::gen::random_regular(128, 6, rng).expect("generation"),
+            &rrb_engine::protocols::FloodPushPull::with_policy(rrb_engine::ChoicePolicy::Distinct(
+                4,
+            )),
+            rrb_engine::SimConfig::default().with_max_rounds(300),
+            98,
+            5,
+            3,
+        );
+        assert_eq!(via_entry, via_hand);
     }
 
     #[test]

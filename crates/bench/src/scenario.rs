@@ -1,6 +1,6 @@
 //! Declarative scenario layer: the paper's whole experiment space — graph
-//! family × protocol × failure model × stop rule × measurement — as plain
-//! **data**.
+//! family × protocol × failure/fault model × membership dynamics × stop
+//! rule × measurement — as plain **data**.
 //!
 //! A [`ScenarioSpec`] is one point of that space. It compiles to concrete
 //! machinery on demand ([`GraphSpec::build`] → a `rrb_graph::Graph`,
@@ -19,7 +19,8 @@ use rrb_baselines::{Budgeted, GossipMode, MedianCounter, PushThenPull, Quasirand
 use rrb_core::{FourChoice, Phase, PhaseSchedule, SequentialFourChoice};
 use rrb_engine::protocols::{FloodPull, FloodPush, FloodPushPull, SilentProtocol};
 use rrb_engine::{
-    Capabilities, ChoicePolicy, FailureModel, NodeView, Observation, Plan, Protocol, Round,
+    AdversarySpec, AdversaryTarget, Capabilities, ChoicePolicy, FailureModel, FaultEvent,
+    FaultPlan, GilbertElliott, NodeView, Observation, OutageSpec, Plan, Protocol, Round,
     RumorMeta, SimConfig,
 };
 use rrb_graph::{gen, Graph};
@@ -434,14 +435,18 @@ impl FailureSpec {
     /// No failures.
     pub const NONE: FailureSpec = FailureSpec { channel: 0.0, transmission: 0.0, crash: 0.0 };
 
-    /// Compiles to the engine's [`FailureModel`].
+    /// Compiles to the engine's [`FailureModel`]. Every rate goes through
+    /// the model's validating builders, so an out-of-range spec value hits
+    /// the `[0, 1)` assertion instead of bypassing it (parse-time
+    /// validation in [`ScenarioSpec::from_json`] rejects such specs with a
+    /// named field before this can fire).
     pub fn to_model(self) -> FailureModel {
         let mut m = FailureModel::NONE;
         if self.channel > 0.0 {
-            m = FailureModel::channels(self.channel);
+            m = m.with_channels(self.channel);
         }
         if self.transmission > 0.0 {
-            m.transmission_failure = self.transmission;
+            m = m.with_transmissions(self.transmission);
         }
         if self.crash > 0.0 {
             m = m.with_crashes(self.crash);
@@ -452,6 +457,141 @@ impl FailureSpec {
     /// `true` if all rates are zero.
     pub fn is_none(&self) -> bool {
         self.channel == 0.0 && self.transmission == 0.0 && self.crash == 0.0
+    }
+}
+
+/// The full failure dimension of a scenario: baseline i.i.d. rates
+/// ([`FailureSpec`]) plus the engine's adversarial [`FaultPlan`]
+/// dimensions — correlated burst loss, scripted round-keyed events, a
+/// budget-limited targeting adversary, and transient outages.
+///
+/// `From<FailureSpec>` keeps plain-rate call sites working unchanged, and
+/// a spec with only rates serialises byte-identically to the pre-fault
+/// `"failures"` JSON object (the plan keys appear only when present).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSpec {
+    /// Baseline i.i.d. failure rates.
+    pub rates: FailureSpec,
+    /// Correlated/bursty channel loss (Gilbert–Elliott chains).
+    pub burst: Option<GilbertElliott>,
+    /// Deterministic round-keyed events (partitions that heal, targeted
+    /// crash sets, loss windows).
+    pub schedule: Vec<FaultEvent>,
+    /// Budget-limited targeted crashes.
+    pub adversary: Option<AdversarySpec>,
+    /// Transient node outages (suspension with state intact).
+    pub outages: Option<OutageSpec>,
+}
+
+impl FaultSpec {
+    /// No failures and no fault plan.
+    pub const NONE: FaultSpec = FaultSpec {
+        rates: FailureSpec::NONE,
+        burst: None,
+        schedule: Vec::new(),
+        adversary: None,
+        outages: None,
+    };
+
+    /// Compiles the baseline rates to the engine's [`FailureModel`] (the
+    /// plan dimensions compile separately via [`Self::to_plan`]).
+    pub fn to_model(&self) -> FailureModel {
+        self.rates.to_model()
+    }
+
+    /// Compiles the plan dimensions to the engine's [`FaultPlan`].
+    pub fn to_plan(&self) -> FaultPlan {
+        FaultPlan {
+            burst: self.burst,
+            schedule: self.schedule.clone(),
+            adversary: self.adversary,
+            outages: self.outages,
+        }
+    }
+
+    /// `true` when no fault-plan dimension is present — the scenario is a
+    /// plain i.i.d.-rates run and needs no `rrb_engine::FaultState`
+    /// installed.
+    pub fn is_plain(&self) -> bool {
+        self.burst.is_none()
+            && self.schedule.is_empty()
+            && self.adversary.is_none()
+            && self.outages.is_none()
+    }
+
+    /// `true` when nothing fails at all.
+    pub fn is_none(&self) -> bool {
+        self.rates.is_none() && self.is_plain()
+    }
+
+    /// The round after the last scripted partition heals (the reference
+    /// point for the `recovery_rounds` degradation metric), if the
+    /// schedule contains one.
+    pub fn heal_round(&self) -> Option<Round> {
+        self.schedule
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::Partition { until, .. } => Some(*until),
+                _ => None,
+            })
+            .max()
+    }
+
+    /// Compact human-readable description of every active dimension, for
+    /// `rrb describe` listings (`"none"` when nothing fails).
+    pub fn summary(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        let r = &self.rates;
+        if !r.is_none() {
+            let mut iid = Vec::new();
+            if r.channel > 0.0 {
+                iid.push(format!("ch={}", r.channel));
+            }
+            if r.transmission > 0.0 {
+                iid.push(format!("tx={}", r.transmission));
+            }
+            if r.crash > 0.0 {
+                iid.push(format!("crash={}", r.crash));
+            }
+            parts.push(format!("iid({})", iid.join(", ")));
+        }
+        if let Some(g) = &self.burst {
+            parts.push(format!("burst(GE loss {}/{})", g.loss_good, g.loss_bad));
+        }
+        for e in &self.schedule {
+            parts.push(match e {
+                FaultEvent::Partition { from, until, parts: k } => {
+                    format!("partition(x{k} [{from},{until}))")
+                }
+                FaultEvent::CrashNodes { at, nodes } => {
+                    format!("crash({} nodes @{at})", nodes.len())
+                }
+                FaultEvent::LossWindow { from, until, .. } => {
+                    format!("loss-window([{from},{until}))")
+                }
+            });
+        }
+        if let Some(a) = &self.adversary {
+            let t = match a.target {
+                AdversaryTarget::HighestDegree => "hubs",
+                AdversaryTarget::EarliestInformed => "earliest-informed",
+            };
+            parts.push(format!("adversary({t}, {}/round, budget {})", a.per_round, a.budget));
+        }
+        if let Some(o) = &self.outages {
+            parts.push(format!("outages(rate {}, {}-{} rounds)", o.rate, o.min_down, o.max_down));
+        }
+        if parts.is_empty() {
+            "none".into()
+        } else {
+            parts.join(" + ")
+        }
+    }
+}
+
+impl From<FailureSpec> for FaultSpec {
+    fn from(rates: FailureSpec) -> Self {
+        FaultSpec { rates, ..FaultSpec::NONE }
     }
 }
 
@@ -550,6 +690,11 @@ pub enum MeasureSpec {
     Standard,
     /// Standard metrics plus the per-round history trace.
     Trace,
+    /// Standard metrics plus the graceful-degradation derivations the
+    /// runner computes for faulted scenarios: residual survivor coverage,
+    /// and `recovery_rounds` (rounds from the last scripted heal to full
+    /// coverage) when the fault plan schedules a partition.
+    Degradation,
     /// Experiment-specific measurement implemented in the registry (named
     /// for documentation; the generic runner treats it like `Standard`).
     Custom(String),
@@ -564,8 +709,9 @@ pub struct ScenarioSpec {
     pub graph: GraphSpec,
     /// Protocol.
     pub protocol: ProtocolSpec,
-    /// Failure injection.
-    pub failures: FailureSpec,
+    /// Failure injection: baseline i.i.d. rates plus the optional
+    /// adversarial fault plan.
+    pub failures: FaultSpec,
     /// Membership dynamics (churn); static by default.
     pub dynamics: DynamicsSpec,
     /// Stop condition.
@@ -582,16 +728,17 @@ impl ScenarioSpec {
             label: label.into(),
             graph,
             protocol,
-            failures: FailureSpec::NONE,
+            failures: FaultSpec::NONE,
             dynamics: DynamicsSpec::Static,
             stop: StopSpec::QUIESCENT,
             measure: MeasureSpec::Standard,
         }
     }
 
-    /// Builder-style: set the failure rates.
-    pub fn with_failures(mut self, failures: FailureSpec) -> Self {
-        self.failures = failures;
+    /// Builder-style: set the failure dimension — plain [`FailureSpec`]
+    /// rates or a full [`FaultSpec`] plan.
+    pub fn with_failures(mut self, failures: impl Into<FaultSpec>) -> Self {
+        self.failures = failures.into();
         self
     }
 
@@ -872,6 +1019,30 @@ impl Protocol for AnyProtocol {
 /// Schema tag written into serialised scenarios.
 pub const SCENARIO_SCHEMA: &str = "rrb-scenario-v1";
 
+fn fault_event_json(e: &FaultEvent) -> String {
+    match e {
+        FaultEvent::Partition { from, until, parts } => format!(
+            "{{\"kind\": \"partition\", \"from\": {from}, \"until\": {until}, \"parts\": {parts}}}"
+        ),
+        FaultEvent::CrashNodes { at, nodes } => {
+            let list = nodes.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(", ");
+            format!("{{\"kind\": \"crash_nodes\", \"at\": {at}, \"nodes\": [{list}]}}")
+        }
+        FaultEvent::LossWindow { from, until, channel, transmission } => {
+            let mut s =
+                format!("{{\"kind\": \"loss_window\", \"from\": {from}, \"until\": {until}");
+            if let Some(c) = channel {
+                s.push_str(&format!(", \"channel\": {c}"));
+            }
+            if let Some(t) = transmission {
+                s.push_str(&format!(", \"transmission\": {t}"));
+            }
+            s.push('}');
+            s
+        }
+    }
+}
+
 fn policy_json(p: PolicySpec) -> String {
     match p {
         PolicySpec::Distinct(k) => format!("{{\"kind\": \"distinct\", \"k\": {k}}}"),
@@ -982,9 +1153,55 @@ impl ScenarioSpec {
         let measure = match &self.measure {
             MeasureSpec::Standard => "{\"kind\": \"standard\"}".into(),
             MeasureSpec::Trace => "{\"kind\": \"trace\"}".into(),
+            MeasureSpec::Degradation => "{\"kind\": \"degradation\"}".into(),
             MeasureSpec::Custom(name) => {
                 format!("{{\"kind\": \"custom\", \"name\": {}}}", crate::json_string(name))
             }
+        };
+        // Plan dimensions serialise only when present, so plain-rates
+        // specs keep the pre-fault "failures" object byte-for-byte.
+        let failures = {
+            let mut f = format!(
+                "{{\"channel\": {}, \"transmission\": {}, \"crash\": {}",
+                self.failures.rates.channel,
+                self.failures.rates.transmission,
+                self.failures.rates.crash,
+            );
+            if let Some(g) = &self.failures.burst {
+                f.push_str(&format!(
+                    ", \"burst\": {{\"p_gb\": {}, \"p_bg\": {}, \"loss_good\": {}, \
+                     \"loss_bad\": {}}}",
+                    g.p_gb, g.p_bg, g.loss_good, g.loss_bad
+                ));
+            }
+            if !self.failures.schedule.is_empty() {
+                let events: Vec<String> =
+                    self.failures.schedule.iter().map(fault_event_json).collect();
+                f.push_str(&format!(", \"schedule\": [{}]", events.join(", ")));
+            }
+            if let Some(a) = &self.failures.adversary {
+                let target = match a.target {
+                    AdversaryTarget::HighestDegree => "highest_degree",
+                    AdversaryTarget::EarliestInformed => "earliest_informed",
+                };
+                f.push_str(&format!(
+                    ", \"adversary\": {{\"target\": \"{target}\", \"per_round\": {}, \
+                     \"budget\": {}",
+                    a.per_round, a.budget
+                ));
+                if a.from_round != 1 {
+                    f.push_str(&format!(", \"from_round\": {}", a.from_round));
+                }
+                f.push('}');
+            }
+            if let Some(o) = &self.failures.outages {
+                f.push_str(&format!(
+                    ", \"outages\": {{\"rate\": {}, \"min_down\": {}, \"max_down\": {}}}",
+                    o.rate, o.min_down, o.max_down
+                ));
+            }
+            f.push('}');
+            f
         };
         // Static dynamics serialise to nothing, so pre-dynamics spec files
         // round-trip byte-identically.
@@ -1004,13 +1221,10 @@ impl ScenarioSpec {
         };
         format!(
             "{{\n  \"schema\": \"{SCENARIO_SCHEMA}\",\n  \"label\": {},\n  \"graph\": {graph},\n  \
-             \"protocol\": {protocol},\n  \"failures\": {{\"channel\": {}, \"transmission\": {}, \
-             \"crash\": {}}},\n{dynamics}  \"stop\": {{\"mode\": \"{stop_mode}\", \"max_rounds\": \
-             {max_rounds}}},\n  \"measure\": {measure}\n}}\n",
+             \"protocol\": {protocol},\n  \"failures\": {failures},\n{dynamics}  \"stop\": \
+             {{\"mode\": \"{stop_mode}\", \"max_rounds\": {max_rounds}}},\n  \"measure\": \
+             {measure}\n}}\n",
             crate::json_string(&self.label),
-            self.failures.channel,
-            self.failures.transmission,
-            self.failures.crash,
         )
     }
 
@@ -1060,25 +1274,8 @@ impl ScenarioSpec {
         let graph = parse_graph(v.get("graph").ok_or("missing \"graph\"")?)?;
         let protocol = parse_protocol(v.get("protocol").ok_or("missing \"protocol\"")?)?;
         let failures = match v.get("failures") {
-            Some(f) => {
-                expect_keys(f, &["channel", "transmission", "crash"], "\"failures\"")?;
-                let spec = FailureSpec {
-                    channel: opt_f64(f, "channel", 0.0)?,
-                    transmission: opt_f64(f, "transmission", 0.0)?,
-                    crash: opt_f64(f, "crash", 0.0)?,
-                };
-                for (name, p) in [
-                    ("channel", spec.channel),
-                    ("transmission", spec.transmission),
-                    ("crash", spec.crash),
-                ] {
-                    if !(0.0..=1.0).contains(&p) {
-                        return Err(format!("\"{name}\" must be a probability in [0, 1]"));
-                    }
-                }
-                spec
-            }
-            None => FailureSpec::NONE,
+            Some(f) => parse_faults(f)?,
+            None => FaultSpec::NONE,
         };
         let dynamics = match v.get("dynamics") {
             Some(d) => parse_dynamics(d)?,
@@ -1102,6 +1299,7 @@ impl ScenarioSpec {
                 match m.get("kind").and_then(Json::as_str) {
                     Some("standard") | None => MeasureSpec::Standard,
                     Some("trace") => MeasureSpec::Trace,
+                    Some("degradation") => MeasureSpec::Degradation,
                     Some("custom") => MeasureSpec::Custom(
                         m.get("name").and_then(Json::as_str).unwrap_or("custom").to_string(),
                     ),
@@ -1111,6 +1309,157 @@ impl ScenarioSpec {
             None => MeasureSpec::Standard,
         };
         Ok(ScenarioSpec { label, graph, protocol, failures, dynamics, stop, measure })
+    }
+}
+
+/// Parses the `"failures"` object: the three i.i.d. rates plus the
+/// optional adversarial fault-plan dimensions (`burst`, `schedule`,
+/// `adversary`, `outages`). Every probability and window is validated
+/// here, so a bad spec fails at parse time with a named field instead of
+/// tripping an engine assertion mid-run.
+fn parse_faults(f: &Json) -> Result<FaultSpec, String> {
+    expect_keys(
+        f,
+        &["channel", "transmission", "crash", "burst", "schedule", "adversary", "outages"],
+        "\"failures\"",
+    )?;
+    let rates = FailureSpec {
+        channel: opt_f64(f, "channel", 0.0)?,
+        transmission: opt_f64(f, "transmission", 0.0)?,
+        crash: opt_f64(f, "crash", 0.0)?,
+    };
+    for (name, p) in
+        [("channel", rates.channel), ("transmission", rates.transmission), ("crash", rates.crash)]
+    {
+        if !(0.0..1.0).contains(&p) {
+            return Err(format!("\"{name}\" must be a probability in [0, 1)"));
+        }
+    }
+    let burst = match f.get("burst") {
+        None => None,
+        Some(b) => {
+            expect_keys(b, &["p_gb", "p_bg", "loss_good", "loss_bad"], "\"burst\"")?;
+            let g = GilbertElliott {
+                p_gb: req_f64(b, "p_gb")?,
+                p_bg: req_f64(b, "p_bg")?,
+                loss_good: req_f64(b, "loss_good")?,
+                loss_bad: req_f64(b, "loss_bad")?,
+            };
+            for (name, p) in [
+                ("p_gb", g.p_gb),
+                ("p_bg", g.p_bg),
+                ("loss_good", g.loss_good),
+                ("loss_bad", g.loss_bad),
+            ] {
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("\"burst\".\"{name}\" must be a probability in [0, 1]"));
+                }
+            }
+            Some(g)
+        }
+    };
+    let schedule = match f.get("schedule") {
+        None => Vec::new(),
+        Some(Json::Arr(items)) => items
+            .iter()
+            .enumerate()
+            .map(|(i, e)| parse_fault_event(e).map_err(|err| format!("\"schedule\"[{i}]: {err}")))
+            .collect::<Result<Vec<_>, _>>()?,
+        Some(_) => return Err("\"schedule\" must be an array of fault events".into()),
+    };
+    let adversary = match f.get("adversary") {
+        None => None,
+        Some(a) => {
+            expect_keys(a, &["target", "per_round", "budget", "from_round"], "\"adversary\"")?;
+            let target = match a.get("target").and_then(Json::as_str) {
+                Some("highest_degree") => AdversaryTarget::HighestDegree,
+                Some("earliest_informed") => AdversaryTarget::EarliestInformed,
+                other => return Err(format!("unknown adversary target {other:?}")),
+            };
+            Some(AdversarySpec {
+                target,
+                per_round: req_usize(a, "per_round")?,
+                budget: req_usize(a, "budget")?,
+                from_round: opt_u64(a, "from_round", 1)? as Round,
+            })
+        }
+    };
+    let outages = match f.get("outages") {
+        None => None,
+        Some(o) => {
+            expect_keys(o, &["rate", "min_down", "max_down"], "\"outages\"")?;
+            let rate = req_f64(o, "rate")?;
+            if !(0.0..1.0).contains(&rate) {
+                return Err("\"outages\".\"rate\" must be a probability in [0, 1)".into());
+            }
+            let min_down = req_usize(o, "min_down")? as Round;
+            let max_down = req_usize(o, "max_down")? as Round;
+            if min_down < 1 {
+                return Err("\"min_down\" must be at least 1 round".into());
+            }
+            if min_down > max_down {
+                return Err("\"min_down\" must not exceed \"max_down\"".into());
+            }
+            Some(OutageSpec { rate, min_down, max_down })
+        }
+    };
+    Ok(FaultSpec { rates, burst, schedule, adversary, outages })
+}
+
+/// Parses one entry of the `"schedule"` array.
+fn parse_fault_event(v: &Json) -> Result<FaultEvent, String> {
+    let kind = v.get("kind").and_then(Json::as_str);
+    expect_keys(
+        v,
+        match kind {
+            Some("partition") => &["kind", "from", "until", "parts"],
+            Some("crash_nodes") => &["kind", "at", "nodes"],
+            Some("loss_window") => &["kind", "from", "until", "channel", "transmission"],
+            _ => &["kind"],
+        },
+        "the fault event",
+    )?;
+    match kind {
+        Some("partition") => {
+            let parts = req_usize(v, "parts")? as u32;
+            if parts == 0 {
+                return Err("\"parts\" must be at least 1".into());
+            }
+            Ok(FaultEvent::Partition {
+                from: req_usize(v, "from")? as Round,
+                until: req_usize(v, "until")? as Round,
+                parts,
+            })
+        }
+        Some("crash_nodes") => {
+            let nodes = match v.get("nodes") {
+                Some(Json::Arr(items)) => items
+                    .iter()
+                    .map(|n| n.as_u64().map(|x| x as u32))
+                    .collect::<Option<Vec<u32>>>()
+                    .ok_or("\"nodes\" must be an array of node indices")?,
+                _ => return Err("\"nodes\" must be an array of node indices".into()),
+            };
+            Ok(FaultEvent::CrashNodes { at: req_usize(v, "at")? as Round, nodes })
+        }
+        Some("loss_window") => {
+            let channel = opt_f64_field(v, "channel")?;
+            let transmission = opt_f64_field(v, "transmission")?;
+            for (name, p) in [("channel", channel), ("transmission", transmission)] {
+                if let Some(p) = p {
+                    if !(0.0..1.0).contains(&p) {
+                        return Err(format!("\"{name}\" must be a probability in [0, 1)"));
+                    }
+                }
+            }
+            Ok(FaultEvent::LossWindow {
+                from: req_usize(v, "from")? as Round,
+                until: req_usize(v, "until")? as Round,
+                channel,
+                transmission,
+            })
+        }
+        other => Err(format!("unknown fault event kind {other:?}")),
     }
 }
 
@@ -1179,6 +1528,14 @@ fn opt_u64(v: &Json, key: &str, default: u64) -> Result<u64, String> {
         Some(j) => {
             j.as_u64().ok_or_else(|| format!("\"{key}\" must be a non-negative integer"))
         }
+    }
+}
+
+/// Truly optional numeric field (`None` when absent; see [`opt_f64`]).
+fn opt_f64_field(v: &Json, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(j) => j.as_f64().map(Some).ok_or_else(|| format!("\"{key}\" must be a number")),
     }
 }
 
@@ -1673,6 +2030,34 @@ mod tests {
                 ProtocolSpec::FloodPushPull { policy: PolicySpec::Distinct(4) },
             )
             .with_dynamics(DynamicsSpec::Churn(ChurnSpec::symmetric(1.0))),
+            ScenarioSpec::new(
+                "faulty",
+                GraphSpec::RandomRegular { n: 256, d: 8 },
+                ProtocolSpec::FloodPushPull { policy: PolicySpec::Distinct(4) },
+            )
+            .with_failures(FaultSpec {
+                rates: FailureSpec { channel: 0.05, transmission: 0.0, crash: 0.0 },
+                burst: Some(GilbertElliott {
+                    p_gb: 0.1,
+                    p_bg: 0.4,
+                    loss_good: 0.01,
+                    loss_bad: 0.75,
+                }),
+                schedule: vec![
+                    FaultEvent::Partition { from: 2, until: 10, parts: 2 },
+                    FaultEvent::CrashNodes { at: 4, nodes: vec![1, 17, 33] },
+                    FaultEvent::LossWindow {
+                        from: 6,
+                        until: 12,
+                        channel: Some(0.4),
+                        transmission: None,
+                    },
+                ],
+                adversary: Some(AdversarySpec::new(AdversaryTarget::HighestDegree, 1, 8)),
+                outages: Some(OutageSpec::new(0.05, 2, 5)),
+            })
+            .with_stop(StopSpec::Coverage { max_rounds: 400 })
+            .with_measure(MeasureSpec::Degradation),
         ]
     }
 
@@ -1715,7 +2100,7 @@ mod tests {
         };
         // Baseline: well-formed failures parse.
         let ok = ScenarioSpec::from_json(&with("{\"channel\": 0.3}")).unwrap();
-        assert_eq!(ok.failures.channel, 0.3);
+        assert_eq!(ok.failures.rates.channel, 0.3);
         // A mistyped value must error, never silently run failure-free.
         assert!(ScenarioSpec::from_json(&with("{\"channel\": \"0.3\"}")).is_err());
         // A misspelled key must error, never silently default.
@@ -1746,6 +2131,101 @@ mod tests {
              \"degree\": 3, \"alpha\": \"big\"}}"
         )
         .is_err());
+    }
+
+    #[test]
+    fn fault_spec_json_is_backward_compatible() {
+        // A plain-rates spec serialises exactly as before the fault layer…
+        let plain =
+            ScenarioSpec::new("plain", GraphSpec::Complete { n: 8 }, ProtocolSpec::Silent)
+                .with_failures(FailureSpec { channel: 0.1, transmission: 0.05, crash: 0.01 });
+        let json = plain.to_json();
+        assert!(
+            json.contains(
+                "\"failures\": {\"channel\": 0.1, \"transmission\": 0.05, \"crash\": 0.01}"
+            ),
+            "{json}"
+        );
+        assert!(!json.contains("burst") && !json.contains("schedule"), "{json}");
+        // …and every pre-existing FailureSpec JSON parses to a plain plan.
+        let back = ScenarioSpec::from_json(&json).unwrap();
+        assert!(back.failures.is_plain());
+        assert!(!back.failures.is_none());
+        assert_eq!(back.failures.rates.channel, 0.1);
+        assert_eq!(back, plain);
+        assert_eq!(FaultSpec::NONE.summary(), "none");
+        assert!(FaultSpec::NONE.is_none());
+    }
+
+    #[test]
+    fn fault_json_validates_each_dimension() {
+        let with = |failures: &str| {
+            format!(
+                "{{\"label\": \"x\", \"graph\": {{\"kind\": \"complete\", \"n\": 4}}, \
+                 \"protocol\": {{\"kind\": \"silent\"}}, \"failures\": {failures}}}"
+            )
+        };
+        // Rates are validated to [0, 1): total loss is not a rate.
+        assert!(ScenarioSpec::from_json(&with("{\"channel\": 1.0}")).is_err());
+        // Burst chain parameters must be present and probabilities.
+        assert!(ScenarioSpec::from_json(&with(
+            "{\"burst\": {\"p_gb\": 1.5, \"p_bg\": 0.5, \"loss_good\": 0.0, \"loss_bad\": 0.8}}"
+        ))
+        .is_err());
+        assert!(ScenarioSpec::from_json(&with("{\"burst\": {\"p_gb\": 0.5}}")).is_err());
+        // Unknown event kinds, zero-part partitions and bad node lists.
+        assert!(ScenarioSpec::from_json(&with(
+            "{\"schedule\": [{\"kind\": \"partitio\", \"from\": 1, \"until\": 2, \"parts\": 2}]}"
+        ))
+        .is_err());
+        assert!(ScenarioSpec::from_json(&with(
+            "{\"schedule\": [{\"kind\": \"partition\", \"from\": 1, \"until\": 2, \"parts\": 0}]}"
+        ))
+        .is_err());
+        assert!(ScenarioSpec::from_json(&with(
+            "{\"schedule\": [{\"kind\": \"crash_nodes\", \"at\": 1, \"nodes\": [1, -2]}]}"
+        ))
+        .is_err());
+        assert!(ScenarioSpec::from_json(&with("{\"schedule\": 3}")).is_err());
+        // Adversary target names form a closed set.
+        assert!(ScenarioSpec::from_json(&with(
+            "{\"adversary\": {\"target\": \"tallest\", \"per_round\": 1, \"budget\": 2}}"
+        ))
+        .is_err());
+        // Outage windows must be ordered, at least one round, sub-certain.
+        assert!(ScenarioSpec::from_json(&with(
+            "{\"outages\": {\"rate\": 0.1, \"min_down\": 5, \"max_down\": 2}}"
+        ))
+        .is_err());
+        assert!(ScenarioSpec::from_json(&with(
+            "{\"outages\": {\"rate\": 0.1, \"min_down\": 0, \"max_down\": 2}}"
+        ))
+        .is_err());
+        assert!(ScenarioSpec::from_json(&with(
+            "{\"outages\": {\"rate\": 1.0, \"min_down\": 1, \"max_down\": 2}}"
+        ))
+        .is_err());
+        // A valid full plan parses and compiles.
+        let ok = ScenarioSpec::from_json(&with(
+            "{\"channel\": 0.1, \
+              \"burst\": {\"p_gb\": 0.1, \"p_bg\": 0.4, \"loss_good\": 0.0, \"loss_bad\": 0.8}, \
+              \"schedule\": [{\"kind\": \"partition\", \"from\": 2, \"until\": 9, \"parts\": 3}, \
+                             {\"kind\": \"loss_window\", \"from\": 3, \"until\": 5, \
+                              \"transmission\": 0.6}], \
+              \"adversary\": {\"target\": \"earliest_informed\", \"per_round\": 1, \"budget\": 4}, \
+              \"outages\": {\"rate\": 0.05, \"min_down\": 1, \"max_down\": 3}}"
+        ))
+        .unwrap();
+        assert!(!ok.failures.is_plain());
+        assert_eq!(ok.failures.heal_round(), Some(9));
+        let plan = ok.failures.to_plan();
+        assert!(!plan.is_empty());
+        assert_eq!(plan.schedule.len(), 2);
+        assert!(plan.adversary.is_some() && plan.burst.is_some() && plan.outages.is_some());
+        let summary = ok.failures.summary();
+        for needle in ["iid(ch=0.1)", "burst", "partition(x3 [2,9))", "adversary", "outages"] {
+            assert!(summary.contains(needle), "{summary:?} missing {needle:?}");
+        }
     }
 
     #[test]

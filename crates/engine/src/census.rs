@@ -45,6 +45,14 @@ pub struct AliveCensus {
     /// crashed nodes are permanently silent, deaf, and outside the
     /// coverage denominator.
     crashed: Vec<bool>,
+    /// Per-slot **transient-outage** flags (the fault layer's
+    /// [`OutageSpec`](crate::OutageSpec)): suspended nodes are silent and
+    /// deaf like crashed ones, but recover with state intact and **stay in
+    /// the coverage denominator** — coverage stalls while they are down.
+    suspended: Vec<bool>,
+    /// `crashed[i] || suspended[i]`, maintained on every flip — the single
+    /// per-slot mask the channel fabric filters callers and callees by.
+    blocked: Vec<bool>,
     /// Number of alive slots.
     alive_count: usize,
     /// Number of slots that are both alive and crashed (a crashed node
@@ -89,6 +97,9 @@ impl AliveCensus {
         self.alive.clear();
         self.alive.extend((0..n).map(|i| topo.is_alive(NodeId::new(i))));
         self.crashed.resize(n, false);
+        self.suspended.resize(n, false);
+        self.blocked.clear();
+        self.blocked.extend((0..n).map(|i| self.crashed[i] || self.suspended[i]));
         self.alive_count = self.alive.iter().filter(|&&a| a).count();
         self.crashed_alive = (0..n).filter(|&i| self.alive[i] && self.crashed[i]).count();
         self.synced = true;
@@ -104,6 +115,8 @@ impl AliveCensus {
             let alive = topo.is_alive(NodeId::new(i));
             self.alive.push(alive);
             self.crashed.push(false);
+            self.suspended.push(false);
+            self.blocked.push(false);
             self.alive_count += usize::from(alive);
         }
     }
@@ -120,16 +133,49 @@ impl AliveCensus {
         self.crashed.get(i).copied().unwrap_or(false)
     }
 
-    /// Alive and uncrashed — the nodes that can still participate.
+    /// Alive and uncrashed — the nodes the coverage numerator counts.
+    /// (A *suspended* node is still effective: it stays in the coverage
+    /// accounting while transiently offline.)
     #[inline]
     pub fn is_effective(&self, i: usize) -> bool {
         self.is_alive(i) && !self.is_crashed(i)
+    }
+
+    /// Whether slot `i` is in a transient outage (suspended).
+    #[inline]
+    pub fn is_suspended(&self, i: usize) -> bool {
+        self.suspended.get(i).copied().unwrap_or(false)
+    }
+
+    /// Alive, uncrashed **and not suspended** — the nodes that can open
+    /// channels, transmit and receive this round.
+    #[inline]
+    pub fn is_participating(&self, i: usize) -> bool {
+        self.is_effective(i) && !self.is_suspended(i)
+    }
+
+    /// Flips slot `i`'s transient-outage flag (state is otherwise kept —
+    /// suspension is not a crash). Out-of-range slots are ignored.
+    pub fn set_suspended(&mut self, i: usize, suspended: bool) {
+        if i >= self.suspended.len() {
+            return;
+        }
+        self.suspended[i] = suspended;
+        self.blocked[i] = self.crashed[i] || suspended;
     }
 
     /// Per-slot crash flags (the fabric's caller/callee filter).
     #[inline]
     pub fn crashed_slice(&self) -> &[bool] {
         &self.crashed
+    }
+
+    /// Per-slot crashed-or-suspended flags — the mask of nodes that cannot
+    /// participate in this round's communication (identical to
+    /// [`crashed_slice`](Self::crashed_slice) when nothing is suspended).
+    #[inline]
+    pub fn blocked_slice(&self) -> &[bool] {
+        &self.blocked
     }
 
     /// Number of alive slots.
@@ -158,6 +204,7 @@ impl AliveCensus {
             return false;
         }
         self.crashed[i] = true;
+        self.blocked[i] = true;
         self.crashed_total += 1;
         if self.alive[i] {
             self.crashed_alive += 1;
@@ -172,6 +219,8 @@ impl AliveCensus {
         if i >= self.alive.len() {
             self.alive.resize(i + 1, false);
             self.crashed.resize(i + 1, false);
+            self.suspended.resize(i + 1, false);
+            self.blocked.resize(i + 1, false);
         }
         if self.alive[i] {
             return false;
@@ -254,6 +303,33 @@ mod tests {
         assert!(!c.apply_join(6), "re-join is a no-op");
         assert!(c.apply_leave(6));
         assert_eq!(c.alive_count(), 4);
+    }
+
+    #[test]
+    fn suspension_blocks_participation_but_not_coverage() {
+        let g = gen::complete(8);
+        let mut c = AliveCensus::new();
+        c.sync_from(&g);
+        assert_eq!(c.blocked_slice(), c.crashed_slice(), "no suspensions: masks agree");
+        c.set_suspended(3, true);
+        assert!(c.is_suspended(3));
+        assert!(c.is_effective(3), "suspended nodes stay in the denominator");
+        assert!(!c.is_participating(3));
+        assert!(c.blocked_slice()[3] && !c.crashed_slice()[3]);
+        assert_eq!(c.effective_alive(), 8, "suspension never shrinks the denominator");
+        // Recovery restores participation with nothing else changed.
+        c.set_suspended(3, false);
+        assert!(c.is_participating(3));
+        assert_eq!(c.blocked_slice(), c.crashed_slice());
+        // A crash while suspended keeps the slot blocked after resume.
+        c.set_suspended(5, true);
+        assert!(c.mark_crashed(5));
+        c.set_suspended(5, false);
+        assert!(c.blocked_slice()[5], "crashed slots stay blocked");
+        assert_eq!(c.effective_alive(), 7);
+        // Out-of-range suspension is ignored.
+        c.set_suspended(99, true);
+        assert!(!c.is_suspended(99));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use rand::Rng;
 use rrb_graph::NodeId;
 
 use crate::choice::{sample_targets, ChoiceState};
+use crate::failure::FaultChannelView;
 use crate::{ChoicePolicy, FailureModel, Round, Topology};
 
 /// One round's channel openings in CSR form, with all scratch buffers
@@ -53,9 +54,9 @@ impl ChannelFabric {
         }
     }
 
-    /// Samples every alive, uncrashed node's channel targets for this
-    /// round and returns the number of channels opened (skipped callers'
-    /// would-be channels included).
+    /// Samples every alive, unblocked (uncrashed, unsuspended) node's
+    /// channel targets for this round and returns the number of channels
+    /// opened (skipped callers' would-be channels included).
     ///
     /// `skip_fanout` is the capability-gated push-only sampling skip: when
     /// `Some(k)`, a caller for which `is_uninformed` holds can carry no
@@ -63,6 +64,14 @@ impl ChannelFabric {
     /// deterministic `min(k, deg)` channel count is still added to the
     /// returned total (channel opening is part of the model), but it costs
     /// no RNG draws and no buffer traffic.
+    ///
+    /// `faults` is the optional per-channel fault view of an installed
+    /// [`FaultPlan`](crate::FaultPlan): partitioned pairs fail to
+    /// establish like calls to a crashed peer (no cost, no draw), and
+    /// burst-loss state raises the per-channel failure probability (drawn
+    /// on the **main** stream at exactly the baseline draw's position, so
+    /// both engines stay in lockstep). With `faults == None` the code path
+    /// and draw sequence are byte-identical to the pre-fault engine.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn sample<T, F, R>(
         &mut self,
@@ -70,7 +79,8 @@ impl ChannelFabric {
         policy: ChoicePolicy,
         choice: &mut ChoiceState,
         failures: FailureModel,
-        crashed: &[bool],
+        blocked: &[bool],
+        faults: Option<&FaultChannelView<'_>>,
         skip_fanout: Option<usize>,
         is_uninformed: F,
         rng: &mut R,
@@ -81,8 +91,9 @@ impl ChannelFabric {
         R: Rng + ?Sized,
     {
         let n = topo.node_count();
-        self.fast_path =
-            failures.channel_failure == 0.0 && failures.transmission_failure == 0.0;
+        self.fast_path = failures.channel_failure == 0.0
+            && failures.transmission_failure == 0.0
+            && faults.is_none_or(|f| !f.lossy());
         self.offsets.clear();
         self.targets.clear();
         self.ok.clear();
@@ -90,7 +101,7 @@ impl ChannelFabric {
         let mut channels = 0u64;
         for i in 0..n {
             let v = NodeId::new(i);
-            if topo.is_alive(v) && !crashed[i] {
+            if topo.is_alive(v) && !blocked[i] {
                 if let (Some(k), true) = (skip_fanout, is_uninformed(i)) {
                     // Uninformed caller under a push-only protocol: count
                     // the channels it would open, materialise none.
@@ -101,15 +112,31 @@ impl ChannelFabric {
                 sample_targets(topo, v, policy, choice, rng, &mut self.target_buf);
                 channels += self.target_buf.len() as u64;
                 for &w in &self.target_buf {
-                    // A channel to a dead (departed) or crashed neighbour
-                    // fails to establish; it costs nothing, carries nothing.
-                    let callee_ok = topo.is_alive(w) && !crashed[w.index()];
+                    // A channel to a dead (departed), crashed, suspended or
+                    // partitioned-away neighbour fails to establish; it
+                    // costs nothing, carries nothing.
+                    let callee_ok = topo.is_alive(w)
+                        && !blocked[w.index()]
+                        && faults.is_none_or(|f| f.connects(i, w.index()));
                     if self.fast_path {
                         if callee_ok {
                             self.targets.push(w);
                         }
                     } else {
-                        let ok = callee_ok && failures.channel_ok(rng);
+                        // Combined per-channel loss: baseline i.i.d. rate
+                        // plus the burst chains' contribution. The single
+                        // Bernoulli draw sits exactly where the baseline
+                        // draw always was, and is skipped (like the
+                        // baseline) when the probability is zero or the
+                        // channel failed to establish anyway.
+                        let p = match faults {
+                            Some(f) => {
+                                1.0 - (1.0 - failures.channel_failure)
+                                    * (1.0 - f.burst_loss(i, w.index()))
+                            }
+                            None => failures.channel_failure,
+                        };
+                        let ok = callee_ok && (p == 0.0 || !rng.gen_bool(p));
                         self.targets.push(w);
                         self.ok.push(ok);
                     }
@@ -293,6 +320,7 @@ mod tests {
             FailureModel::NONE,
             &crashed,
             None,
+            None,
             |_| false,
             &mut rng,
         );
@@ -326,6 +354,7 @@ mod tests {
             &mut choice,
             FailureModel::NONE,
             &crashed,
+            None,
             Some(1),
             |_| true,
             &mut rng,
@@ -348,6 +377,7 @@ mod tests {
             FailureModel::channels(0.5),
             &crashed,
             None,
+            None,
             |_| false,
             &mut rng,
         );
@@ -356,6 +386,78 @@ mod tests {
         assert!(!fabric.is_fast_path());
         let usable = (0..fabric.len()).filter(|&c| fabric.usable(c)).count();
         assert!(usable < 16, "with p = 0.5 some channel fails for this seed");
+    }
+
+    #[test]
+    fn partition_view_blocks_cross_component_channels_on_the_fast_path() {
+        use crate::failure::{FaultEvent, FaultPlan, FaultState};
+        let g = gen::complete(12);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut choice = ChoiceState::new(12, ChoicePolicy::FOUR);
+        let mut fabric = ChannelFabric::new(12);
+        let blocked = vec![false; 12];
+        let plan = FaultPlan {
+            schedule: vec![FaultEvent::Partition { from: 1, until: 9, parts: 3 }],
+            ..FaultPlan::default()
+        };
+        let mut fs = FaultState::new(&plan, 12, 0);
+        fs.begin_round(1, 12, |_| 11, |_| None, |_| true);
+        let view = fs.channel_view().expect("partition active");
+        let channels = fabric.sample(
+            &g,
+            ChoicePolicy::FOUR,
+            &mut choice,
+            FailureModel::NONE,
+            &blocked,
+            Some(&view),
+            None,
+            |_| false,
+            &mut rng,
+        );
+        // Opened channels are still counted; only same-component ones
+        // materialise, and a pure partition keeps the draw-free fast path.
+        assert_eq!(channels, 12 * 4);
+        assert!(fabric.is_fast_path());
+        assert!(fabric.len() < 12 * 4, "cross-component channels must be dropped");
+        for i in 0..12 {
+            for c in fabric.out_range(i) {
+                assert_eq!(fabric.target(c).index() % 3, i % 3, "caller {i} crossed the cut");
+            }
+        }
+    }
+
+    #[test]
+    fn burst_view_forces_the_slow_path_and_fails_bad_channels() {
+        use crate::failure::{FaultPlan, FaultState, GilbertElliott};
+        let g = gen::complete(16);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut choice = ChoiceState::new(16, ChoicePolicy::STANDARD);
+        let mut fabric = ChannelFabric::new(16);
+        let blocked = vec![false; 16];
+        // Chains that are certainly bad from round 1, with certain loss.
+        let plan = FaultPlan {
+            burst: Some(GilbertElliott::new(1.0, 0.0, 0.0, 1.0)),
+            ..FaultPlan::default()
+        };
+        let mut fs = FaultState::new(&plan, 16, 3);
+        fs.begin_round(1, 16, |_| 15, |_| None, |_| true);
+        let view = fs.channel_view().expect("burst active");
+        let channels = fabric.sample(
+            &g,
+            ChoicePolicy::STANDARD,
+            &mut choice,
+            FailureModel::NONE,
+            &blocked,
+            Some(&view),
+            None,
+            |_| false,
+            &mut rng,
+        );
+        assert_eq!(channels, 16);
+        assert!(!fabric.is_fast_path(), "burst loss requires per-channel draws");
+        assert_eq!(fabric.len(), 16, "slow path materialises every sampled channel");
+        let usable = (0..fabric.len()).filter(|&c| fabric.usable(c)).count();
+        assert_eq!(usable, 0, "all-bad chains with loss 1 kill every channel");
     }
 
     #[test]

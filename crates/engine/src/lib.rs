@@ -64,6 +64,16 @@
 //! quiescence and retirement update from `O(1)` counters while peers churn
 //! — the regime §1 of the paper attributes to P2P networks.
 //!
+//! **Adversarial faults** go beyond the i.i.d. [`FailureModel`]: a
+//! [`FaultPlan`] installed via `set_faults` adds correlated (bursty)
+//! channel loss driven by per-node Gilbert–Elliott chains, scripted
+//! round-keyed events (partitions that heal, targeted crash sets, loss
+//! windows), a budget-limited targeting adversary, and transient outages
+//! (nodes suspend with state intact — a census mode distinct from
+//! crash-stop). The plan's randomness lives on its own reserved stream,
+//! so installing `None` (the default) leaves every run byte-identical to
+//! the pre-fault engine.
+//!
 //! Seed replication parallelism lives one layer up in `rrb-bench`
 //! (`run_replicated` fans independent seeds over a rayon pool with
 //! deterministic per-seed RNG streams); regenerate the engine's perf
@@ -104,7 +114,10 @@ pub mod trace;
 
 pub use census::AliveCensus;
 pub use choice::{ChoicePolicy, ChoiceState};
-pub use failure::FailureModel;
+pub use failure::{
+    AdversarySpec, AdversaryTarget, FailureModel, FaultEvent, FaultPlan, FaultState,
+    GilbertElliott, OutageSpec,
+};
 pub use multi::{
     MultiRumorReport, MultiRumorSimulation, MultiSimState, RumorInjection, RumorOutcome,
 };

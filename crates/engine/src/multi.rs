@@ -5,6 +5,7 @@ use rrb_graph::NodeId;
 use crate::census::AliveCensus;
 use crate::choice::ChoiceState;
 use crate::fabric::{ChannelFabric, InformedIndex};
+use crate::failure::FaultState;
 use crate::observation::ObservationArena;
 use crate::{NodeView, Observation, Plan, Protocol, Round, SimConfig, Topology};
 
@@ -111,7 +112,11 @@ impl MultiRumorReport {
 ///
 /// 1. **Activation** — rumours whose birth round has passed join the
 ///    active set (their origins enter the informed census).
-/// 2. **Crash sampling** (skipped unless the model injects crashes).
+/// 2. **Fault plan** (only with [`set_faults`](Self::set_faults)) — the
+///    installed [`FaultState`] advances on its reserved stream and its
+///    node events (outage recoveries, suspensions, scripted/adversarial
+///    crashes) apply to the census, exactly as in the single engine.
+///    Then **crash sampling** (skipped unless the model injects crashes).
 /// 3. **Shared channel fabric** — every alive node's call targets are
 ///    sampled once into the CSR [`ChannelFabric`] and shared by all
 ///    rumours; the capability-gated push-only sampling skip applies to
@@ -181,6 +186,9 @@ pub struct MultiSimState<P: Protocol> {
     round: Round,
     channels: u64,
     combined: u64,
+    /// Installed adversarial fault plan's runtime state, if any (see
+    /// [`FaultState`]); applied at the top of every round.
+    faults: Option<FaultState>,
     // Scratch buffers reused across rounds (allocation-free once warm).
     choice: ChoiceState,
     fabric: ChannelFabric,
@@ -252,6 +260,7 @@ impl<P: Protocol> MultiSimState<P> {
             round: 0,
             channels: 0,
             combined: 0,
+            faults: None,
             choice: ChoiceState::new(n, protocol.choice_policy()),
             fabric: ChannelFabric::new(n),
             arena: ObservationArena::new(n),
@@ -271,6 +280,19 @@ impl<P: Protocol> MultiSimState<P> {
     /// Current round (0 before the first step).
     pub fn round(&self) -> Round {
         self.round
+    }
+
+    /// Installs (or clears) an adversarial fault plan's runtime state.
+    /// With `None` — the default — every code path and RNG draw is
+    /// byte-identical to the pre-fault engine. Seed the [`FaultState`]
+    /// from a reserved stream, not the main RNG (see its docs).
+    pub fn set_faults(&mut self, faults: Option<FaultState>) {
+        self.faults = faults;
+    }
+
+    /// The installed fault state, if any.
+    pub fn fault_state(&self) -> Option<&FaultState> {
+        self.faults.as_ref()
     }
 
     /// Number of scheduled rumours.
@@ -447,7 +469,6 @@ impl<P: Protocol> MultiSimState<P> {
         let n = topo.node_count();
         self.ensure_len(protocol, n);
         self.census.adopt_new_slots(topo);
-        let failures = config.failures;
         let policy = protocol.choice_policy();
         let uses_pull = protocol.capabilities().uses_pull;
         self.round += 1;
@@ -471,6 +492,54 @@ impl<P: Protocol> MultiSimState<P> {
             }
         }
         let active_end = self.next_activation;
+
+        // Phase 2a: fault plan (mirrors the single engine). The plan
+        // advances on its reserved stream, then its node events apply to
+        // the census before stochastic crash sampling. The state is taken
+        // out of `self` so the adversary's closures can borrow the
+        // informed indices and census.
+        let mut fault_state = self.faults.take();
+        let failures = match fault_state.as_mut() {
+            Some(fs) => {
+                let informed = &self.informed;
+                let births = &self.births;
+                let census = &self.census;
+                fs.begin_round(
+                    t,
+                    n,
+                    |i| topo.stubs(NodeId::new(i)).len(),
+                    // Earliest *global* reception over all rumours (the
+                    // informed indices run on rumour-local clocks).
+                    |i| {
+                        informed
+                            .iter()
+                            .zip(births)
+                            .filter_map(|(ix, &b)| ix.at(i).map(|at| at + b))
+                            .min()
+                    },
+                    |i| census.is_effective(i),
+                );
+                for &i in fs.resume_now() {
+                    self.census.set_suspended(i as usize, false);
+                }
+                for &i in fs.suspend_now() {
+                    self.census.set_suspended(i as usize, true);
+                }
+                for &i in fs.crash_now() {
+                    let i = i as usize;
+                    if self.census.is_alive(i) && !self.census.is_crashed(i) {
+                        self.census.mark_crashed(i);
+                        for r in 0..self.births.len() {
+                            if self.informed[r].is_informed(i) {
+                                self.alive_informed[r] -= 1;
+                            }
+                        }
+                    }
+                }
+                fs.effective(config.failures)
+            }
+            None => config.failures,
+        };
 
         // Phase 2: crash-stop sampling, identical draw order to the
         // single-rumour engine; a crashing node leaves every rumour's
@@ -497,12 +566,14 @@ impl<P: Protocol> MultiSimState<P> {
         // never sampled.
         let skip_fanout = (!uses_pull && policy.is_memoryless()).then(|| policy.fanout());
         let informed_of = &self.informed_of;
+        let fault_view = fault_state.as_ref().and_then(FaultState::channel_view);
         self.channels += self.fabric.sample(
             topo,
             policy,
             &mut self.choice,
             failures,
-            self.census.crashed_slice(),
+            self.census.blocked_slice(),
+            fault_view.as_ref(),
             skip_fanout,
             |i| informed_of[i] == 0,
             rng,
@@ -532,7 +603,7 @@ impl<P: Protocol> MultiSimState<P> {
             for idx in 0..snap {
                 let i = self.informed[r].list()[idx] as usize;
                 let v = NodeId::new(i);
-                let plan = if self.census.is_effective(i) {
+                let plan = if self.census.is_participating(i) {
                     let at = self.informed[r].at(i).expect("informed list entry");
                     let view = NodeView {
                         informed_at: at,
@@ -672,6 +743,9 @@ impl<P: Protocol> MultiSimState<P> {
                 if self.arena.heard(i) {
                     continue; // already digested above
                 }
+                if self.census.is_suspended(i) {
+                    continue; // offline: protocol state is frozen until recovery
+                }
                 protocol.update(
                     &mut self.states[r][i],
                     self.informed[r].at(i),
@@ -687,6 +761,9 @@ impl<P: Protocol> MultiSimState<P> {
                 self.full_coverage_at[r] = Some(t);
             }
         }
+
+        // Hand the fault state back for the next round.
+        self.faults = fault_state;
     }
 
     /// Runs rounds until [`finished`](Self::finished) fires.

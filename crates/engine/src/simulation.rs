@@ -5,6 +5,7 @@ use rrb_graph::NodeId;
 use crate::census::AliveCensus;
 use crate::choice::ChoiceState;
 use crate::fabric::{ChannelFabric, InformedIndex};
+use crate::failure::FaultState;
 use crate::observation::ObservationArena;
 use crate::report::StopReason;
 use crate::{
@@ -149,6 +150,9 @@ pub struct SimState<P: Protocol> {
     tx_at_coverage: Option<u64>,
     stop: Option<StopReason>,
     history: Vec<RoundRecord>,
+    /// Installed adversarial fault plan's runtime state, if any (see
+    /// [`FaultState`]); applied at the top of every round.
+    faults: Option<FaultState>,
     // Scratch buffers reused across rounds (allocation-free once warm).
     fabric: ChannelFabric,
     plans: Vec<Plan>,
@@ -182,6 +186,7 @@ impl<P: Protocol> SimState<P> {
             tx_at_coverage: None,
             stop: None,
             history: Vec::new(),
+            faults: None,
             fabric: ChannelFabric::new(node_count),
             plans: vec![Plan::SILENT; node_count],
             arena: ObservationArena::new(node_count),
@@ -193,6 +198,19 @@ impl<P: Protocol> SimState<P> {
     /// Current round (0 before the first step).
     pub fn round(&self) -> Round {
         self.round
+    }
+
+    /// Installs (or clears) an adversarial fault plan's runtime state.
+    /// With `None` — the default — every code path and RNG draw is
+    /// byte-identical to the pre-fault engine. Seed the [`FaultState`]
+    /// from a reserved stream, not the main RNG (see its docs).
+    pub fn set_faults(&mut self, faults: Option<FaultState>) {
+        self.faults = faults;
+    }
+
+    /// The installed fault state, if any.
+    pub fn fault_state(&self) -> Option<&FaultState> {
+        self.faults.as_ref()
     }
 
     /// Number of informed alive-or-dead slots.
@@ -366,12 +384,50 @@ impl<P: Protocol> SimState<P> {
         self.round += 1;
         let t = self.round;
         let policy = protocol.choice_policy();
-        let failures = config.failures;
-        // Channel/transmission failures are the only per-call Bernoulli
-        // draws; crash-stop sampling is a separate per-node phase, so a
-        // crash-only model still takes the draw-free exchange fast path.
-        let fast_path =
-            failures.channel_failure == 0.0 && failures.transmission_failure == 0.0;
+
+        // Fault-plan phase (before stochastic crash sampling): advance the
+        // plan on its reserved stream, then apply its node events —
+        // outage recoveries, new suspensions, scripted/adversarial
+        // crashes — to the census. The state is taken out of `self` so the
+        // adversary's closures can borrow the informed index and census.
+        let mut fault_state = self.faults.take();
+        let failures = match fault_state.as_mut() {
+            Some(fs) => {
+                let informed = &self.informed;
+                let census = &self.census;
+                fs.begin_round(
+                    t,
+                    n,
+                    |i| topo.stubs(NodeId::new(i)).len(),
+                    |i| informed.at(i),
+                    |i| census.is_effective(i),
+                );
+                for &i in fs.resume_now() {
+                    self.census.set_suspended(i as usize, false);
+                }
+                for &i in fs.suspend_now() {
+                    self.census.set_suspended(i as usize, true);
+                }
+                for &i in fs.crash_now() {
+                    let i = i as usize;
+                    if self.census.is_alive(i) && !self.census.is_crashed(i) {
+                        self.census.mark_crashed(i);
+                        if self.informed.is_informed(i) {
+                            self.alive_informed -= 1;
+                        }
+                    }
+                }
+                fs.effective(config.failures)
+            }
+            None => config.failures,
+        };
+        // Channel/transmission failures (and burst-loss chains) are the
+        // only per-call Bernoulli draws; crash-stop sampling is a separate
+        // per-node phase, so a crash-only model still takes the draw-free
+        // exchange fast path.
+        let fast_path = failures.channel_failure == 0.0
+            && failures.transmission_failure == 0.0
+            && fault_state.as_ref().is_none_or(|fs| !fs.bursty());
         // Capability-gated sampling skip: if the protocol never pull-serves,
         // a channel opened by an *uninformed* caller can carry nothing (its
         // push direction has nothing to send, its pull direction is never
@@ -410,12 +466,14 @@ impl<P: Protocol> SimState<P> {
         // (`FailureModel::NONE` draws nothing from the RNG either way — the
         // streams stay identical).
         let informed = &self.informed;
+        let fault_view = fault_state.as_ref().and_then(FaultState::channel_view);
         let channels_this_round = self.fabric.sample(
             topo,
             policy,
             &mut self.choice,
             failures,
-            self.census.crashed_slice(),
+            self.census.blocked_slice(),
+            fault_view.as_ref(),
             skip_fanout,
             |i| informed.at(i).is_none(),
             rng,
@@ -429,7 +487,7 @@ impl<P: Protocol> SimState<P> {
             let i = i as usize;
             let v = NodeId::new(i);
             self.plans[i] = match self.informed.at(i) {
-                Some(at) if self.census.is_effective(i) => {
+                Some(at) if self.census.is_participating(i) => {
                     let view = NodeView {
                         informed_at: at,
                         is_creator: v == self.creator,
@@ -535,8 +593,14 @@ impl<P: Protocol> SimState<P> {
             if self.arena.heard(i) {
                 continue; // already digested above
             }
+            if self.census.is_suspended(i) {
+                continue; // offline: protocol state is frozen until recovery
+            }
             protocol.update(&mut self.states[i], self.informed.at(i), t, &self.empty_obs);
         }
+
+        // Hand the fault state back for the next round.
+        self.faults = fault_state;
 
         // Phase e: coverage bookkeeping — O(1) from the census counters.
         if self.full_coverage_at.is_none()
@@ -1033,5 +1097,148 @@ mod tests {
         // With p = 0.3 the fixed seed crashes a nonzero, non-total subset,
         // so the counts above genuinely exercise the crashed-caller branch.
         assert!(skipped > 0 && skipped < 64, "channels = {skipped}");
+    }
+
+    use crate::failure::{
+        AdversarySpec, AdversaryTarget, FaultEvent, FaultPlan, FaultState, GilbertElliott,
+        OutageSpec,
+    };
+
+    fn run_with_plan(
+        plan: &FaultPlan,
+        origin: usize,
+        seed: u64,
+        fault_seed: u64,
+        cfg: SimConfig,
+    ) -> RunReport {
+        let g = gen::complete(32);
+        let proto = FloodPushPull::new();
+        let mut sim = SimState::new(&proto, 32, NodeId::new(origin));
+        sim.set_faults(Some(FaultState::new(plan, 32, fault_seed)));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        sim.run_to_completion(&g, &proto, cfg, &mut rng);
+        sim.into_report(&g, cfg)
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_no_plan() {
+        // Back-compat guarantee: an installed-but-empty plan takes the
+        // exact pre-fault code paths and RNG stream.
+        let cfg = SimConfig::default().with_history();
+        let g = gen::complete(32);
+        let proto = FloodPushPull::new();
+        let bare = {
+            let mut rng = SmallRng::seed_from_u64(3);
+            let mut sim = SimState::new(&proto, 32, NodeId::new(0));
+            sim.run_to_completion(&g, &proto, cfg, &mut rng);
+            sim.into_report(&g, cfg)
+        };
+        let planned = run_with_plan(&FaultPlan::default(), 0, 3, 99, cfg);
+        assert_eq!(bare, planned);
+    }
+
+    #[test]
+    fn scripted_partition_stalls_coverage_until_heal() {
+        // Acceptance scenario: partition K32 into two components for rounds
+        // [1, 12); coverage plateaus at the origin's component, then the
+        // heal lets the rumour jump across and finish.
+        let plan = FaultPlan {
+            schedule: vec![FaultEvent::Partition { from: 1, until: 12, parts: 2 }],
+            ..FaultPlan::default()
+        };
+        let cfg = SimConfig::default().with_history().with_max_rounds(200);
+        let report = run_with_plan(&plan, 0, 17, 18, cfg);
+        assert!(report.all_informed());
+        let heal = plan.heal_round().unwrap();
+        assert_eq!(heal, 12);
+        // While partitioned only the origin's residue class (16 nodes) is
+        // reachable; on K32 flooding saturates it well inside the window.
+        for rec in report.history.iter().filter(|r| r.round < heal) {
+            assert!(rec.informed <= 16, "round {}: {} informed", rec.round, rec.informed);
+        }
+        let stalled = report.history.iter().find(|r| r.informed == 16).unwrap();
+        assert!(stalled.round < heal, "component never saturated pre-heal");
+        // Full coverage only after the heal.
+        assert!(report.full_coverage_at.unwrap() >= heal);
+    }
+
+    #[test]
+    fn fault_plans_are_deterministic_given_seeds() {
+        // The whole menagerie at once (burst chains, outages, a scripted
+        // loss window, an adversary): same (run seed, fault seed) pair must
+        // reproduce the report byte for byte.
+        let plan = FaultPlan {
+            burst: Some(GilbertElliott::new(0.2, 0.4, 0.02, 0.7)),
+            schedule: vec![FaultEvent::LossWindow {
+                from: 3,
+                until: 8,
+                channel: Some(0.3),
+                transmission: None,
+            }],
+            adversary: Some(AdversarySpec::new(AdversaryTarget::HighestDegree, 1, 3)),
+            outages: Some(OutageSpec::new(0.05, 2, 4)),
+        };
+        let cfg = SimConfig::default().with_history().with_max_rounds(500);
+        let a = run_with_plan(&plan, 31, 21, 77, cfg);
+        let b = run_with_plan(&plan, 31, 21, 77, cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transient_outages_delay_but_do_not_shrink_coverage() {
+        // Suspended nodes stay in the denominator and recover with state
+        // intact, so the broadcast still reaches everyone and nobody is
+        // counted as crashed.
+        let plan = FaultPlan {
+            outages: Some(OutageSpec::new(0.2, 2, 5)),
+            ..FaultPlan::default()
+        };
+        let cfg = SimConfig::default().with_max_rounds(1000);
+        let g = gen::complete(32);
+        let proto = FloodPushPull::new();
+        let mut sim = SimState::new(&proto, 32, NodeId::new(0));
+        sim.set_faults(Some(FaultState::new(&plan, 32, 5)));
+        let mut rng = SmallRng::seed_from_u64(6);
+        sim.run_to_completion(&g, &proto, cfg, &mut rng);
+        assert_eq!(sim.crashed_count(), 0);
+        let report = sim.into_report(&g, cfg);
+        assert_eq!(report.alive_count, 32);
+        assert!(report.all_informed());
+    }
+
+    #[test]
+    fn adversary_exhausts_its_budget_and_survivors_still_cover() {
+        let plan = FaultPlan {
+            adversary: Some(AdversarySpec::new(AdversaryTarget::HighestDegree, 2, 6)),
+            ..FaultPlan::default()
+        };
+        let cfg = SimConfig::default().with_max_rounds(200);
+        let g = gen::complete(32);
+        let proto = FloodPushPull::new();
+        // Degrees are all equal on K32, so the deterministic tie-break
+        // crashes the lowest indices first — keep the origin out of reach.
+        let mut sim = SimState::new(&proto, 32, NodeId::new(31));
+        sim.set_faults(Some(FaultState::new(&plan, 32, 1)));
+        let mut rng = SmallRng::seed_from_u64(2);
+        sim.run_to_completion(&g, &proto, cfg, &mut rng);
+        assert_eq!(sim.crashed_count(), 6);
+        assert_eq!(sim.fault_state().unwrap().adversary_budget_left(), 0);
+        let report = sim.into_report(&g, cfg);
+        assert_eq!(report.alive_count, 26);
+        assert!(report.all_informed());
+    }
+
+    #[test]
+    fn earliest_informed_adversary_decapitates_the_broadcast() {
+        // With budget 1 aimed at the earliest-informed node, round 1 kills
+        // the origin before it ever opens a channel: the rumour dies.
+        let plan = FaultPlan {
+            adversary: Some(AdversarySpec::new(AdversaryTarget::EarliestInformed, 1, 1)),
+            ..FaultPlan::default()
+        };
+        let cfg = SimConfig::default().with_max_rounds(50);
+        let report = run_with_plan(&plan, 5, 9, 9, cfg);
+        assert_eq!(report.informed_count, 0);
+        assert_eq!(report.alive_count, 31);
     }
 }

@@ -16,8 +16,9 @@ use rand::SeedableRng;
 
 use rrb_engine::protocols::{FloodPull, FloodPush, FloodPushPull};
 use rrb_engine::{
-    Capabilities, ChoicePolicy, FailureModel, MultiSimState, NodeView, Observation, Plan,
-    Protocol, Round, RumorInjection, RumorMeta, SimConfig, SimState, Topology,
+    AdversarySpec, AdversaryTarget, Capabilities, ChoicePolicy, FailureModel, FaultEvent,
+    FaultPlan, FaultState, GilbertElliott, MultiSimState, NodeView, Observation, OutageSpec,
+    Plan, Protocol, Round, RumorInjection, RumorMeta, SimConfig, SimState, Topology,
 };
 use rrb_graph::{gen, Graph, NodeId};
 
@@ -452,6 +453,192 @@ fn assert_churn_parity<P: Protocol>(
     assert_eq!(
         s_report.channels, m_report.channels,
         "{label} seed {seed}: channel totals diverged"
+    );
+}
+
+/// Lockstep parity with the same [`FaultPlan`] installed on both engines
+/// (each gets its own [`FaultState`] built from the same fault seed, so the
+/// reserved streams coincide). Extends the failure-model guarantee to the
+/// whole adversarial fault layer.
+fn assert_fault_parity<P: Protocol>(
+    label: &str,
+    graph: &Graph,
+    protocol: &P,
+    config: SimConfig,
+    plan: &FaultPlan,
+    origin: NodeId,
+    seed: u64,
+) {
+    let n = Topology::node_count(graph);
+    let fault_seed = seed.wrapping_add(0xFA17);
+    let mut single_rng = SmallRng::seed_from_u64(seed);
+    let mut multi_rng = SmallRng::seed_from_u64(seed);
+    let mut single = SimState::new(protocol, n, origin);
+    single.set_faults(Some(FaultState::new(plan, n, fault_seed)));
+    let mut multi =
+        MultiSimState::new(protocol, graph, &[RumorInjection { birth: 0, origin }]);
+    multi.set_faults(Some(FaultState::new(plan, n, fault_seed)));
+
+    loop {
+        let sf = single.finished(graph, protocol, config);
+        let mf = multi.finished(protocol, config);
+        assert_eq!(
+            sf,
+            mf,
+            "{label} seed {seed}: stop disagreement at round {}",
+            single.round()
+        );
+        if sf {
+            break;
+        }
+        let rec = single.step(graph, protocol, config, &mut single_rng);
+        multi.step(graph, protocol, config, &mut multi_rng);
+        assert_eq!(
+            rec.informed,
+            multi.informed_count(0),
+            "{label} seed {seed}: informed trajectory diverged at round {}",
+            rec.round
+        );
+        assert_eq!(
+            single.crashed_count(),
+            multi.crashed_count(),
+            "{label} seed {seed}: crash sets diverged at round {}",
+            rec.round
+        );
+        assert_eq!(
+            single.effective_alive(),
+            multi.effective_alive(),
+            "{label} seed {seed}: censuses diverged at round {}",
+            rec.round
+        );
+        assert!(rec.round < 5_000, "{label} seed {seed}: runaway run");
+    }
+
+    let budget_left = |fs: Option<&FaultState>| fs.map(FaultState::adversary_budget_left);
+    assert_eq!(
+        budget_left(single.fault_state()),
+        budget_left(multi.fault_state()),
+        "{label} seed {seed}: adversary budgets diverged"
+    );
+    let rounds = single.round();
+    let m_report = multi.into_report();
+    let s_report = single.into_report(graph, config);
+    assert_eq!(s_report.rounds, rounds);
+    assert_eq!(m_report.rounds, rounds, "{label} seed {seed}: round totals diverged");
+    let outcome = &m_report.outcomes[0];
+    assert_eq!(
+        s_report.full_coverage_at, outcome.full_coverage_at,
+        "{label} seed {seed}: coverage round diverged"
+    );
+    assert_eq!(
+        s_report.informed_count, outcome.informed,
+        "{label} seed {seed}: final informed census diverged"
+    );
+    assert_eq!(
+        s_report.total_tx(),
+        outcome.tx,
+        "{label} seed {seed}: transmission totals diverged"
+    );
+    assert_eq!(
+        s_report.channels, m_report.channels,
+        "{label} seed {seed}: channel totals diverged"
+    );
+}
+
+#[test]
+fn parity_under_gilbert_elliott_bursts() {
+    let g = regular_graph(8);
+    let plan = FaultPlan {
+        burst: Some(GilbertElliott::new(0.15, 0.35, 0.02, 0.8)),
+        ..FaultPlan::default()
+    };
+    let cfg = SimConfig::default().with_max_rounds(800);
+    for seed in 0..4 {
+        assert_parity_pair_under_plan(&g, &plan, cfg, seed, "ge-burst");
+    }
+}
+
+#[test]
+fn parity_under_scripted_schedules() {
+    let g = regular_graph(9);
+    let plan = FaultPlan {
+        schedule: vec![
+            FaultEvent::Partition { from: 2, until: 10, parts: 2 },
+            FaultEvent::CrashNodes { at: 4, nodes: vec![1, 17, 33] },
+            FaultEvent::LossWindow { from: 6, until: 12, channel: Some(0.4), transmission: None },
+        ],
+        ..FaultPlan::default()
+    };
+    let cfg = SimConfig::default().with_max_rounds(800);
+    for seed in 0..4 {
+        assert_parity_pair_under_plan(&g, &plan, cfg, seed, "scripted");
+    }
+}
+
+#[test]
+fn parity_under_adversarial_targeting() {
+    let g = regular_graph(10);
+    for (name, target) in [
+        ("degree", AdversaryTarget::HighestDegree),
+        ("earliest", AdversaryTarget::EarliestInformed),
+    ] {
+        let plan = FaultPlan {
+            adversary: Some(AdversarySpec::new(target, 1, 8)),
+            ..FaultPlan::default()
+        };
+        let cfg = SimConfig::default().with_max_rounds(800);
+        for seed in 0..3 {
+            assert_parity_pair_under_plan(&g, &plan, cfg, seed, name);
+        }
+    }
+}
+
+#[test]
+fn parity_under_transient_outages_and_everything_at_once() {
+    let g = regular_graph(11);
+    let plan = FaultPlan {
+        burst: Some(GilbertElliott::new(0.1, 0.5, 0.0, 0.6)),
+        schedule: vec![FaultEvent::Partition { from: 3, until: 9, parts: 3 }],
+        adversary: Some(AdversarySpec::new(AdversaryTarget::HighestDegree, 1, 4)),
+        outages: Some(OutageSpec::new(0.03, 2, 5)),
+    };
+    let cfg = SimConfig::default().with_max_rounds(1200);
+    for seed in 0..3 {
+        assert_parity_pair_under_plan(&g, &plan, cfg, seed, "everything");
+    }
+}
+
+/// Runs the fault-parity harness over the standard protocol pair (flooding
+/// push&pull plus the stateful counting protocol), also layering the i.i.d.
+/// failure model on top of the plan for one of the two.
+fn assert_parity_pair_under_plan(
+    graph: &Graph,
+    plan: &FaultPlan,
+    config: SimConfig,
+    seed: u64,
+    label: &str,
+) {
+    assert_fault_parity(
+        &format!("pushpull+{label}"),
+        graph,
+        &FloodPushPull::new(),
+        config,
+        plan,
+        NodeId::new(5),
+        seed,
+    );
+    assert_fault_parity(
+        &format!("counting+{label}+iid"),
+        graph,
+        &CountingGossip { budget: 16 },
+        SimConfig {
+            failures: FailureModel::channels(0.1),
+            stop_at_coverage: false,
+            ..config
+        },
+        plan,
+        NodeId::new(5),
+        seed,
     );
 }
 

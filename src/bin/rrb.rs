@@ -3,7 +3,7 @@
 //!
 //! # Registry subcommands
 //!
-//! The paper's E1–E18 experiments are registered as declarative scenario
+//! The paper's E1–E19 experiments are registered as declarative scenario
 //! ladders (`rrb_bench::registry`); one binary drives them all:
 //!
 //! ```text
@@ -120,7 +120,7 @@ fn usage() -> String {
     "usage: rrb <list | describe <exp> | run <exp> [flags] | run --spec FILE> or rrb [options]\n\
      \n\
      registry subcommands:\n\
-     list                     registered experiments (e1..e18)\n\
+     list                     registered experiments (e1..e19)\n\
      describe <exp> [--quick] an experiment's scenario specs as JSON\n\
      run <exp>                run an experiment; flags: --quick --seeds N --threads N --json PATH\n\
      run --spec FILE          run a ScenarioSpec JSON file (one object, or an array = a ladder)\n\
@@ -295,7 +295,18 @@ fn cmd_describe(args: &[String]) -> ExitCode {
     let quick = args.iter().any(|a| a == "--quick");
     println!("{} — {}\n{}\n", exp.name, exp.title, exp.description);
     for entry in (exp.scenarios)(quick) {
-        println!("# config_ix {}\n{}", entry.config_ix, entry.spec.to_json());
+        let dynamics = match entry.spec.dynamics {
+            DynamicsSpec::Static => "static".to_string(),
+            DynamicsSpec::Churn(c) => {
+                format!("churn(+{}/-{} per round)", c.joins_per_round, c.leaves_per_round)
+            }
+        };
+        println!(
+            "# config_ix {} — faults: {}; dynamics: {dynamics}\n{}",
+            entry.config_ix,
+            entry.spec.failures.summary(),
+            entry.spec.to_json()
+        );
     }
     ExitCode::SUCCESS
 }
