@@ -11,6 +11,9 @@
 //! blocks — the legacy binary reused the same indices for two different
 //! failure kinds).
 
+use std::time::Instant;
+
+use crate::measure;
 use crate::registry::{deadline_of, run_entry, Experiment, LadderEntry};
 use crate::scenario::{
     ChurnSpec, DynamicsSpec, FailureSpec, FaultSpec, GossipModeSpec, GraphSpec, MeasureSpec,
@@ -22,10 +25,9 @@ use crate::{
 };
 use rrb_core::{AlgorithmVariant, DegreeRegime};
 use rrb_engine::{
-    AdversarySpec, AdversaryTarget, FaultEvent, GilbertElliott, OutageSpec, RoundRecord,
-    SimConfig, Simulation,
+    AdversarySpec, AdversaryTarget, FaultEvent, GilbertElliott, OutageSpec, RoundRecord, SimConfig,
 };
-use rrb_graph::{gen, spectral, NodeId};
+use rrb_graph::{gen, spectral};
 use rrb_p2p::ReplicatedDb;
 use rrb_stats::{fit_log2, fit_loglog2, Summary, Table};
 
@@ -379,59 +381,21 @@ fn e4_scenarios(quick: bool) -> Vec<LadderEntry> {
                 regime: RegimeSpec::Small,
             },
         )
-        .with_measure(MeasureSpec::Custom("phase-milestones".into())),
+        .with_measure(MeasureSpec::PhaseMilestones),
     )]
 }
 
 fn e4_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
     let (n, d) = e4_params(cfg.quick);
-    let alg = rrb_core::FourChoice::builder(n, d).force_small_degree().build();
-    let s = *alg.schedule();
-
-    let per_seed = replicate(4, 0, cfg.seeds, |_, rng| {
-        let g = gen::random_regular(n, d, rng).expect("generation");
-        let report = Simulation::new(&g, alg, SimConfig::until_quiescent().with_history())
-            .run(NodeId::new(0), rng);
-        let hist = &report.history;
-        let at = |round: u32| -> usize {
-            hist.iter().find(|r| r.round == round).map(|r| r.informed).unwrap_or(0)
-        };
-
-        // Mean growth factor of |I| over the early exponential stretch
-        // (while fewer than n/8 informed).
-        let mut factors = Vec::new();
-        for w in hist.windows(2) {
-            if w[1].informed < n / 8 && w[0].informed > 0 {
-                factors.push(w[1].informed as f64 / w[0].informed as f64);
-            }
-        }
-        let growth = (!factors.is_empty())
-            .then(|| factors.iter().sum::<f64>() / factors.len() as f64);
-        // Mean per-round shrink factor of |H| during Phase 2.
-        let mut decays = Vec::new();
-        for w in hist.windows(2) {
-            if w[0].round > s.phase1_end()
-                && w[1].round <= s.phase2_end()
-                && n > w[0].informed
-            {
-                decays.push((n - w[1].informed) as f64 / (n - w[0].informed) as f64);
-            }
-        }
-        let decay =
-            (!decays.is_empty()).then(|| decays.iter().sum::<f64>() / decays.len() as f64);
-        (
-            at(s.phase1_end()) as f64,
-            (n - at(s.phase2_end())) as f64,
-            report.full_coverage_at.unwrap_or(report.rounds) as f64,
-            growth,
-            decay,
-        )
-    });
-    let informed_p1: Vec<f64> = per_seed.iter().map(|r| r.0).collect();
-    let uninformed_p2: Vec<f64> = per_seed.iter().map(|r| r.1).collect();
-    let coverage_round: Vec<f64> = per_seed.iter().map(|r| r.2).collect();
-    let p1_growth: Vec<f64> = per_seed.iter().filter_map(|r| r.3).collect();
-    let p2_decay: Vec<f64> = per_seed.iter().filter_map(|r| r.4).collect();
+    let mut recorder = BenchRecorder::new("e4_phases", cfg.quick);
+    let start = Instant::now();
+    let (s, per_seed) = measure::phase_milestones(n, d, cfg.seeds);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let informed_p1: Vec<f64> = per_seed.iter().map(|r| r.informed_p1).collect();
+    let uninformed_p2: Vec<f64> = per_seed.iter().map(|r| r.uninformed_p2).collect();
+    let coverage_round: Vec<f64> = per_seed.iter().map(|r| r.coverage_round).collect();
+    let p1_growth: Vec<f64> = per_seed.iter().filter_map(|r| r.growth).collect();
+    let p2_decay: Vec<f64> = per_seed.iter().filter_map(|r| r.decay).collect();
 
     println!("E4: phase milestones at n = {n}, d = {d} ({} seeds)\n", cfg.seeds);
     let mut table = Table::new(vec!["milestone", "measured (mean ± ci95)", "paper's claim"]);
@@ -475,7 +439,18 @@ fn e4_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
         if ok1 { "HOLDS" } else { "VIOLATED" },
         if ok2 { "HOLDS" } else { "VIOLATED" }
     );
-    None
+    let tx: Vec<f64> = per_seed.iter().map(|r| r.total_tx).collect();
+    let successes = per_seed.iter().filter(|r| r.success).count();
+    recorder.record_raw(
+        format!("phases_n{n}"),
+        n,
+        cfg.seeds,
+        wall_ms,
+        s5.mean,
+        Summary::from_slice(&tx).mean,
+        successes as f64 / per_seed.len().max(1) as f64,
+    );
+    Some(recorder)
 }
 
 // ---------------------------------------------------------------------------
@@ -500,7 +475,7 @@ fn e5_entry(i: usize, n: usize, pull: bool) -> LadderEntry {
         i as u64 * 2 + u64::from(pull),
         ScenarioSpec::new(format!("{name}_n{n}"), GraphSpec::Complete { n }, proto)
             .with_stop(StopSpec::COVERAGE)
-            .with_measure(MeasureSpec::Trace),
+            .with_measure(MeasureSpec::Crossover),
     )
 }
 
@@ -513,29 +488,9 @@ fn e5_scenarios(quick: bool) -> Vec<LadderEntry> {
     out
 }
 
-/// Per-seed crossover trace for one E5 entry: rounds to reach n/2 from the
-/// fixed origin, and rounds from n/2 to full coverage.
-pub(crate) fn e5_trace(entry: &LadderEntry, seeds: u64) -> (Vec<f64>, Vec<f64>) {
-    let n = entry.spec.graph.node_count();
-    let proto = entry.spec.protocol.build();
-    let config = entry.spec.sim_config();
-    let per_seed = replicate(5, entry.config_ix, seeds, |_, rng| {
-        let g = entry.spec.graph.build(rng).expect("graph generation");
-        let report = Simulation::new(&g, proto.clone(), config).run(NodeId::new(0), rng);
-        let half_round = report
-            .history
-            .iter()
-            .find(|r| r.informed >= n / 2)
-            .map(|r| r.round)
-            .unwrap_or(report.rounds);
-        let full_round = report.full_coverage_at.unwrap_or(report.rounds);
-        (half_round as f64, (full_round - half_round) as f64)
-    });
-    per_seed.into_iter().unzip()
-}
-
 fn e5_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
     println!("E5: push/pull crossover on complete graphs ({} seeds)\n", cfg.seeds);
+    let mut recorder = BenchRecorder::new("e5_crossover", cfg.quick);
     let mut table = Table::new(vec![
         "n",
         "push: 0→n/2",
@@ -545,15 +500,32 @@ fn e5_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
         "loglog2 n",
     ]);
     for (i, &n) in e5_sizes(cfg.quick).iter().enumerate() {
-        let (push_half, push_tail) = e5_trace(&e5_entry(i, n, false), cfg.seeds);
-        let (pull_half, pull_tail) = e5_trace(&e5_entry(i, n, true), cfg.seeds);
+        let mut timed = |pull: bool| {
+            let entry = e5_entry(i, n, pull);
+            let start = Instant::now();
+            let trace = measure::crossover_trace(5, &entry, cfg.seeds);
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            let m = |v: &[f64]| Summary::from_slice(v).mean;
+            recorder.record_raw(
+                entry.spec.label.clone(),
+                n,
+                cfg.seeds,
+                wall_ms,
+                m(&trace.half) + m(&trace.tail),
+                m(&trace.total_tx),
+                trace.success_rate,
+            );
+            trace
+        };
+        let push = timed(false);
+        let pull = timed(true);
         let m = |v: &[f64]| Summary::from_slice(v).mean;
         table.row(vec![
             n.to_string(),
-            format!("{:.1}", m(&push_half)),
-            format!("{:.1}", m(&push_tail)),
-            format!("{:.1}", m(&pull_half)),
-            format!("{:.1}", m(&pull_tail)),
+            format!("{:.1}", m(&push.half)),
+            format!("{:.1}", m(&push.tail)),
+            format!("{:.1}", m(&pull.half)),
+            format!("{:.1}", m(&pull.tail)),
             format!("{:.1}", (n as f64).log2().log2()),
         ]);
     }
@@ -563,7 +535,7 @@ fn e5_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
          O(log log n) rounds (doubly exponential shrink), while pull's head is no\n\
          faster than push's — exactly the crossover at ~n/2 described in §1."
     );
-    None
+    Some(recorder)
 }
 
 // ---------------------------------------------------------------------------
@@ -1484,6 +1456,7 @@ fn e15_scenarios(quick: bool) -> Vec<LadderEntry> {
 
 fn e15_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
     let (n, degrees) = e15_params(cfg.quick);
+    let mut recorder = BenchRecorder::new("e15_spectral", cfg.quick);
     println!("E15: spectral audit of the generator at n = {n} ({} seeds)\n", cfg.seeds);
     let mut table = Table::new(vec![
         "d",
@@ -1494,6 +1467,7 @@ fn e15_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
         "mixing ok",
     ]);
     for (di, &d) in degrees.iter().enumerate() {
+        let start = Instant::now();
         let per_seed = replicate(15, di as u64, cfg.seeds, |_, rng| {
             let g = gen::random_regular(n, d, rng).expect("generation");
             let l2 = spectral::second_eigenvalue(&g, 600, rng).expect("power iteration");
@@ -1509,6 +1483,7 @@ fn e15_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
             }
             (l2.value, worst, ok, total)
         });
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         let lambdas: Vec<f64> = per_seed.iter().map(|r| r.0).collect();
         let max_devs: Vec<f64> = per_seed.iter().map(|r| r.1).collect();
         let mixing_ok: usize = per_seed.iter().map(|r| r.2).sum();
@@ -1523,6 +1498,17 @@ fn e15_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
             format!("{:.3}", Summary::from_slice(&max_devs).max),
             format!("{mixing_ok}/{mixing_total}"),
         ]);
+        // No broadcast runs here: rounds and transmissions are 0 by
+        // construction; the mixing-audit pass rate stands in for success.
+        recorder.record_raw(
+            format!("spectral_d{d}"),
+            n,
+            cfg.seeds,
+            wall_ms,
+            0.0,
+            0.0,
+            mixing_ok as f64 / mixing_total.max(1) as f64,
+        );
     }
     println!("{table}");
     println!(
@@ -1530,7 +1516,7 @@ fn e15_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
          sampled cut's normalised deviation |E(S,S̄)−d|S||S̄|/n| / √(|S||S̄|) stays\n\
          below the measured λ, as the Expander Mixing Lemma demands."
     );
-    None
+    Some(recorder)
 }
 
 // ---------------------------------------------------------------------------
@@ -2073,6 +2059,8 @@ mod tests {
     use super::*;
     use crate::run_replicated;
     use rrb_engine::protocols::FloodPush;
+    use rrb_engine::Simulation;
+    use rrb_graph::NodeId;
 
     /// Satellite cross-check: the scenario-driven E5 path reproduces the
     /// legacy binary's hand-wired plumbing seed for seed.
@@ -2081,7 +2069,8 @@ mod tests {
         let n = 1 << 10; // the --quick ladder size
         let seeds = 3; // the --quick seed count
         let entry = e5_entry(0, n, false);
-        let (half, tail) = e5_trace(&entry, seeds);
+        let trace = measure::crossover_trace(5, &entry, seeds);
+        let (half, tail) = (trace.half, trace.tail);
 
         // The legacy exp_e5_crossover plumbing, hand-wired exactly as the
         // pre-registry binary did it (concrete FloodPush, gen::complete,

@@ -29,6 +29,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
+pub mod compare;
+pub mod measure;
 pub mod registry;
 pub mod scenario;
 
@@ -367,18 +370,12 @@ fn random_alive_origin<T: Topology, R: rand::Rng + ?Sized>(topo: &T, rng: &mut R
     }
 }
 
-/// Peak resident set size of this process (`VmHWM`) in kibibytes, read
-/// from `/proc/self/status`; `None` where the procfs field is unavailable.
-/// Used by the n = 10^6 memory-smoke rung of E1.
+/// Peak resident set size of this process (`VmHWM`) in kibibytes; `None`
+/// where the procfs field is unavailable. Used by the n = 10^6
+/// memory-smoke rung of E1. Delegates to the engine's telemetry sampler
+/// (the same probe [`rrb_engine::PhaseTimings`] reads once per round).
 pub fn peak_rss_kib() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    status
-        .lines()
-        .find(|l| l.starts_with("VmHWM:"))?
-        .split_whitespace()
-        .nth(1)?
-        .parse()
-        .ok()
+    rrb_engine::telemetry::peak_rss_kib()
 }
 
 /// Like [`run_replicated`], additionally timing the configuration's total
@@ -566,7 +563,11 @@ impl BenchRecorder {
     }
 }
 
-pub(crate) fn json_string(s: &str) -> String {
+/// Escapes `s` as a JSON string literal (quotes included) — the one
+/// escaper behind every JSON writer in this workspace's hand-rolled
+/// dialect ([`BenchRecorder`], run artifacts, the `rrb` CLI's `--json`
+/// registry listings).
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

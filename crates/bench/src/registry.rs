@@ -21,7 +21,8 @@ use crate::{
     run_replicated_churned, run_replicated_faulted_timed, run_replicated_timed, BenchRecorder,
     ChurnRunReport, ExpConfig,
 };
-use rrb_engine::{Protocol, Round, RunReport};
+use rand::Rng;
+use rrb_engine::{FaultState, PhaseTimings, Protocol, Round, RunReport, SimState};
 
 /// One rung of an experiment's configuration ladder: a scenario plus the
 /// `config_ix` RNG coordinate it runs under (kept identical to the indices
@@ -184,6 +185,43 @@ pub fn run_entry_churned(
         cfg.seeds,
     );
     (runs, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Replays one ladder rung's **seed-0 replication** with a
+/// [`PhaseTimings`] probe installed and returns the accumulated
+/// telemetry: per-phase wall-clock attribution, counter totals and the
+/// peak-RSS high-water mark.
+///
+/// The instrumented run uses exactly [`run_entry`]'s streams — the shared
+/// [`crate::TOPOLOGY_STREAM`] topology, origin and run randomness from
+/// `(experiment_id, config_ix, seed 0)`, and the fault plan (when
+/// present) on [`crate::FAULT_STREAM`] — and probes never touch the RNG,
+/// so the replayed run is byte-identical to the first replication the
+/// statistics describe. Returns `None` for churn dynamics (the churn
+/// stepping loop does not take probes yet) and on graph-generation
+/// failure.
+pub fn instrument_entry(experiment_id: u64, entry: &LadderEntry) -> Option<PhaseTimings> {
+    if !matches!(entry.spec.dynamics, DynamicsSpec::Static) {
+        return None;
+    }
+    let proto = entry.spec.protocol.build();
+    let config = entry.spec.sim_config();
+    let mut topo_rng = crate::rng_for(experiment_id, entry.config_ix, crate::TOPOLOGY_STREAM);
+    let topo = entry.spec.graph.build(&mut topo_rng).ok()?;
+    let mut rng = crate::rng_for(experiment_id, entry.config_ix, 0);
+    let origin = crate::random_alive_origin(&topo, &mut rng);
+    let mut state = SimState::new(&proto, topo.node_count(), origin);
+    if !entry.spec.failures.is_plain() {
+        // Seed index 0 replay, so the stream key is FAULT_STREAM ^ 0.
+        let fault_seed: u64 =
+            crate::rng_for(experiment_id, entry.config_ix, crate::FAULT_STREAM).gen();
+        let plan = entry.spec.failures.to_plan();
+        state.set_faults(Some(FaultState::new(&plan, topo.node_count(), fault_seed)));
+    }
+    state.set_probe(Some(Box::new(PhaseTimings::new())));
+    state.run_to_completion(&topo, &proto, config, &mut rng);
+    let probe = state.take_probe()?;
+    probe.as_any().downcast_ref::<PhaseTimings>().cloned()
 }
 
 /// The protocol's designed round budget (schedule end), if it has one —
@@ -364,6 +402,45 @@ mod tests {
             3,
         );
         assert_eq!(via_entry, via_hand);
+    }
+
+    #[test]
+    fn instrumented_replay_matches_seed_zero_statistics() {
+        // The probed replay rides the same streams as run_entry's first
+        // replication, so its counters must equal seed 0's report exactly.
+        let cfg = ExpConfig { quick: true, seeds: 1, threads: None };
+        let entry = LadderEntry::new(
+            11,
+            ScenarioSpec::new(
+                "probe-x",
+                GraphSpec::RandomRegular { n: 256, d: 8 },
+                ProtocolSpec::FloodPushPull { policy: PolicySpec::Distinct(4) },
+            )
+            .with_stop(StopSpec::Coverage { max_rounds: 200 }),
+        );
+        let (reports, _) = run_entry(42, &entry, &cfg);
+        let timings = instrument_entry(42, &entry).expect("static entry instruments");
+        assert_eq!(timings.rounds(), reports[0].rounds);
+        assert_eq!(timings.tx(), reports[0].total_tx());
+        assert_eq!(timings.last_round().informed, reports[0].informed_count);
+        assert!(
+            timings.phase_ms().iter().sum::<f64>() > 0.0,
+            "phase attribution recorded no time"
+        );
+    }
+
+    #[test]
+    fn churned_entries_are_not_instrumented() {
+        let entry = LadderEntry::new(
+            7,
+            ScenarioSpec::new(
+                "churn-probe",
+                GraphSpec::RandomRegular { n: 128, d: 6 },
+                ProtocolSpec::FloodPushPull { policy: PolicySpec::Distinct(4) },
+            )
+            .with_dynamics(DynamicsSpec::Churn(ChurnSpec::symmetric(2.0))),
+        );
+        assert!(instrument_entry(99, &entry).is_none());
     }
 
     #[test]

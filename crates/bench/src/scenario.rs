@@ -690,6 +690,15 @@ pub enum MeasureSpec {
     Standard,
     /// Standard metrics plus the per-round history trace.
     Trace,
+    /// Per-round history reduced to the paper's phase milestones —
+    /// informed after Phase 1, uninformed after Phase 2, growth/decay
+    /// factors (Cor. 1, Lemmas 1–3). Driven by
+    /// [`measure::phase_milestones`](crate::measure::phase_milestones).
+    PhaseMilestones,
+    /// Per-round history reduced to the push/pull crossover split: rounds
+    /// from the origin to n/2 informed, and from n/2 to full coverage.
+    /// Driven by [`measure::crossover_trace`](crate::measure::crossover_trace).
+    Crossover,
     /// Standard metrics plus the graceful-degradation derivations the
     /// runner computes for faulted scenarios: residual survivor coverage,
     /// and `recovery_rounds` (rounds from the last scripted heal to full
@@ -769,7 +778,11 @@ impl ScenarioSpec {
             }
         };
         config = config.with_failures(self.failures.to_model());
-        if matches!(self.measure, MeasureSpec::Trace) {
+        // Every history-reducing measurement needs the per-round trace.
+        if matches!(
+            self.measure,
+            MeasureSpec::Trace | MeasureSpec::PhaseMilestones | MeasureSpec::Crossover
+        ) {
             config = config.with_history();
         }
         config
@@ -1153,6 +1166,8 @@ impl ScenarioSpec {
         let measure = match &self.measure {
             MeasureSpec::Standard => "{\"kind\": \"standard\"}".into(),
             MeasureSpec::Trace => "{\"kind\": \"trace\"}".into(),
+            MeasureSpec::PhaseMilestones => "{\"kind\": \"phase_milestones\"}".into(),
+            MeasureSpec::Crossover => "{\"kind\": \"crossover\"}".into(),
             MeasureSpec::Degradation => "{\"kind\": \"degradation\"}".into(),
             MeasureSpec::Custom(name) => {
                 format!("{{\"kind\": \"custom\", \"name\": {}}}", crate::json_string(name))
@@ -1299,6 +1314,8 @@ impl ScenarioSpec {
                 match m.get("kind").and_then(Json::as_str) {
                     Some("standard") | None => MeasureSpec::Standard,
                     Some("trace") => MeasureSpec::Trace,
+                    Some("phase_milestones") => MeasureSpec::PhaseMilestones,
+                    Some("crossover") => MeasureSpec::Crossover,
                     Some("degradation") => MeasureSpec::Degradation,
                     Some("custom") => MeasureSpec::Custom(
                         m.get("name").and_then(Json::as_str).unwrap_or("custom").to_string(),
@@ -1713,7 +1730,7 @@ fn parse_protocol(v: &Json) -> Result<ProtocolSpec, String> {
     }
 }
 
-pub use json::Json;
+pub use json::{parse as parse_json, Json};
 
 /// Minimal JSON reader for the spec dialect (objects, arrays, strings,
 /// numbers, booleans, null); just enough to parse what

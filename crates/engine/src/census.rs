@@ -55,6 +55,8 @@ pub struct AliveCensus {
     blocked: Vec<bool>,
     /// Number of alive slots.
     alive_count: usize,
+    /// Number of currently-suspended slots (telemetry counter).
+    suspended_count: usize,
     /// Number of slots that are both alive and crashed (a crashed node
     /// that later *leaves* drops out of this counter too).
     crashed_alive: usize,
@@ -102,6 +104,7 @@ impl AliveCensus {
         self.blocked.extend((0..n).map(|i| self.crashed[i] || self.suspended[i]));
         self.alive_count = self.alive.iter().filter(|&&a| a).count();
         self.crashed_alive = (0..n).filter(|&i| self.alive[i] && self.crashed[i]).count();
+        self.suspended_count = self.suspended.iter().filter(|&&s| s).count();
         self.synced = true;
     }
 
@@ -160,6 +163,13 @@ impl AliveCensus {
         if i >= self.suspended.len() {
             return;
         }
+        if self.suspended[i] != suspended {
+            if suspended {
+                self.suspended_count += 1;
+            } else {
+                self.suspended_count -= 1;
+            }
+        }
         self.suspended[i] = suspended;
         self.blocked[i] = self.crashed[i] || suspended;
     }
@@ -196,6 +206,12 @@ impl AliveCensus {
     #[inline]
     pub fn effective_alive(&self) -> usize {
         self.alive_count - self.crashed_alive
+    }
+
+    /// Number of currently-suspended slots (`O(1)` from a counter).
+    #[inline]
+    pub fn suspended_count(&self) -> usize {
+        self.suspended_count
     }
 
     /// Marks slot `i` crash-stopped; returns `true` iff it newly crashed.

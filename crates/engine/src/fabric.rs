@@ -44,6 +44,9 @@ pub(crate) struct ChannelFabric {
     in_cursor: Vec<u32>,
     /// Reusable target scratch for `sample_targets`.
     target_buf: Vec<NodeId>,
+    /// Channel-target draws avoided by the capability-gated skip in the
+    /// last [`sample`](Self::sample) call (telemetry counter).
+    skipped_last: u64,
 }
 
 impl ChannelFabric {
@@ -98,6 +101,7 @@ impl ChannelFabric {
         self.targets.clear();
         self.ok.clear();
         self.offsets.push(0);
+        self.skipped_last = 0;
         let mut channels = 0u64;
         for i in 0..n {
             let v = NodeId::new(i);
@@ -105,7 +109,9 @@ impl ChannelFabric {
                 if let (Some(k), true) = (skip_fanout, is_uninformed(i)) {
                     // Uninformed caller under a push-only protocol: count
                     // the channels it would open, materialise none.
-                    channels += topo.stubs(v).len().min(k) as u64;
+                    let skipped = topo.stubs(v).len().min(k) as u64;
+                    self.skipped_last += skipped;
+                    channels += skipped;
                     self.offsets.push(self.targets.len() as u32);
                     continue;
                 }
@@ -151,6 +157,13 @@ impl ChannelFabric {
     #[inline]
     pub(crate) fn len(&self) -> usize {
         self.targets.len()
+    }
+
+    /// Channel-target draws the capability-gated skip avoided in the last
+    /// [`sample`](Self::sample) call (0 when the skip never engaged).
+    #[inline]
+    pub(crate) fn skipped_last(&self) -> u64 {
+        self.skipped_last
     }
 
     /// Channel-id range opened by caller `i`.

@@ -110,6 +110,7 @@ mod simulation;
 mod topology;
 
 pub mod protocols;
+pub mod telemetry;
 pub mod trace;
 
 pub use census::AliveCensus;
@@ -125,4 +126,5 @@ pub use observation::{Observation, RumorMeta};
 pub use protocol::{Capabilities, NodeView, Plan, Protocol, Round};
 pub use report::{RoundRecord, RunReport, StopReason};
 pub use simulation::{SimConfig, SimState, Simulation};
+pub use telemetry::{BoxedProbe, PhaseTimings, RoundCounters, RoundProbe, StepPhase};
 pub use topology::Topology;

@@ -7,6 +7,7 @@ use crate::choice::ChoiceState;
 use crate::fabric::{ChannelFabric, InformedIndex};
 use crate::failure::FaultState;
 use crate::observation::ObservationArena;
+use crate::telemetry::{BoxedProbe, PhaseClock, RoundCounters, StepPhase};
 use crate::{NodeView, Observation, Plan, Protocol, Round, SimConfig, Topology};
 
 /// One rumour to be injected into a [`MultiRumorSimulation`].
@@ -189,6 +190,10 @@ pub struct MultiSimState<P: Protocol> {
     /// Installed adversarial fault plan's runtime state, if any (see
     /// [`FaultState`]); applied at the top of every round.
     faults: Option<FaultState>,
+    /// Installed telemetry probe, if any (see [`crate::telemetry`]); with
+    /// `None` — the default — rounds take no clock reads and no extra
+    /// work of any kind.
+    probe: Option<BoxedProbe>,
     // Scratch buffers reused across rounds (allocation-free once warm).
     choice: ChoiceState,
     fabric: ChannelFabric,
@@ -261,6 +266,7 @@ impl<P: Protocol> MultiSimState<P> {
             channels: 0,
             combined: 0,
             faults: None,
+            probe: None,
             choice: ChoiceState::new(n, protocol.choice_policy()),
             fabric: ChannelFabric::new(n),
             arena: ObservationArena::new(n),
@@ -293,6 +299,21 @@ impl<P: Protocol> MultiSimState<P> {
     /// The installed fault state, if any.
     pub fn fault_state(&self) -> Option<&FaultState> {
         self.faults.as_ref()
+    }
+
+    /// Installs (or clears) a telemetry probe (see [`crate::telemetry`]).
+    /// Probes observe per-phase wall-clock and per-round counters; they
+    /// never touch the RNG, so an instrumented run's random streams — and
+    /// therefore its [`MultiRumorReport`] — are byte-identical to a bare
+    /// run.
+    pub fn set_probe(&mut self, probe: Option<BoxedProbe>) {
+        self.probe = probe;
+    }
+
+    /// Removes and returns the installed probe, if any (the usual way to
+    /// read accumulated telemetry back after a run).
+    pub fn take_probe(&mut self) -> Option<BoxedProbe> {
+        self.probe.take()
     }
 
     /// Number of scheduled rumours.
@@ -473,6 +494,9 @@ impl<P: Protocol> MultiSimState<P> {
         let uses_pull = protocol.capabilities().uses_pull;
         self.round += 1;
         let t = self.round;
+        // Phase attribution clock: armed only when a probe is installed,
+        // so the bare engine reads no clocks (see `telemetry.rs`).
+        let mut clock = PhaseClock::armed(self.probe.is_some());
 
         // Phase 1: activation — rumours created before this round join the
         // active set; their origins (the only nodes informed so far) enter
@@ -492,6 +516,7 @@ impl<P: Protocol> MultiSimState<P> {
             }
         }
         let active_end = self.next_activation;
+        clock.lap(&mut self.probe, StepPhase::Coverage);
 
         // Phase 2a: fault plan (mirrors the single engine). The plan
         // advances on its reserved stream, then its node events apply to
@@ -559,6 +584,7 @@ impl<P: Protocol> MultiSimState<P> {
                 }
             }
         }
+        clock.lap(&mut self.probe, StepPhase::Faults);
 
         // Phase 3: the shared channel fabric. The push-only sampling skip
         // applies to callers informed of no active rumour: their channels
@@ -567,7 +593,7 @@ impl<P: Protocol> MultiSimState<P> {
         let skip_fanout = (!uses_pull && policy.is_memoryless()).then(|| policy.fanout());
         let informed_of = &self.informed_of;
         let fault_view = fault_state.as_ref().and_then(FaultState::channel_view);
-        self.channels += self.fabric.sample(
+        let channels_this_round = self.fabric.sample(
             topo,
             policy,
             &mut self.choice,
@@ -578,9 +604,11 @@ impl<P: Protocol> MultiSimState<P> {
             |i| informed_of[i] == 0,
             rng,
         );
+        self.channels += channels_this_round;
         if uses_pull {
             self.fabric.build_incoming(n);
         }
+        clock.lap(&mut self.probe, StepPhase::Fabric);
 
         // Phase 4: plans. Each active rumour's informed snapshot is planned
         // into the flat CSR plan store; per-node any-rumour transmit flags
@@ -623,6 +651,7 @@ impl<P: Protocol> MultiSimState<P> {
                 self.pull_any[i] |= plan.pull_serve;
             }
         }
+        clock.lap(&mut self.probe, StepPhase::Plan);
 
         // Phase 5: direction census — one O(channels) pass, shared by all
         // rumours, that (a) counts combined messages (a channel-direction
@@ -669,6 +698,8 @@ impl<P: Protocol> MultiSimState<P> {
         // pulls walk its servers' incoming channels via the reverse index —
         // O(informed · fanout + receipts) per rumour, never O(n).
         let effective_alive = self.effective_alive();
+        let mut round_tx = 0u64;
+        let mut newly_informed = 0usize;
         for ai in 0..active_end {
             let r = self.activation_order[ai] as usize;
             if self.retired[r] {
@@ -714,6 +745,11 @@ impl<P: Protocol> MultiSimState<P> {
                 }
             }
             self.tx[r] += tx;
+            round_tx += tx;
+            // The direction census above (run once, before the first
+            // rumour) rides in the first Exchange lap; later laps cover
+            // only their rumour's sends.
+            clock.lap(&mut self.probe, StepPhase::Exchange);
 
             // Digest: receivers via the arena's touched list, then
             // informed-but-silent nodes via the snapshot.
@@ -726,6 +762,7 @@ impl<P: Protocol> MultiSimState<P> {
                 self.scratch_obs.pushes.extend_from_slice(pushes);
                 self.scratch_obs.pulls.extend_from_slice(pulls);
                 if self.informed[r].mark(i, tl) {
+                    newly_informed += 1;
                     self.informed_of[i] += 1;
                     if self.census.is_effective(i) {
                         self.alive_informed[r] += 1;
@@ -760,10 +797,26 @@ impl<P: Protocol> MultiSimState<P> {
             {
                 self.full_coverage_at[r] = Some(t);
             }
+            clock.lap(&mut self.probe, StepPhase::Update);
         }
 
         // Hand the fault state back for the next round.
         self.faults = fault_state;
+
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.on_round(&RoundCounters {
+                round: t,
+                informed: self.alive_informed.iter().sum(),
+                newly_informed,
+                push_tx: 0,
+                pull_tx: 0,
+                tx: round_tx,
+                channels: channels_this_round,
+                skipped_draws: self.fabric.skipped_last(),
+                alive: self.census.effective_alive(),
+                suspended: self.census.suspended_count(),
+            });
+        }
     }
 
     /// Runs rounds until [`finished`](Self::finished) fires.
@@ -1157,6 +1210,70 @@ mod tests {
             sim.scratch_capacities(),
             warm,
             "per-round scratch buffers reallocated after warm-up"
+        );
+    }
+
+    #[test]
+    fn probe_is_byte_identical_and_counters_match_the_report() {
+        // Multi-engine telemetry guarantee: instrumented runs are
+        // byte-identical to bare runs, and the probe's totals agree with
+        // the report (per-rumour tx summed, channels, rounds).
+        use crate::telemetry::PhaseTimings;
+        let g = gen::complete(48);
+        let proto = FloodPushPull::new();
+        let cfg = SimConfig::default()
+            .with_failures(FailureModel::transmissions(0.2))
+            .with_max_rounds(300);
+        let injections: Vec<RumorInjection> = (0..5)
+            .map(|i| RumorInjection { birth: i, origin: NodeId::new(i as usize * 3) })
+            .collect();
+        let bare = {
+            let mut rng = SmallRng::seed_from_u64(29);
+            let mut sim = MultiSimState::new(&proto, &g, &injections);
+            sim.run_to_completion(&g, &proto, cfg, &mut rng);
+            sim.into_report()
+        };
+        let mut sim = MultiSimState::new(&proto, &g, &injections);
+        sim.set_probe(Some(Box::new(PhaseTimings::new())));
+        let mut rng = SmallRng::seed_from_u64(29);
+        sim.run_to_completion(&g, &proto, cfg, &mut rng);
+        let probe = sim.take_probe().expect("probe still installed");
+        let timings =
+            probe.as_any().downcast_ref::<PhaseTimings>().expect("concrete probe");
+        let probed = sim.into_report();
+        assert_eq!(bare, probed, "probe must not perturb the run");
+        assert_eq!(timings.rounds() as u32, probed.rounds);
+        assert_eq!(timings.tx(), probed.total_rumor_tx());
+        assert_eq!(timings.channels(), probed.channels);
+        assert_eq!(
+            timings.last_round().informed,
+            probed.outcomes.iter().map(|o| o.informed).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn probed_steady_state_rounds_do_not_allocate() {
+        use crate::telemetry::PhaseTimings;
+        let g = gen::complete(64);
+        let proto = FloodPushPull::new();
+        let cfg = SimConfig::until_quiescent().with_max_rounds(100);
+        let mut rng = SmallRng::seed_from_u64(33);
+        let injections: Vec<RumorInjection> = (0..4)
+            .map(|i| RumorInjection { birth: i, origin: NodeId::new(i as usize * 7) })
+            .collect();
+        let mut sim = MultiSimState::new(&proto, &g, &injections);
+        sim.set_probe(Some(Box::new(PhaseTimings::new())));
+        for _ in 0..30 {
+            sim.step(&g, &proto, cfg, &mut rng);
+        }
+        let warm = sim.scratch_capacities();
+        for _ in 0..40 {
+            sim.step(&g, &proto, cfg, &mut rng);
+        }
+        assert_eq!(
+            sim.scratch_capacities(),
+            warm,
+            "per-round scratch buffers reallocated after warm-up (probe on)"
         );
     }
 

@@ -8,6 +8,7 @@ use crate::fabric::{ChannelFabric, InformedIndex};
 use crate::failure::FaultState;
 use crate::observation::ObservationArena;
 use crate::report::StopReason;
+use crate::telemetry::{BoxedProbe, PhaseClock, RoundCounters, StepPhase};
 use crate::{
     FailureModel, NodeView, Observation, Plan, Protocol, Round, RoundRecord, RunReport, Topology,
 };
@@ -153,6 +154,10 @@ pub struct SimState<P: Protocol> {
     /// Installed adversarial fault plan's runtime state, if any (see
     /// [`FaultState`]); applied at the top of every round.
     faults: Option<FaultState>,
+    /// Installed telemetry probe, if any (see [`crate::telemetry`]); with
+    /// `None` — the default — rounds take no clock reads and no extra
+    /// work of any kind.
+    probe: Option<BoxedProbe>,
     // Scratch buffers reused across rounds (allocation-free once warm).
     fabric: ChannelFabric,
     plans: Vec<Plan>,
@@ -187,6 +192,7 @@ impl<P: Protocol> SimState<P> {
             stop: None,
             history: Vec::new(),
             faults: None,
+            probe: None,
             fabric: ChannelFabric::new(node_count),
             plans: vec![Plan::SILENT; node_count],
             arena: ObservationArena::new(node_count),
@@ -211,6 +217,20 @@ impl<P: Protocol> SimState<P> {
     /// The installed fault state, if any.
     pub fn fault_state(&self) -> Option<&FaultState> {
         self.faults.as_ref()
+    }
+
+    /// Installs (or clears) a telemetry probe (see [`crate::telemetry`]).
+    /// Probes observe per-phase wall-clock and per-round counters; they
+    /// never touch the RNG, so an instrumented run's random streams — and
+    /// therefore its [`RunReport`] — are byte-identical to a bare run.
+    pub fn set_probe(&mut self, probe: Option<BoxedProbe>) {
+        self.probe = probe;
+    }
+
+    /// Removes and returns the installed probe, if any (the usual way to
+    /// read accumulated telemetry back after a run).
+    pub fn take_probe(&mut self) -> Option<BoxedProbe> {
+        self.probe.take()
     }
 
     /// Number of informed alive-or-dead slots.
@@ -384,6 +404,9 @@ impl<P: Protocol> SimState<P> {
         self.round += 1;
         let t = self.round;
         let policy = protocol.choice_policy();
+        // Phase attribution clock: armed only when a probe is installed,
+        // so the bare engine reads no clocks (see `telemetry.rs`).
+        let mut clock = PhaseClock::armed(self.probe.is_some());
 
         // Fault-plan phase (before stochastic crash sampling): advance the
         // plan on its reserved stream, then apply its node events —
@@ -458,6 +481,7 @@ impl<P: Protocol> SimState<P> {
                 }
             }
         }
+        clock.lap(&mut self.probe, StepPhase::Faults);
 
         // Phase a: every alive node opens channels (shared fabric code in
         // `fabric.rs`). On the fast path a channel is usable iff the callee
@@ -479,6 +503,7 @@ impl<P: Protocol> SimState<P> {
             rng,
         );
         self.channels += channels_this_round;
+        clock.lap(&mut self.probe, StepPhase::Fabric);
 
         // Phase b: informed nodes decide their plans. Only the informed
         // index list is visited; everyone else keeps a standing SILENT plan,
@@ -498,6 +523,7 @@ impl<P: Protocol> SimState<P> {
                 _ => Plan::SILENT,
             };
         }
+        clock.lap(&mut self.probe, StepPhase::Plan);
 
         // Phase c: exchanges, recorded into the flat observation arena.
         let mut push_tx = 0u64;
@@ -560,6 +586,7 @@ impl<P: Protocol> SimState<P> {
         }
         self.push_tx += push_tx;
         self.pull_tx += pull_tx;
+        clock.lap(&mut self.probe, StepPhase::Exchange);
 
         // Phase d: digest observations, update informedness. Receivers are
         // visited via the arena's touched list, then informed-but-silent
@@ -598,6 +625,7 @@ impl<P: Protocol> SimState<P> {
             }
             protocol.update(&mut self.states[i], self.informed.at(i), t, &self.empty_obs);
         }
+        clock.lap(&mut self.probe, StepPhase::Update);
 
         // Hand the fault state back for the next round.
         self.faults = fault_state;
@@ -608,6 +636,21 @@ impl<P: Protocol> SimState<P> {
         {
             self.full_coverage_at = Some(t);
             self.tx_at_coverage = Some(self.push_tx + self.pull_tx);
+        }
+        clock.lap(&mut self.probe, StepPhase::Coverage);
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.on_round(&RoundCounters {
+                round: t,
+                informed: self.alive_informed,
+                newly_informed,
+                push_tx,
+                pull_tx,
+                tx: push_tx + pull_tx,
+                channels: channels_this_round,
+                skipped_draws: self.fabric.skipped_last(),
+                alive: self.census.effective_alive(),
+                suspended: self.census.suspended_count(),
+            });
         }
 
         let record = RoundRecord {
@@ -1097,6 +1140,89 @@ mod tests {
         // With p = 0.3 the fixed seed crashes a nonzero, non-total subset,
         // so the counts above genuinely exercise the crashed-caller branch.
         assert!(skipped > 0 && skipped < 64, "channels = {skipped}");
+    }
+
+    #[test]
+    fn probe_is_byte_identical_and_counters_match_the_report() {
+        // Telemetry guarantee: a probe makes no RNG draws, so an
+        // instrumented run's report is byte-identical to a bare run, and
+        // the probe's counter totals agree with the report exactly.
+        use crate::telemetry::PhaseTimings;
+        let g = gen::complete(48);
+        let proto = FloodPushPull::new();
+        let cfg = SimConfig::default()
+            .with_failures(FailureModel::channels(0.1).with_crashes(0.005))
+            .with_history()
+            .with_max_rounds(300);
+        let bare = {
+            let mut rng = SmallRng::seed_from_u64(19);
+            let mut sim = SimState::new(&proto, 48, NodeId::new(0));
+            sim.run_to_completion(&g, &proto, cfg, &mut rng);
+            sim.into_report(&g, cfg)
+        };
+        let mut sim = SimState::new(&proto, 48, NodeId::new(0));
+        sim.set_probe(Some(Box::new(PhaseTimings::new())));
+        let mut rng = SmallRng::seed_from_u64(19);
+        sim.run_to_completion(&g, &proto, cfg, &mut rng);
+        let probe = sim.take_probe().expect("probe still installed");
+        let timings =
+            probe.as_any().downcast_ref::<PhaseTimings>().expect("concrete probe");
+        let probed = sim.into_report(&g, cfg);
+        assert_eq!(bare, probed, "probe must not perturb the run");
+        assert_eq!(timings.rounds(), probed.rounds);
+        assert_eq!(timings.push_tx(), probed.push_tx);
+        assert_eq!(timings.pull_tx(), probed.pull_tx);
+        assert_eq!(timings.tx(), probed.total_tx());
+        assert_eq!(timings.channels(), probed.channels);
+        assert_eq!(timings.last_round().informed, probed.informed_count);
+        assert_eq!(timings.last_round().alive, probed.alive_count);
+        // Every executed round was attributed to the six phases.
+        let total_ms: f64 = timings.phase_ms().iter().sum();
+        assert!(total_ms >= 0.0);
+        assert!(timings.peak_rss_kib().unwrap_or(1) > 0);
+    }
+
+    #[test]
+    fn probe_counts_skipped_draws_under_push_only_skip() {
+        use crate::telemetry::PhaseTimings;
+        let g = gen::complete(64);
+        let proto = FloodPush::new(); // push-only: the sampling skip engages
+        let mut sim = SimState::new(&proto, 64, NodeId::new(0));
+        sim.set_probe(Some(Box::new(PhaseTimings::new())));
+        let mut rng = SmallRng::seed_from_u64(23);
+        sim.run_to_completion(&g, &proto, SimConfig::default(), &mut rng);
+        let probe = sim.take_probe().unwrap();
+        let timings = probe.as_any().downcast_ref::<PhaseTimings>().unwrap();
+        assert!(
+            timings.skipped_draws() > 0,
+            "uninformed callers' draws must be counted as skipped"
+        );
+        assert!(timings.skipped_draws() <= timings.channels());
+    }
+
+    #[test]
+    fn probed_steady_state_rounds_do_not_allocate() {
+        // The no-allocation guarantee must hold with a probe installed:
+        // PhaseTimings accumulates into fixed-size storage.
+        use crate::telemetry::PhaseTimings;
+        let g = gen::complete(64);
+        let proto = FloodPushPull::new();
+        let cfg = SimConfig::until_quiescent().with_max_rounds(60);
+        let mut rng = SmallRng::seed_from_u64(33);
+        let mut sim = SimState::new(&proto, 64, NodeId::new(0));
+        sim.set_probe(Some(Box::new(PhaseTimings::new())));
+        for _ in 0..20 {
+            sim.step(&g, &proto, cfg, &mut rng);
+        }
+        let warm = sim.scratch_capacities();
+        for _ in 0..40 {
+            sim.step(&g, &proto, cfg, &mut rng);
+        }
+        assert_eq!(
+            sim.scratch_capacities(),
+            warm,
+            "per-round scratch buffers reallocated after warm-up (probe on)"
+        );
     }
 
     use crate::failure::{

@@ -138,6 +138,38 @@ mod tests {
     }
 
     #[test]
+    fn empty_history_yields_no_statistics() {
+        let h: Vec<RoundRecord> = Vec::new();
+        assert_eq!(informed_growth_factor(&h, 16), None);
+        assert_eq!(uninformed_decay_factor(&h, 32, 0, 10), None);
+        assert_eq!(round_reaching_fraction(&h, 32, 0.5), None);
+        assert_eq!(informed_at_round(&h, 1), None);
+        assert_eq!(transmissions_in(&h, 0, 100), 0);
+    }
+
+    #[test]
+    fn single_record_has_no_pairs() {
+        let h = vec![rec(1, 4, 7, 2)];
+        // Factor statistics need a round pair; one record gives none.
+        assert_eq!(informed_growth_factor(&h, 16), None);
+        assert_eq!(uninformed_decay_factor(&h, 32, 0, 10), None);
+        // Point lookups still work on the lone record.
+        assert_eq!(round_reaching_fraction(&h, 32, 0.125), Some(1));
+        assert_eq!(informed_at_round(&h, 1), Some(4));
+        assert_eq!(transmissions_in(&h, 1, 1), 9);
+    }
+
+    #[test]
+    fn unreached_fraction_is_none_not_last_round() {
+        let h = vec![rec(1, 4, 0, 0), rec(2, 9, 0, 0)];
+        // 9 of 32 informed: 0.5 is never reached, even though the history
+        // ends — callers must handle the stalled-run case explicitly.
+        assert_eq!(round_reaching_fraction(&h, 32, 0.5), None);
+        // ceil rounding: 0.25 of 32 = 8 needs the second record.
+        assert_eq!(round_reaching_fraction(&h, 32, 0.25), Some(2));
+    }
+
+    #[test]
     fn consistent_with_live_engine_history() {
         use crate::protocols::FloodPushPull;
         use crate::{SimConfig, Simulation};

@@ -11,9 +11,13 @@
 //! rrb describe e5                   # an experiment's ladder as spec JSON
 //! rrb run e5 --quick                # run E5 (same flags as the old exp_* bins)
 //! rrb run e1 --seeds 10 --threads 4 --json out.json
+//! rrb run e1 --quick --out runs/    # structured run artifacts (JSONL per rung)
+//! rrb compare base/ candidate/      # diff two artifact dirs; exit 1 on drift
 //! rrb run --spec scenario.json      # one hand-written ScenarioSpec, or an
 //!                                   # array of them (a whole ladder)
 //! ```
+//!
+//! `list` and `describe` also take `--json` for machine-readable output.
 //!
 //! # Ad-hoc mode
 //!
@@ -34,9 +38,13 @@ use std::process::ExitCode;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rrb::prelude::*;
+use rrb_bench::compare::{self, Tolerance};
 use rrb_bench::registry::{self, LadderEntry};
 use rrb_bench::scenario::{DynamicsSpec, MeasureSpec, ScenarioSpec};
-use rrb_bench::{mean_of, mean_rounds_to_coverage, success_rate, BenchRecorder, ExpConfig};
+use rrb_bench::{
+    artifact, json_string, mean_of, mean_rounds_to_coverage, success_rate, BenchRecorder,
+    ExpConfig,
+};
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -117,13 +125,20 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: rrb <list | describe <exp> | run <exp> [flags] | run --spec FILE> or rrb [options]\n\
+    "usage: rrb <list | describe <exp> | run <exp> [flags] | run --spec FILE | compare A B>\n\
+     or rrb [options]\n\
      \n\
      registry subcommands:\n\
-     list                     registered experiments (e1..e19)\n\
-     describe <exp> [--quick] an experiment's scenario specs as JSON\n\
+     list [--json]            registered experiments (e1..e19)\n\
+     describe <exp> [--quick] [--json]\n\
+     \u{20}                        an experiment's scenario specs as JSON\n\
      run <exp>                run an experiment; flags: --quick --seeds N --threads N --json PATH\n\
+     \u{20}                        --out DIR (write one run-artifact JSONL record per rung instead\n\
+     \u{20}                        of the human-readable report)\n\
      run --spec FILE          run a ScenarioSpec JSON file (one object, or an array = a ladder)\n\
+     compare BASE CAND        diff two artifact directories written by `run --out`;\n\
+     \u{20}                        flags: --wall-tol F (default 0.5) --stat-tol F (default 0);\n\
+     \u{20}                        exits 1 when anything drifts outside the bands\n\
      \n\
      ad-hoc mode options:\n\
      --topology   regular | config | gnp | complete | hypercube | torus | pa  (default regular)\n\
@@ -228,6 +243,7 @@ struct RunFlags {
     seeds: Option<u64>,
     threads: Option<usize>,
     json_path: Option<String>,
+    out_dir: Option<String>,
 }
 
 fn parse_run_flags(args: &[String]) -> Result<RunFlags, String> {
@@ -247,6 +263,7 @@ fn parse_run_flags(args: &[String]) -> Result<RunFlags, String> {
                     Some(take("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?)
             }
             "--json" => f.json_path = Some(take("--json")?),
+            "--out" => f.out_dir = Some(take("--out")?),
             "--spec" => f.spec_path = Some(take("--spec")?),
             other if !other.starts_with('-') && f.name.is_none() => {
                 f.name = Some(other.to_string())
@@ -260,6 +277,9 @@ fn parse_run_flags(args: &[String]) -> Result<RunFlags, String> {
     if f.name.is_some() && f.spec_path.is_some() {
         return Err("rrb run takes either an experiment name or --spec FILE, not both".into());
     }
+    if f.spec_path.is_some() && f.out_dir.is_some() {
+        return Err("--out writes registry run artifacts and cannot be combined with --spec".into());
+    }
     Ok(f)
 }
 
@@ -267,7 +287,23 @@ fn exp_config_from(flags: &RunFlags) -> ExpConfig {
     ExpConfig::with_flags(flags.quick, flags.seeds, flags.threads)
 }
 
-fn cmd_list() -> ExitCode {
+fn cmd_list(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--json") {
+        let entries: Vec<String> = registry::all()
+            .iter()
+            .map(|exp| {
+                format!(
+                    "{{\"name\": {}, \"title\": {}, \"quick_configs\": {}, \"full_configs\": {}}}",
+                    json_string(exp.name),
+                    json_string(exp.title),
+                    (exp.scenarios)(true).len(),
+                    (exp.scenarios)(false).len()
+                )
+            })
+            .collect();
+        println!("[{}]", entries.join(", "));
+        return ExitCode::SUCCESS;
+    }
     let mut table = Table::new(vec!["name", "configs (quick/full)", "title"]);
     for exp in registry::all() {
         table.row(vec![
@@ -284,8 +320,8 @@ fn cmd_list() -> ExitCode {
 }
 
 fn cmd_describe(args: &[String]) -> ExitCode {
-    let Some(name) = args.first() else {
-        eprintln!("usage: rrb describe <experiment> [--quick]");
+    let Some(name) = args.iter().find(|a| !a.starts_with('-')) else {
+        eprintln!("usage: rrb describe <experiment> [--quick] [--json]");
         return ExitCode::FAILURE;
     };
     let Some(exp) = registry::find(name) else {
@@ -293,6 +329,25 @@ fn cmd_describe(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     };
     let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--json") {
+        let entries: Vec<String> = (exp.scenarios)(quick)
+            .iter()
+            .map(|entry| {
+                format!(
+                    "{{\"config_ix\": {}, \"spec\": {}}}",
+                    entry.config_ix,
+                    entry.spec.to_json()
+                )
+            })
+            .collect();
+        println!(
+            "{{\"name\": {}, \"title\": {}, \"configs\": [{}]}}",
+            json_string(exp.name),
+            json_string(exp.title),
+            entries.join(", ")
+        );
+        return ExitCode::SUCCESS;
+    }
     println!("{} — {}\n{}\n", exp.name, exp.title, exp.description);
     for entry in (exp.scenarios)(quick) {
         let dynamics = match entry.spec.dynamics {
@@ -357,7 +412,7 @@ fn run_spec_file(path: &str, flags: &RunFlags) -> ExitCode {
                 (reports, wall_ms, None)
             }
         };
-        if matches!(spec.measure, MeasureSpec::Trace) {
+        if matches!(spec.measure, MeasureSpec::Trace | MeasureSpec::Crossover) {
             if let Some(first) = reports.first() {
                 let mut t = Table::new(vec!["round", "informed", "new", "push", "pull"]);
                 for rec in &first.history {
@@ -428,6 +483,24 @@ fn cmd_run(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     };
     let cfg = exp_config_from(&flags);
+    if let Some(dir) = &flags.out_dir {
+        // Artifact mode replaces the experiment's own driver: every rung
+        // runs once through the generic harness and lands as one JSONL
+        // record, so `rrb compare` sees a uniform schema for any
+        // experiment.
+        let records = artifact::collect(exp, &cfg);
+        let path = std::path::Path::new(dir).join(format!("{}.jsonl", exp.name));
+        return match artifact::write_jsonl(&path, &records) {
+            Ok(()) => {
+                println!("{} run-artifact record(s) written to {}", records.len(), path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
     let recorder = (exp.run)(&cfg);
     if let Some(json_path) = &flags.json_path {
         match recorder {
@@ -445,12 +518,71 @@ fn cmd_run(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let mut dirs: Vec<String> = Vec::new();
+    let mut tol = Tolerance::default();
+    let mut it = args.iter().peekable();
+    let err = |msg: String| {
+        eprintln!("{msg}\nusage: rrb compare BASELINE_DIR CANDIDATE_DIR [--wall-tol F] [--stat-tol F]");
+        ExitCode::FAILURE
+    };
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<f64, String> {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))?
+                .parse()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match arg.as_str() {
+            "--wall-tol" => match take("--wall-tol") {
+                Ok(v) => tol.wall_tol = v,
+                Err(e) => return err(e),
+            },
+            "--stat-tol" => match take("--stat-tol") {
+                Ok(v) => tol.stat_tol = v,
+                Err(e) => return err(e),
+            },
+            other if !other.starts_with('-') => dirs.push(other.to_string()),
+            other => return err(format!("unknown argument {other} for rrb compare")),
+        }
+    }
+    if dirs.len() != 2 {
+        return err(format!("expected 2 directories, got {}", dirs.len()));
+    }
+    let report = match compare::compare_dirs(
+        std::path::Path::new(&dirs[0]),
+        std::path::Path::new(&dirs[1]),
+        tol,
+    ) {
+        Ok(r) => r,
+        Err(e) => return err(e),
+    };
+    for note in &report.notes {
+        println!("note: {note}");
+    }
+    for drift in &report.drifts {
+        println!("DRIFT {} — {}", drift.key, drift.what);
+    }
+    if report.clean() {
+        println!("{} record(s) compared, no drift", report.compared);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "{} record(s) compared, {} drift(s) outside tolerance",
+            report.compared,
+            report.drifts.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("list") => return cmd_list(),
+        Some("list") => return cmd_list(&args[1..]),
         Some("describe") => return cmd_describe(&args[1..]),
         Some("run") => return cmd_run(&args[1..]),
+        Some("compare") => return cmd_compare(&args[1..]),
         _ => {}
     }
     let options = match parse_args(&args) {
@@ -570,6 +702,14 @@ mod tests {
         assert!(parse_run_flags(&args(&["e5", "--bogus"])).is_err());
         assert!(parse_run_flags(&args(&["e5", "extra"])).is_err());
         assert!(parse_run_flags(&args(&["e5", "--spec", "s.json"])).is_err()); // not both
+    }
+
+    #[test]
+    fn run_out_flag_parses() {
+        let f = parse_run_flags(&args(&["e1", "--quick", "--out", "runs/"])).unwrap();
+        assert_eq!(f.out_dir.as_deref(), Some("runs/"));
+        assert!(parse_run_flags(&args(&["--spec", "s.json", "--out", "runs/"])).is_err());
+        assert!(parse_run_flags(&args(&["e1", "--out"])).is_err()); // missing value
     }
 
     #[test]
