@@ -44,8 +44,8 @@ use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
 use rrb_engine::{
-    FaultPlan, FaultState, MultiRumorReport, MultiSimState, Protocol, Round, RumorInjection,
-    RunReport, SimConfig, SimState, Simulation, Topology,
+    AsyncSimState, ClockSpec, FaultPlan, FaultState, LatencySpec, MultiRumorReport, MultiSimState,
+    Protocol, Round, RumorInjection, RunReport, SimConfig, SimState, Simulation, Topology,
 };
 use rrb_graph::{Graph, NodeId};
 use rrb_p2p::{ChurnProcess, ChurnStats, Overlay};
@@ -235,6 +235,98 @@ where
     let start = Instant::now();
     let reports =
         run_replicated_faulted(topo_builder, protocol, config, plan, experiment, config_ix, seeds);
+    (reports, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// One seed's outcome of an **asynchronous-time** broadcast: the engine
+/// report (rounds are the `ceil(T)` windows of the event clock) plus the
+/// continuous-time quantities the round report cannot carry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsyncRunReport {
+    /// The engine's run report; `rounds`/`full_coverage_at` are unit-time
+    /// windows of the event clock.
+    pub report: RunReport,
+    /// Simulated time at which the run stopped.
+    pub time: f64,
+    /// Simulated time of the delivery that completed coverage, if reached.
+    pub coverage_time: Option<f64>,
+    /// Total events processed (fires + deliveries).
+    pub events: u64,
+}
+
+/// Replicated single-rumour broadcasts on the **asynchronous event-queue
+/// engine** — the continuous-time twin of [`run_replicated_faulted`].
+///
+/// Topology is generated once per configuration on the
+/// [`TOPOLOGY_STREAM`]; each seed runs its own [`AsyncSimState`] with the
+/// given per-node clock and per-channel latency on the per-seed
+/// [`rng_for`] stream, with the fault state (when `plan` is non-empty)
+/// seeded from the reserved [`FAULT_STREAM`]. Outcomes are byte-identical
+/// for every thread count, and an empty plan installs no fault state at
+/// all — reproducing the plain async engine exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn run_replicated_async<T, P, F>(
+    topo_builder: F,
+    protocol: &P,
+    config: SimConfig,
+    clock: ClockSpec,
+    latency: LatencySpec,
+    plan: &FaultPlan,
+    experiment: u64,
+    config_ix: u64,
+    seeds: u64,
+) -> Vec<AsyncRunReport>
+where
+    T: Topology + Sync,
+    P: Protocol + Clone + Sync,
+    F: FnOnce(&mut SmallRng) -> T,
+{
+    let mut topo_rng = rng_for(experiment, config_ix, TOPOLOGY_STREAM);
+    let topo = topo_builder(&mut topo_rng);
+    replicate(experiment, config_ix, seeds, |s, rng| {
+        let origin = random_alive_origin(&topo, rng);
+        let mut sim = AsyncSimState::new(protocol, topo.node_count(), origin, clock, latency);
+        if !plan.is_empty() {
+            let fault_seed: u64 = rng_for(experiment, config_ix, FAULT_STREAM ^ s).gen();
+            sim.set_faults(Some(FaultState::new(plan, topo.node_count(), fault_seed)));
+        }
+        sim.run_to_completion(&topo, protocol, config, rng);
+        let (time, coverage_time, events) = (sim.now(), sim.coverage_time(), sim.events_processed());
+        AsyncRunReport { report: sim.into_report(&topo, config), time, coverage_time, events }
+    })
+}
+
+/// Like [`run_replicated_async`], additionally timing the configuration's
+/// total wall-clock (milliseconds).
+#[allow(clippy::too_many_arguments)]
+pub fn run_replicated_async_timed<T, P, F>(
+    topo_builder: F,
+    protocol: &P,
+    config: SimConfig,
+    clock: ClockSpec,
+    latency: LatencySpec,
+    plan: &FaultPlan,
+    experiment: u64,
+    config_ix: u64,
+    seeds: u64,
+) -> (Vec<AsyncRunReport>, f64)
+where
+    T: Topology + Sync,
+    P: Protocol + Clone + Sync,
+    F: FnOnce(&mut SmallRng) -> T,
+{
+    let start = Instant::now();
+    let reports = run_replicated_async(
+        topo_builder,
+        protocol,
+        config,
+        clock,
+        latency,
+        plan,
+        experiment,
+        config_ix,
+        seeds,
+    );
     (reports, start.elapsed().as_secs_f64() * 1e3)
 }
 
@@ -689,6 +781,63 @@ mod tests {
             4,
         );
         assert_eq!(base, faulted);
+    }
+
+    #[test]
+    fn async_runs_cover_and_report_continuous_time() {
+        let reports = run_replicated_async(
+            |rng| gen::random_regular(128, 6, rng).unwrap(),
+            &FloodPushPull::new(),
+            SimConfig::default().with_max_rounds(200),
+            ClockSpec::Exponential { rate: 1.0 },
+            LatencySpec::Uniform { min: 0.05, max: 0.3 },
+            &FaultPlan::default(),
+            41,
+            0,
+            4,
+        );
+        assert_eq!(reports.len(), 4);
+        for r in &reports {
+            assert!(r.report.all_informed());
+            assert!(r.events > 0);
+            let cov = r.coverage_time.expect("covered runs record a coverage time");
+            assert!(cov <= r.time);
+            // The report's round stamp is the ceil-window of the event time.
+            assert_eq!(r.report.full_coverage_at, Some((cov.ceil().max(1.0)) as Round));
+        }
+    }
+
+    #[test]
+    fn async_runs_are_thread_count_invariant() {
+        use rrb_engine::{FaultEvent, OutageSpec};
+        let plan = FaultPlan {
+            burst: None,
+            schedule: vec![FaultEvent::Partition { from: 2, until: 6, parts: 2 }],
+            adversary: None,
+            outages: Some(OutageSpec::new(0.05, 1, 3)),
+        };
+        let run_with = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    run_replicated_async(
+                        |rng| gen::random_regular(128, 6, rng).unwrap(),
+                        &FloodPushPull::new(),
+                        SimConfig::default().with_max_rounds(300),
+                        ClockSpec::Stragglers { rate: 1.0, slow_fraction: 0.1, slow_factor: 4.0 },
+                        LatencySpec::Exponential { mean: 0.2 },
+                        &plan,
+                        42,
+                        1,
+                        8,
+                    )
+                })
+        };
+        let sequential = run_with(1);
+        let parallel = run_with(4);
+        assert_eq!(sequential, parallel, "async reports depend on the thread schedule");
     }
 
     #[test]

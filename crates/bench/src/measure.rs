@@ -4,12 +4,14 @@
 //! [`run_entry`](crate::registry::run_entry) harness; the measurements
 //! here reduce **per-round histories** to the quantities the paper's
 //! analysis reasons about instead — phase milestones for E4
-//! ([`MeasureSpec::PhaseMilestones`]) and the push/pull crossover split
-//! for E5 ([`MeasureSpec::Crossover`]). Folding them out of
-//! `experiments.rs` makes each one a reusable function of scenario data
-//! rather than an inline driver closure; both reuse the
-//! [`rrb_engine::trace`] analysis helpers, so tests pin the measured
-//! numbers to the same formulas the engine's own tests exercise.
+//! ([`MeasureSpec::PhaseMilestones`]), the push/pull crossover split
+//! for E5 ([`MeasureSpec::Crossover`]), and the broadcast-free spectral
+//! generator audit for E15 ([`MeasureSpec::SpectralAudit`]). Folding
+//! them out of `experiments.rs` makes each one a reusable function of
+//! scenario data rather than an inline driver closure; the history
+//! reducers reuse the [`rrb_engine::trace`] analysis helpers, so tests
+//! pin the measured numbers to the same formulas the engine's own tests
+//! exercise.
 //!
 //! Determinism: every function replicates on the standard
 //! `(experiment, config_ix, seed)` [`rng_for`](crate::rng_for) streams,
@@ -22,7 +24,7 @@ use crate::replicate;
 use crate::scenario::MeasureSpec;
 use rrb_core::PhaseSchedule;
 use rrb_engine::{trace, SimConfig, Simulation};
-use rrb_graph::{gen, NodeId};
+use rrb_graph::{gen, spectral, NodeId};
 
 /// One seed's Phase-1/Phase-2 milestone measurements (E4, paper §4).
 #[derive(Debug, Clone, Copy)]
@@ -125,4 +127,46 @@ pub fn crossover_trace(experiment_id: u64, entry: &LadderEntry, seeds: u64) -> C
         total_tx: per_seed.iter().map(|r| r.2).collect(),
         success_rate: successes as f64 / per_seed.len().max(1) as f64,
     }
+}
+
+/// One seed's spectral generator audit (E15, paper SS2): the measured
+/// second eigenvalue and the Expander-Mixing-Lemma check over sampled
+/// cuts. No broadcast runs at all.
+#[derive(Debug, Clone, Copy)]
+pub struct SpectralSample {
+    /// Second-largest adjacency eigenvalue (power iteration).
+    pub lambda: f64,
+    /// Worst normalised mixing deviation over the sampled cuts.
+    pub max_deviation: f64,
+    /// Sampled cuts whose deviation stays within the measured λ
+    /// (2% slack for power-iteration error).
+    pub mixing_ok: usize,
+    /// Cuts sampled.
+    pub mixing_total: usize,
+}
+
+/// E15's measurement ([`MeasureSpec::SpectralAudit`]): builds `entry`'s
+/// graph once per seed, measures the second eigenvalue by power
+/// iteration and samples random cuts against the Expander Mixing Lemma
+/// bound — auditing the *generator* the whole ladder stands on, with no
+/// broadcast at all. Streams ride on
+/// `(experiment_id, entry.config_ix, seed)` and the graph build consumes
+/// the RNG exactly as the legacy hand-wired E15 driver did, so measured
+/// vectors are byte-identical to it.
+pub fn spectral_audit(experiment_id: u64, entry: &LadderEntry, seeds: u64) -> Vec<SpectralSample> {
+    replicate(experiment_id, entry.config_ix, seeds, |_, rng| {
+        let g = entry.spec.graph.build(rng).expect("graph generation");
+        let l2 = spectral::second_eigenvalue(&g, 600, rng).expect("power iteration");
+        let samples = spectral::expander_mixing_deviation(&g, 24, rng).expect("mixing");
+        let mut worst: f64 = 0.0;
+        let mut ok = 0usize;
+        let total = samples.len();
+        for s in samples {
+            worst = worst.max(s.normalized_deviation);
+            if s.normalized_deviation <= l2.value * 1.02 + 1e-9 {
+                ok += 1;
+            }
+        }
+        SpectralSample { lambda: l2.value, max_deviation: worst, mixing_ok: ok, mixing_total: total }
+    })
 }

@@ -1,4 +1,4 @@
-//! The experiment registry: every E1–E19 measurement of the paper as a
+//! The experiment registry: every E1–E20 measurement of the paper as a
 //! named entry whose configuration ladder is [`ScenarioSpec`] **data**.
 //!
 //! One binary (`rrb`) drives the whole fleet:
@@ -16,13 +16,13 @@
 
 use std::time::Instant;
 
-use crate::scenario::{DynamicsSpec, ScenarioSpec};
+use crate::scenario::{DynamicsSpec, ScenarioSpec, TimingSpec};
 use crate::{
-    run_replicated_churned, run_replicated_faulted_timed, run_replicated_timed, BenchRecorder,
-    ChurnRunReport, ExpConfig,
+    run_replicated_async_timed, run_replicated_churned, run_replicated_faulted_timed,
+    run_replicated_timed, AsyncRunReport, BenchRecorder, ChurnRunReport, ExpConfig,
 };
 use rand::Rng;
-use rrb_engine::{FaultState, PhaseTimings, Protocol, Round, RunReport, SimState};
+use rrb_engine::{AsyncSimState, FaultState, PhaseTimings, Protocol, Round, RunReport, SimState};
 
 /// One rung of an experiment's configuration ladder: a scenario plus the
 /// `config_ix` RNG coordinate it runs under (kept identical to the indices
@@ -100,6 +100,10 @@ pub fn run_entry(
     entry: &LadderEntry,
     cfg: &ExpConfig,
 ) -> (Vec<RunReport>, f64) {
+    if !entry.spec.timing.is_sync() {
+        let (runs, wall_ms) = run_entry_async(experiment_id, entry, cfg);
+        return (runs.into_iter().map(|r| r.report).collect(), wall_ms);
+    }
     match entry.spec.dynamics {
         DynamicsSpec::Static if entry.spec.failures.is_plain() => {
             let proto = entry.spec.protocol.build();
@@ -187,6 +191,52 @@ pub fn run_entry_churned(
     (runs, start.elapsed().as_secs_f64() * 1e3)
 }
 
+/// Asynchronous-timing twin of [`run_entry`], surfacing the
+/// continuous-time quantities (`time`, `coverage_time`, `events`) the
+/// round report cannot carry. Routes through
+/// [`crate::run_replicated_async`]: the spec's clock and latency drive an
+/// [`AsyncSimState`] per seed, with the fault plan (when present) consumed
+/// time-windowed on the reserved [`crate::FAULT_STREAM`].
+///
+/// # Panics
+///
+/// Panics on a sync-timing spec, or on churn dynamics (the event queue
+/// does not take membership deltas yet — model outages with a fault plan
+/// instead).
+pub fn run_entry_async(
+    experiment_id: u64,
+    entry: &LadderEntry,
+    cfg: &ExpConfig,
+) -> (Vec<AsyncRunReport>, f64) {
+    let TimingSpec::Async { clock, latency } = entry.spec.timing else {
+        panic!("run_entry_async on a sync-timing spec ({})", entry.spec.label);
+    };
+    assert!(
+        matches!(entry.spec.dynamics, DynamicsSpec::Static),
+        "async timing does not support churn dynamics ({})",
+        entry.spec.label
+    );
+    let proto = entry.spec.protocol.build();
+    let config = entry.spec.sim_config();
+    let plan = entry.spec.failures.to_plan();
+    let graph = entry.spec.graph.clone();
+    run_replicated_async_timed(
+        move |rng| {
+            graph
+                .build(rng)
+                .unwrap_or_else(|e| panic!("graph generation for {}: {e}", graph.label()))
+        },
+        &proto,
+        config,
+        clock,
+        latency,
+        &plan,
+        experiment_id,
+        entry.config_ix,
+        cfg.seeds,
+    )
+}
+
 /// Replays one ladder rung's **seed-0 replication** with a
 /// [`PhaseTimings`] probe installed and returns the accumulated
 /// telemetry: per-phase wall-clock attribution, counter totals and the
@@ -197,9 +247,10 @@ pub fn run_entry_churned(
 /// `(experiment_id, config_ix, seed 0)`, and the fault plan (when
 /// present) on [`crate::FAULT_STREAM`] — and probes never touch the RNG,
 /// so the replayed run is byte-identical to the first replication the
-/// statistics describe. Returns `None` for churn dynamics (the churn
-/// stepping loop does not take probes yet) and on graph-generation
-/// failure.
+/// statistics describe. Async-timing specs replay on the event-queue
+/// engine over the same streams (probe phases map onto the event
+/// lifecycle). Returns `None` for churn dynamics (the churn stepping
+/// loop does not take probes yet) and on graph-generation failure.
 pub fn instrument_entry(experiment_id: u64, entry: &LadderEntry) -> Option<PhaseTimings> {
     if !matches!(entry.spec.dynamics, DynamicsSpec::Static) {
         return None;
@@ -210,6 +261,20 @@ pub fn instrument_entry(experiment_id: u64, entry: &LadderEntry) -> Option<Phase
     let topo = entry.spec.graph.build(&mut topo_rng).ok()?;
     let mut rng = crate::rng_for(experiment_id, entry.config_ix, 0);
     let origin = crate::random_alive_origin(&topo, &mut rng);
+    if let TimingSpec::Async { clock, latency } = entry.spec.timing {
+        let mut state = AsyncSimState::new(&proto, topo.node_count(), origin, clock, latency);
+        if !entry.spec.failures.is_plain() {
+            // Seed index 0 replay, so the stream key is FAULT_STREAM ^ 0.
+            let fault_seed: u64 =
+                crate::rng_for(experiment_id, entry.config_ix, crate::FAULT_STREAM).gen();
+            let plan = entry.spec.failures.to_plan();
+            state.set_faults(Some(FaultState::new(&plan, topo.node_count(), fault_seed)));
+        }
+        state.set_probe(Some(Box::new(PhaseTimings::new())));
+        state.run_to_completion(&topo, &proto, config, &mut rng);
+        let probe = state.take_probe()?;
+        return probe.as_any().downcast_ref::<PhaseTimings>().cloned();
+    }
     let mut state = SimState::new(&proto, topo.node_count(), origin);
     if !entry.spec.failures.is_plain() {
         // Seed index 0 replay, so the stream key is FAULT_STREAM ^ 0.
@@ -240,7 +305,7 @@ mod tests {
     #[test]
     fn registry_is_complete_and_names_unique() {
         let exps = all();
-        assert_eq!(exps.len(), 19, "all 19 experiments must be registered");
+        assert_eq!(exps.len(), 20, "all 20 experiments must be registered");
         for (i, e) in exps.iter().enumerate() {
             assert_eq!(e.name, format!("e{}", i + 1), "registry out of order");
             assert_eq!(e.id, (i + 1) as u64, "experiment id must match its E number");
@@ -249,7 +314,7 @@ mod tests {
         let mut names: Vec<&str> = exps.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 19, "duplicate experiment names");
+        assert_eq!(names.len(), 20, "duplicate experiment names");
     }
 
     #[test]
@@ -290,7 +355,8 @@ mod tests {
         assert!(find("e1").is_some());
         assert!(find("E18").is_some());
         assert!(find("e19").is_some());
-        assert!(find("e20").is_none());
+        assert!(find("E20").is_some());
+        assert!(find("e21").is_none());
         assert!(find("bogus").is_none());
     }
 
@@ -402,6 +468,37 @@ mod tests {
             3,
         );
         assert_eq!(via_entry, via_hand);
+    }
+
+    #[test]
+    fn async_entries_dispatch_instrument_and_are_deterministic() {
+        use rrb_engine::{ClockSpec, LatencySpec};
+        let cfg = ExpConfig { quick: true, seeds: 3, threads: None };
+        let entry = LadderEntry::new(
+            9,
+            ScenarioSpec::new(
+                "async-x",
+                GraphSpec::RandomRegular { n: 128, d: 6 },
+                ProtocolSpec::FloodPushPull { policy: PolicySpec::Distinct(4) },
+            )
+            .with_timing(TimingSpec::Async {
+                clock: ClockSpec::Exponential { rate: 1.0 },
+                latency: LatencySpec::Uniform { min: 0.05, max: 0.3 },
+            })
+            .with_stop(StopSpec::Coverage { max_rounds: 200 }),
+        );
+        let (a, _) = run_entry_async(97, &entry, &cfg);
+        let (b, _) = run_entry_async(97, &entry, &cfg);
+        assert_eq!(a, b, "async entry must be seed-for-seed deterministic");
+        assert!(a.iter().all(|r| r.report.all_informed()));
+        // The generic entry point dispatches to the same path.
+        let (plain, _) = run_entry(97, &entry, &cfg);
+        let reports: Vec<_> = a.iter().map(|r| r.report.clone()).collect();
+        assert_eq!(plain, reports);
+        // The probed replay rides seed 0's exact streams.
+        let timings = instrument_entry(97, &entry).expect("async entry instruments");
+        assert_eq!(timings.rounds(), a[0].report.rounds);
+        assert_eq!(timings.tx(), a[0].report.total_tx());
     }
 
     #[test]

@@ -19,9 +19,9 @@ use rrb_baselines::{Budgeted, GossipMode, MedianCounter, PushThenPull, Quasirand
 use rrb_core::{FourChoice, Phase, PhaseSchedule, SequentialFourChoice};
 use rrb_engine::protocols::{FloodPull, FloodPush, FloodPushPull, SilentProtocol};
 use rrb_engine::{
-    AdversarySpec, AdversaryTarget, Capabilities, ChoicePolicy, FailureModel, FaultEvent,
-    FaultPlan, GilbertElliott, NodeView, Observation, OutageSpec, Plan, Protocol, Round,
-    RumorMeta, SimConfig,
+    AdversarySpec, AdversaryTarget, Capabilities, ChoicePolicy, ClockSpec, FailureModel,
+    FaultEvent, FaultPlan, GilbertElliott, LatencySpec, NodeView, Observation, OutageSpec, Plan,
+    Protocol, Round, RumorMeta, SimConfig,
 };
 use rrb_graph::{gen, Graph};
 use rrb_p2p::ChurnProcess;
@@ -661,6 +661,57 @@ impl DynamicsSpec {
     }
 }
 
+/// When nodes act — the timing dimension of the scenario space. `Sync`
+/// is the default round-synchronous barrier (and serialises to nothing,
+/// so existing spec files and spec hashes are untouched); `Async` runs
+/// the deterministic event-queue engine with per-node clocks and
+/// per-copy in-flight latency.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum TimingSpec {
+    /// All nodes exchange in lockstep rounds (both round engines).
+    #[default]
+    Sync,
+    /// Each node fires on its own clock; copies take latency-drawn time
+    /// in flight ([`AsyncSimState`](rrb_engine::AsyncSimState)).
+    Async {
+        /// Per-node inter-fire model.
+        clock: ClockSpec,
+        /// Per-copy in-flight time model.
+        latency: LatencySpec,
+    },
+}
+
+impl TimingSpec {
+    /// `true` for the round-synchronous default.
+    pub fn is_sync(&self) -> bool {
+        matches!(self, TimingSpec::Sync)
+    }
+
+    /// One-line human summary for `rrb describe`.
+    pub fn summary(&self) -> String {
+        match self {
+            TimingSpec::Sync => "sync (round barrier)".into(),
+            TimingSpec::Async { clock, latency } => {
+                let clock = match clock {
+                    ClockSpec::Fixed { interval } => format!("fixed interval {interval}"),
+                    ClockSpec::Exponential { rate } => format!("poisson rate {rate}"),
+                    ClockSpec::Stragglers { rate, slow_fraction, slow_factor } => format!(
+                        "poisson rate {rate} with {:.0}% stragglers at 1/{slow_factor} speed",
+                        slow_fraction * 100.0
+                    ),
+                };
+                let latency = match latency {
+                    LatencySpec::Zero => "zero latency".into(),
+                    LatencySpec::Fixed { delay } => format!("fixed latency {delay}"),
+                    LatencySpec::Uniform { min, max } => format!("latency U[{min}, {max}]"),
+                    LatencySpec::Exponential { mean } => format!("exp latency mean {mean}"),
+                };
+                format!("async ({clock}; {latency})")
+            }
+        }
+    }
+}
+
 /// Stop condition (compiles into [`SimConfig`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopSpec {
@@ -704,6 +755,11 @@ pub enum MeasureSpec {
     /// and `recovery_rounds` (rounds from the last scripted heal to full
     /// coverage) when the fault plan schedules a partition.
     Degradation,
+    /// No broadcast at all: audit the generated topology's spectral
+    /// expansion instead — second adjacency eigenvalue vs the Ramanujan
+    /// bound, plus an expander-mixing-lemma deviation sample. Driven by
+    /// [`measure::spectral_audit`](crate::measure::spectral_audit).
+    SpectralAudit,
     /// Experiment-specific measurement implemented in the registry (named
     /// for documentation; the generic runner treats it like `Standard`).
     Custom(String),
@@ -723,6 +779,9 @@ pub struct ScenarioSpec {
     pub failures: FaultSpec,
     /// Membership dynamics (churn); static by default.
     pub dynamics: DynamicsSpec,
+    /// Timing model (round-synchronous or event-queue asynchronous);
+    /// sync by default.
+    pub timing: TimingSpec,
     /// Stop condition.
     pub stop: StopSpec,
     /// Measurement mode.
@@ -739,6 +798,7 @@ impl ScenarioSpec {
             protocol,
             failures: FaultSpec::NONE,
             dynamics: DynamicsSpec::Static,
+            timing: TimingSpec::Sync,
             stop: StopSpec::QUIESCENT,
             measure: MeasureSpec::Standard,
         }
@@ -754,6 +814,12 @@ impl ScenarioSpec {
     /// Builder-style: set the membership dynamics.
     pub fn with_dynamics(mut self, dynamics: DynamicsSpec) -> Self {
         self.dynamics = dynamics;
+        self
+    }
+
+    /// Builder-style: set the timing model.
+    pub fn with_timing(mut self, timing: TimingSpec) -> Self {
+        self.timing = timing;
         self
     }
 
@@ -1169,6 +1235,7 @@ impl ScenarioSpec {
             MeasureSpec::PhaseMilestones => "{\"kind\": \"phase_milestones\"}".into(),
             MeasureSpec::Crossover => "{\"kind\": \"crossover\"}".into(),
             MeasureSpec::Degradation => "{\"kind\": \"degradation\"}".into(),
+            MeasureSpec::SpectralAudit => "{\"kind\": \"spectral_audit\"}".into(),
             MeasureSpec::Custom(name) => {
                 format!("{{\"kind\": \"custom\", \"name\": {}}}", crate::json_string(name))
             }
@@ -1234,11 +1301,46 @@ impl ScenarioSpec {
                 )
             }
         };
+        // Sync timing likewise serialises to nothing, keeping pre-async
+        // spec files and their artifact spec hashes byte-identical.
+        let timing = match self.timing {
+            TimingSpec::Sync => String::new(),
+            TimingSpec::Async { clock, latency } => {
+                let clock = match clock {
+                    ClockSpec::Fixed { interval } => {
+                        format!("{{\"kind\": \"fixed\", \"interval\": {interval}}}")
+                    }
+                    ClockSpec::Exponential { rate } => {
+                        format!("{{\"kind\": \"exponential\", \"rate\": {rate}}}")
+                    }
+                    ClockSpec::Stragglers { rate, slow_fraction, slow_factor } => format!(
+                        "{{\"kind\": \"stragglers\", \"rate\": {rate}, \
+                         \"slow_fraction\": {slow_fraction}, \"slow_factor\": {slow_factor}}}"
+                    ),
+                };
+                let latency = match latency {
+                    LatencySpec::Zero => "{\"kind\": \"zero\"}".to_string(),
+                    LatencySpec::Fixed { delay } => {
+                        format!("{{\"kind\": \"fixed\", \"delay\": {delay}}}")
+                    }
+                    LatencySpec::Uniform { min, max } => {
+                        format!("{{\"kind\": \"uniform\", \"min\": {min}, \"max\": {max}}}")
+                    }
+                    LatencySpec::Exponential { mean } => {
+                        format!("{{\"kind\": \"exponential\", \"mean\": {mean}}}")
+                    }
+                };
+                format!(
+                    "  \"timing\": {{\"mode\": \"async\", \"clock\": {clock}, \
+                     \"latency\": {latency}}},\n"
+                )
+            }
+        };
         format!(
             "{{\n  \"schema\": \"{SCENARIO_SCHEMA}\",\n  \"label\": {},\n  \"graph\": {graph},\n  \
-             \"protocol\": {protocol},\n  \"failures\": {failures},\n{dynamics}  \"stop\": \
-             {{\"mode\": \"{stop_mode}\", \"max_rounds\": {max_rounds}}},\n  \"measure\": \
-             {measure}\n}}\n",
+             \"protocol\": {protocol},\n  \"failures\": {failures},\n{dynamics}{timing}  \
+             \"stop\": {{\"mode\": \"{stop_mode}\", \"max_rounds\": {max_rounds}}},\n  \
+             \"measure\": {measure}\n}}\n",
             crate::json_string(&self.label),
         )
     }
@@ -1273,7 +1375,10 @@ impl ScenarioSpec {
     fn from_value(v: &Json) -> Result<ScenarioSpec, String> {
         expect_keys(
             v,
-            &["schema", "label", "graph", "protocol", "failures", "dynamics", "stop", "measure"],
+            &[
+                "schema", "label", "graph", "protocol", "failures", "dynamics", "timing", "stop",
+                "measure",
+            ],
             "the scenario object",
         )?;
         if let Some(schema) = v.get("schema").and_then(Json::as_str) {
@@ -1296,6 +1401,10 @@ impl ScenarioSpec {
             Some(d) => parse_dynamics(d)?,
             None => DynamicsSpec::Static,
         };
+        let timing = match v.get("timing") {
+            Some(t) => parse_timing(t)?,
+            None => TimingSpec::Sync,
+        };
         let stop = match v.get("stop") {
             Some(s) => {
                 expect_keys(s, &["mode", "max_rounds"], "\"stop\"")?;
@@ -1317,6 +1426,7 @@ impl ScenarioSpec {
                     Some("phase_milestones") => MeasureSpec::PhaseMilestones,
                     Some("crossover") => MeasureSpec::Crossover,
                     Some("degradation") => MeasureSpec::Degradation,
+                    Some("spectral_audit") => MeasureSpec::SpectralAudit,
                     Some("custom") => MeasureSpec::Custom(
                         m.get("name").and_then(Json::as_str).unwrap_or("custom").to_string(),
                     ),
@@ -1325,7 +1435,108 @@ impl ScenarioSpec {
             }
             None => MeasureSpec::Standard,
         };
-        Ok(ScenarioSpec { label, graph, protocol, failures, dynamics, stop, measure })
+        Ok(ScenarioSpec { label, graph, protocol, failures, dynamics, timing, stop, measure })
+    }
+}
+
+/// Parses the `"timing"` object. `{"mode": "sync"}` (or an absent object)
+/// is the round-synchronous default; `"async"` requires a `"clock"` and
+/// takes an optional `"latency"` (zero when omitted). Every rate and
+/// window is validated here with a named field, mirroring
+/// [`parse_faults`]'s strictness.
+fn parse_timing(t: &Json) -> Result<TimingSpec, String> {
+    expect_keys(t, &["mode", "clock", "latency"], "\"timing\"")?;
+    match t.get("mode").and_then(Json::as_str) {
+        Some("sync") => {
+            if t.get("clock").is_some() || t.get("latency").is_some() {
+                return Err("sync timing takes no \"clock\"/\"latency\"".into());
+            }
+            Ok(TimingSpec::Sync)
+        }
+        Some("async") => {
+            let clock = parse_clock(t.get("clock").ok_or("async timing requires a \"clock\"")?)?;
+            let latency = match t.get("latency") {
+                Some(l) => parse_latency(l)?,
+                None => LatencySpec::Zero,
+            };
+            Ok(TimingSpec::Async { clock, latency })
+        }
+        Some(other) => Err(format!("unknown timing mode {other:?}")),
+        None => Err("\"timing\" requires a \"mode\"".into()),
+    }
+}
+
+/// Parses a `"clock"` object (see [`ClockSpec`]).
+fn parse_clock(c: &Json) -> Result<ClockSpec, String> {
+    expect_keys(c, &["kind", "interval", "rate", "slow_fraction", "slow_factor"], "\"clock\"")?;
+    let pos = |field: &str| -> Result<f64, String> {
+        let v = c
+            .get(field)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("\"clock\" requires a numeric {field:?}"))?;
+        if v.is_finite() && v > 0.0 {
+            Ok(v)
+        } else {
+            Err(format!("clock {field} must be positive and finite, got {v}"))
+        }
+    };
+    match c.get("kind").and_then(Json::as_str) {
+        Some("fixed") => Ok(ClockSpec::Fixed { interval: pos("interval")? }),
+        Some("exponential") => Ok(ClockSpec::Exponential { rate: pos("rate")? }),
+        Some("stragglers") => {
+            let rate = pos("rate")?;
+            let slow_fraction = c
+                .get("slow_fraction")
+                .and_then(Json::as_f64)
+                .ok_or("\"clock\" requires a numeric \"slow_fraction\"")?;
+            if !(0.0..=1.0).contains(&slow_fraction) {
+                return Err(format!("clock slow_fraction must be in [0, 1], got {slow_fraction}"));
+            }
+            let slow_factor = pos("slow_factor")?;
+            if slow_factor < 1.0 {
+                return Err(format!("clock slow_factor must be >= 1, got {slow_factor}"));
+            }
+            Ok(ClockSpec::Stragglers { rate, slow_fraction, slow_factor })
+        }
+        Some(other) => Err(format!("unknown clock kind {other:?}")),
+        None => Err("\"clock\" requires a \"kind\"".into()),
+    }
+}
+
+/// Parses a `"latency"` object (see [`LatencySpec`]).
+fn parse_latency(l: &Json) -> Result<LatencySpec, String> {
+    expect_keys(l, &["kind", "delay", "min", "max", "mean"], "\"latency\"")?;
+    let nonneg = |field: &str| -> Result<f64, String> {
+        let v = l
+            .get(field)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("\"latency\" requires a numeric {field:?}"))?;
+        if v.is_finite() && v >= 0.0 {
+            Ok(v)
+        } else {
+            Err(format!("latency {field} must be >= 0 and finite, got {v}"))
+        }
+    };
+    match l.get("kind").and_then(Json::as_str) {
+        Some("zero") => Ok(LatencySpec::Zero),
+        Some("fixed") => Ok(LatencySpec::Fixed { delay: nonneg("delay")? }),
+        Some("uniform") => {
+            let min = nonneg("min")?;
+            let max = nonneg("max")?;
+            if max < min {
+                return Err(format!("latency max ({max}) must be >= min ({min})"));
+            }
+            Ok(LatencySpec::Uniform { min, max })
+        }
+        Some("exponential") => {
+            let mean = nonneg("mean")?;
+            if mean == 0.0 {
+                return Err("latency mean must be positive (use kind \"zero\" instead)".into());
+            }
+            Ok(LatencySpec::Exponential { mean })
+        }
+        Some(other) => Err(format!("unknown latency kind {other:?}")),
+        None => Err("\"latency\" requires a \"kind\"".into()),
     }
 }
 
@@ -2075,6 +2286,40 @@ mod tests {
             })
             .with_stop(StopSpec::Coverage { max_rounds: 400 })
             .with_measure(MeasureSpec::Degradation),
+            ScenarioSpec::new(
+                "async-poisson",
+                GraphSpec::RandomRegular { n: 512, d: 8 },
+                ProtocolSpec::FloodPush { policy: PolicySpec::Distinct(4) },
+            )
+            .with_timing(TimingSpec::Async {
+                clock: ClockSpec::Exponential { rate: 1.5 },
+                latency: LatencySpec::Uniform { min: 0.05, max: 0.5 },
+            })
+            .with_stop(StopSpec::Coverage { max_rounds: 200 }),
+            ScenarioSpec::new(
+                "async-stragglers",
+                GraphSpec::RandomRegular { n: 256, d: 8 },
+                ProtocolSpec::FloodPushPull { policy: PolicySpec::Distinct(4) },
+            )
+            .with_timing(TimingSpec::Async {
+                clock: ClockSpec::Stragglers { rate: 1.0, slow_fraction: 0.2, slow_factor: 4.0 },
+                latency: LatencySpec::Exponential { mean: 0.25 },
+            }),
+            ScenarioSpec::new(
+                "async-fixed",
+                GraphSpec::Complete { n: 64 },
+                ProtocolSpec::Silent,
+            )
+            .with_timing(TimingSpec::Async {
+                clock: ClockSpec::Fixed { interval: 2.0 },
+                latency: LatencySpec::Fixed { delay: 0.1 },
+            }),
+            ScenarioSpec::new(
+                "async-spectral",
+                GraphSpec::RandomRegular { n: 512, d: 16 },
+                ProtocolSpec::Silent,
+            )
+            .with_measure(MeasureSpec::SpectralAudit),
         ]
     }
 
@@ -2172,6 +2417,86 @@ mod tests {
         assert_eq!(back, plain);
         assert_eq!(FaultSpec::NONE.summary(), "none");
         assert!(FaultSpec::NONE.is_none());
+    }
+
+    #[test]
+    fn sync_timing_serialises_to_nothing() {
+        // A sync spec's JSON carries no timing block at all, mirroring
+        // DynamicsSpec::Static — so every pre-async spec hash and
+        // committed artifact stays byte-identical.
+        let plain =
+            ScenarioSpec::new("plain", GraphSpec::Complete { n: 8 }, ProtocolSpec::Silent);
+        assert!(plain.timing.is_sync());
+        let json = plain.to_json();
+        assert!(!json.contains("timing"), "{json}");
+        assert_eq!(ScenarioSpec::from_json(&json).unwrap(), plain);
+        // An explicit sync block parses back to the same spec…
+        let explicit = "{\"label\": \"plain\", \"graph\": {\"kind\": \"complete\", \"n\": 8}, \
+             \"protocol\": {\"kind\": \"silent\"}, \"timing\": {\"mode\": \"sync\"}}";
+        assert_eq!(ScenarioSpec::from_json(explicit).unwrap(), plain);
+        // …and async latency defaults to zero when omitted.
+        let defaulted = "{\"label\": \"plain\", \"graph\": {\"kind\": \"complete\", \"n\": 8}, \
+             \"protocol\": {\"kind\": \"silent\"}, \"timing\": {\"mode\": \"async\", \
+             \"clock\": {\"kind\": \"fixed\", \"interval\": 1.0}}}";
+        let spec = ScenarioSpec::from_json(defaulted).unwrap();
+        assert_eq!(
+            spec.timing,
+            TimingSpec::Async { clock: ClockSpec::UNIT, latency: LatencySpec::Zero }
+        );
+    }
+
+    #[test]
+    fn timing_json_validates_each_dimension() {
+        let with = |timing: &str| {
+            format!(
+                "{{\"label\": \"x\", \"graph\": {{\"kind\": \"complete\", \"n\": 4}}, \
+                 \"protocol\": {{\"kind\": \"silent\"}}, \"timing\": {timing}}}"
+            )
+        };
+        // Baseline: a well-formed async block parses.
+        let ok = ScenarioSpec::from_json(&with(
+            "{\"mode\": \"async\", \"clock\": {\"kind\": \"exponential\", \"rate\": 2.0}, \
+             \"latency\": {\"kind\": \"uniform\", \"min\": 0.1, \"max\": 0.4}}",
+        ))
+        .unwrap();
+        assert!(!ok.timing.is_sync());
+        // Sync must not smuggle a clock in.
+        assert!(ScenarioSpec::from_json(&with(
+            "{\"mode\": \"sync\", \"clock\": {\"kind\": \"fixed\", \"interval\": 1.0}}"
+        ))
+        .is_err());
+        // Async requires a clock.
+        assert!(ScenarioSpec::from_json(&with("{\"mode\": \"async\"}")).is_err());
+        // Unknown clock kinds, non-positive rates and misspelled keys error.
+        assert!(ScenarioSpec::from_json(&with(
+            "{\"mode\": \"async\", \"clock\": {\"kind\": \"sundial\"}}"
+        ))
+        .is_err());
+        assert!(ScenarioSpec::from_json(&with(
+            "{\"mode\": \"async\", \"clock\": {\"kind\": \"exponential\", \"rate\": 0.0}}"
+        ))
+        .is_err());
+        assert!(ScenarioSpec::from_json(&with(
+            "{\"mode\": \"async\", \"clock\": {\"kind\": \"exponential\", \"rte\": 1.0}}"
+        ))
+        .is_err());
+        // Stragglers validate their fraction and slowdown factor.
+        assert!(ScenarioSpec::from_json(&with(
+            "{\"mode\": \"async\", \"clock\": {\"kind\": \"stragglers\", \"rate\": 1.0, \
+             \"slow_fraction\": 1.5, \"slow_factor\": 4.0}}"
+        ))
+        .is_err());
+        assert!(ScenarioSpec::from_json(&with(
+            "{\"mode\": \"async\", \"clock\": {\"kind\": \"stragglers\", \"rate\": 1.0, \
+             \"slow_fraction\": 0.1, \"slow_factor\": 0.5}}"
+        ))
+        .is_err());
+        // An inverted uniform latency window is refused.
+        assert!(ScenarioSpec::from_json(&with(
+            "{\"mode\": \"async\", \"clock\": {\"kind\": \"fixed\", \"interval\": 1.0}, \
+             \"latency\": {\"kind\": \"uniform\", \"min\": 0.5, \"max\": 0.1}}"
+        ))
+        .is_err());
     }
 
     #[test]

@@ -74,6 +74,16 @@
 //! so installing `None` (the default) leaves every run byte-identical to
 //! the pre-fault engine.
 //!
+//! **Asynchronous time** is a third engine, [`AsyncSimState`]: a
+//! deterministic pending-event heap keyed by `(time_bits, node, tie_seq)`
+//! where each node fires exchanges on its own [`ClockSpec`] clock and
+//! rumour copies spend a [`LatencySpec`]-drawn time in flight. It shares
+//! the census/fault/telemetry machinery (fault plans are consumed
+//! time-windowed via `round(T) = ceil(T)`), and its uniform fixed-rate
+//! zero-latency limit reproduces the round model's push trajectory
+//! (`tests/calibration.rs`) — opening heterogeneous node speeds, latency
+//! distributions and stragglers as dimensions rounds cannot express.
+//!
 //! Seed replication parallelism lives one layer up in `rrb-bench`
 //! (`run_replicated` fans independent seeds over a rayon pool with
 //! deterministic per-seed RNG streams); regenerate the engine's perf
@@ -98,8 +108,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod async_engine;
 mod census;
 mod choice;
+mod clock;
 mod fabric;
 mod failure;
 mod multi;
@@ -113,8 +125,10 @@ pub mod protocols;
 pub mod telemetry;
 pub mod trace;
 
+pub use async_engine::AsyncSimState;
 pub use census::AliveCensus;
 pub use choice::{ChoicePolicy, ChoiceState};
+pub use clock::{ClockSpec, LatencySpec};
 pub use failure::{
     AdversarySpec, AdversaryTarget, FailureModel, FaultEvent, FaultPlan, FaultState,
     GilbertElliott, OutageSpec,

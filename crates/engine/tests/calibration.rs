@@ -1,0 +1,144 @@
+//! Async ↔ round calibration: in the uniform fixed-rate, zero-latency
+//! limit the asynchronous engine runs the *same stochastic process* as
+//! the round engine for push protocols.
+//!
+//! Why this holds structurally (not just approximately): with
+//! `ClockSpec::Fixed { interval: 1.0 }` every node fires at exact integer
+//! times, and the event order `(time_bits, node, tie_seq)` places a
+//! node's `Fire` before any same-instant delivery to it — so each node
+//! plans on the previous instant's informedness, exactly the
+//! plan-then-exchange-then-digest barrier of a synchronous round. The
+//! RNG draw *order* differs (per-node interleaved vs phase-batched), so
+//! individual runs are not byte-identical; the distributions are the
+//! same, which these tests assert statistically over seed replications
+//! on an E1-style random-regular rung.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rrb_engine::protocols::FloodPush;
+use rrb_engine::{
+    AsyncSimState, ChoicePolicy, ClockSpec, LatencySpec, Protocol, RunReport, SimConfig, Simulation,
+};
+use rrb_graph::{gen, Graph, NodeId};
+
+const N: usize = 256;
+const DEGREE: usize = 8;
+const SEEDS: u64 = 30;
+
+fn rung_graph() -> Graph {
+    let mut rng = SmallRng::seed_from_u64(0x7070_1070);
+    gen::random_regular(N, DEGREE, &mut rng).expect("valid (n, d)")
+}
+
+fn sync_runs(g: &Graph, proto: &FloodPush, cfg: SimConfig) -> Vec<RunReport> {
+    (0..SEEDS)
+        .map(|s| {
+            let mut rng = SmallRng::seed_from_u64(1000 + s);
+            Simulation::new(g, FloodPush::with_policy(proto.choice_policy()), cfg)
+                .run(NodeId::new(0), &mut rng)
+        })
+        .collect()
+}
+
+fn async_runs(
+    g: &Graph,
+    proto: &FloodPush,
+    cfg: SimConfig,
+    clock: ClockSpec,
+    latency: LatencySpec,
+) -> Vec<RunReport> {
+    (0..SEEDS)
+        .map(|s| {
+            let mut rng = SmallRng::seed_from_u64(1000 + s);
+            let mut sim = AsyncSimState::new(proto, g.node_count(), NodeId::new(0), clock, latency);
+            sim.run_to_completion(g, proto, cfg, &mut rng);
+            sim.into_report(g, cfg)
+        })
+        .collect()
+}
+
+fn mean_rounds_to_coverage(runs: &[RunReport]) -> f64 {
+    assert!(runs.iter().all(RunReport::all_informed), "every replication must cover");
+    runs.iter().map(|r| f64::from(r.full_coverage_at.unwrap_or(r.rounds))).sum::<f64>()
+        / runs.len() as f64
+}
+
+/// Mean informed fraction per round, padded with the final value once a
+/// run has finished (coverage holds from then on).
+fn mean_trajectory(runs: &[RunReport], upto: usize) -> Vec<f64> {
+    let mut acc = vec![0.0; upto];
+    for r in runs {
+        for (k, slot) in acc.iter_mut().enumerate() {
+            let informed = r
+                .history
+                .iter()
+                .take_while(|rec| (rec.round as usize) <= k + 1)
+                .last()
+                .map_or(1, |rec| rec.informed);
+            *slot += informed as f64 / N as f64;
+        }
+    }
+    for slot in &mut acc {
+        *slot /= runs.len() as f64;
+    }
+    acc
+}
+
+#[test]
+fn uniform_rate_async_push_matches_round_model_statistics() {
+    let g = rung_graph();
+    let proto = FloodPush::with_policy(ChoicePolicy::FOUR);
+    let cfg = SimConfig::default().with_history().with_max_rounds(200);
+    let sync = sync_runs(&g, &proto, cfg);
+    let asy = async_runs(&g, &proto, cfg, ClockSpec::UNIT, LatencySpec::Zero);
+
+    // Keystone: mean rounds-to-coverage agrees within statistical
+    // tolerance. Four-choice flood-push on a 256-node 8-regular graph
+    // covers in ~6 rounds with a per-run spread well under 1, so a 0.75
+    // band over 30 seeds is ~5 standard errors wide while still failing
+    // on any systematic off-by-one in the async round mapping.
+    let ms = mean_rounds_to_coverage(&sync);
+    let ma = mean_rounds_to_coverage(&asy);
+    assert!(
+        (ms - ma).abs() <= 0.75,
+        "mean rounds-to-coverage diverged: sync {ms:.3} vs async {ma:.3}"
+    );
+
+    // The whole informed-fraction trajectory converges, round by round.
+    let horizon = 12;
+    let ts = mean_trajectory(&sync, horizon);
+    let ta = mean_trajectory(&asy, horizon);
+    for (k, (s, a)) in ts.iter().zip(&ta).enumerate() {
+        assert!(
+            (s - a).abs() <= 0.10,
+            "round {}: mean informed fraction sync {s:.3} vs async {a:.3}",
+            k + 1
+        );
+    }
+
+    // Per-round transmission totals live on the same scale too: push
+    // counts are informed-node-bounded in both engines.
+    let tx_s = sync.iter().map(|r| r.push_tx as f64).sum::<f64>() / SEEDS as f64;
+    let tx_a = asy.iter().map(|r| r.push_tx as f64).sum::<f64>() / SEEDS as f64;
+    assert!(
+        (tx_s - tx_a).abs() / tx_s <= 0.25,
+        "mean push transmissions diverged: sync {tx_s:.1} vs async {tx_a:.1}"
+    );
+}
+
+#[test]
+fn poisson_clocks_cover_on_the_same_time_scale() {
+    // Sanity bound, not equality: rate-1 Poisson clocks do one expected
+    // fire per node per unit time, so time-to-coverage stays within a
+    // small constant factor of the round count (asynchrony costs some
+    // coordination but cannot change the order of growth).
+    let g = rung_graph();
+    let proto = FloodPush::with_policy(ChoicePolicy::FOUR);
+    let cfg = SimConfig::default().with_max_rounds(200);
+    let sync = sync_runs(&g, &proto, cfg);
+    let asy = async_runs(&g, &proto, cfg, ClockSpec::Exponential { rate: 1.0 }, LatencySpec::Zero);
+    let ms = mean_rounds_to_coverage(&sync);
+    let ma = mean_rounds_to_coverage(&asy);
+    assert!(asy.iter().all(RunReport::all_informed));
+    assert!(ma < 4.0 * ms, "Poisson-clock coverage blew up: async {ma:.2} vs sync {ms:.2}");
+}

@@ -3,7 +3,7 @@
 //!
 //! # Registry subcommands
 //!
-//! The paper's E1–E19 experiments are registered as declarative scenario
+//! The paper's E1–E20 experiments are registered as declarative scenario
 //! ladders (`rrb_bench::registry`); one binary drives them all:
 //!
 //! ```text
@@ -129,7 +129,7 @@ fn usage() -> String {
      or rrb [options]\n\
      \n\
      registry subcommands:\n\
-     list [--json]            registered experiments (e1..e19)\n\
+     list [--json]            registered experiments (e1..e20)\n\
      describe <exp> [--quick] [--json]\n\
      \u{20}                        an experiment's scenario specs as JSON\n\
      run <exp>                run an experiment; flags: --quick --seeds N --threads N --json PATH\n\
@@ -334,8 +334,9 @@ fn cmd_describe(args: &[String]) -> ExitCode {
             .iter()
             .map(|entry| {
                 format!(
-                    "{{\"config_ix\": {}, \"spec\": {}}}",
+                    "{{\"config_ix\": {}, \"timing\": {}, \"spec\": {}}}",
                     entry.config_ix,
+                    json_string(&entry.spec.timing.summary()),
                     entry.spec.to_json()
                 )
             })
@@ -357,9 +358,10 @@ fn cmd_describe(args: &[String]) -> ExitCode {
             }
         };
         println!(
-            "# config_ix {} — faults: {}; dynamics: {dynamics}\n{}",
+            "# config_ix {} — faults: {}; dynamics: {dynamics}; timing: {}\n{}",
             entry.config_ix,
             entry.spec.failures.summary(),
+            entry.spec.timing.summary(),
             entry.spec.to_json()
         );
     }
@@ -392,7 +394,7 @@ fn run_spec_file(path: &str, flags: &RunFlags) -> ExitCode {
         // stream — reordering a ladder file never changes a rung's numbers
         // beyond its position-derived stream.
         let entry = LadderEntry::new(ix as u64, spec.clone());
-        let (reports, wall_ms, churn_stats) = match spec.dynamics {
+        let (reports, wall_ms, churn_stats, cover_time) = match spec.dynamics {
             DynamicsSpec::Churn(_) => {
                 let (runs, wall_ms) = registry::run_entry_churned(0, &entry, &cfg);
                 let joins = runs.iter().map(|r| r.churn.joins as f64).collect::<Vec<_>>();
@@ -405,11 +407,22 @@ fn run_spec_file(path: &str, flags: &RunFlags) -> ExitCode {
                         Summary::from_slice(&joins).mean,
                         Summary::from_slice(&leaves).mean,
                     )),
+                    None,
                 )
+            }
+            DynamicsSpec::Static if !spec.timing.is_sync() => {
+                let (runs, wall_ms) = registry::run_entry_async(0, &entry, &cfg);
+                let mean_t = runs
+                    .iter()
+                    .map(|r| r.coverage_time.unwrap_or(r.time))
+                    .sum::<f64>()
+                    / runs.len().max(1) as f64;
+                let reports: Vec<_> = runs.into_iter().map(|r| r.report).collect();
+                (reports, wall_ms, None, Some(mean_t))
             }
             DynamicsSpec::Static => {
                 let (reports, wall_ms) = registry::run_entry(0, &entry, &cfg);
-                (reports, wall_ms, None)
+                (reports, wall_ms, None, None)
             }
         };
         if matches!(spec.measure, MeasureSpec::Trace | MeasureSpec::Crossover) {
@@ -450,6 +463,9 @@ fn run_spec_file(path: &str, flags: &RunFlags) -> ExitCode {
             println!("  success rate    {:.2}", success_rate(&reports));
             println!("  rounds          {:.1}", mean_rounds_to_coverage(&reports));
             println!("  tx per node     {:.2}", mean_of(&reports, |r| r.tx_per_node()));
+            if let Some(t) = cover_time {
+                println!("  time to cover   {t:.2} ({})", spec.timing.summary());
+            }
         }
         println!("  wall clock      {wall_ms:.1} ms");
         if specs.len() > 1 {
