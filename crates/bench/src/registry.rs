@@ -259,7 +259,10 @@ pub fn instrument_entry(experiment_id: u64, entry: &LadderEntry) -> Option<Phase
     let config = entry.spec.sim_config();
     let mut topo_rng = crate::rng_for(experiment_id, entry.config_ix, crate::TOPOLOGY_STREAM);
     let topo = entry.spec.graph.build(&mut topo_rng).ok()?;
-    let mut rng = crate::rng_for(experiment_id, entry.config_ix, 0);
+    // Replays seed index 0 of the ladder, so the run stream is the one
+    // `run_replicated*` gives the first replication.
+    let seed0: u64 = 0;
+    let mut rng = crate::rng_for(experiment_id, entry.config_ix, seed0);
     let origin = crate::random_alive_origin(&topo, &mut rng);
     if let TimingSpec::Async { clock, latency } = entry.spec.timing {
         let mut state = AsyncSimState::new(&proto, topo.node_count(), origin, clock, latency);

@@ -76,6 +76,7 @@ impl ChannelFabric {
     /// both engines stay in lockstep). With `faults == None` the code path
     /// and draw sequence are byte-identical to the pre-fault engine.
     #[allow(clippy::too_many_arguments)]
+    // rrb-lint: hot
     pub(crate) fn sample<T, F, R>(
         &mut self,
         topo: &T,
@@ -194,6 +195,7 @@ impl ChannelFabric {
     /// Builds the reverse (incoming-channel) index: a counting sort of
     /// the channel list by callee, `O(n + channels)`. Needed only by
     /// pull-capable protocols — pushes walk the forward lists.
+    // rrb-lint: hot
     pub(crate) fn build_incoming(&mut self, n: usize) {
         self.in_offsets.clear();
         self.in_offsets.resize(n + 1, 0);
@@ -261,6 +263,7 @@ impl InformedIndex {
     /// Marks `i` informed at round `at`; returns `true` iff it was newly
     /// informed (already-informed nodes keep their original round).
     #[inline]
+    // rrb-lint: hot
     pub(crate) fn mark(&mut self, i: usize, at: Round) -> bool {
         if self.informed_at[i].is_some() {
             return false;

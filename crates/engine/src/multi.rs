@@ -480,6 +480,7 @@ impl<P: Protocol> MultiSimState<P> {
     }
 
     /// Executes one synchronous round over the shared channel fabric.
+    // rrb-lint: hot
     pub fn step<T: Topology + ?Sized, R: Rng + ?Sized>(
         &mut self,
         topo: &T,

@@ -108,6 +108,7 @@ impl ObservationArena {
     }
 
     /// Resets the arena for a new round in `O(touched)` time.
+    // rrb-lint: hot
     pub(crate) fn begin_round(&mut self) {
         for &w in &self.touched {
             self.push_count[w as usize] = 0;
@@ -131,6 +132,7 @@ impl ObservationArena {
 
     /// Records a rumour copy delivered to `receiver` via push.
     #[inline]
+    // rrb-lint: hot
     pub(crate) fn record_push(&mut self, receiver: usize, meta: RumorMeta) {
         self.touch(receiver);
         self.push_count[receiver] += 1;
@@ -139,6 +141,7 @@ impl ObservationArena {
 
     /// Records a rumour copy delivered to `receiver` via pull.
     #[inline]
+    // rrb-lint: hot
     pub(crate) fn record_pull(&mut self, receiver: usize, meta: RumorMeta) {
         self.touch(receiver);
         self.pull_count[receiver] += 1;
@@ -147,6 +150,7 @@ impl ObservationArena {
 
     /// Counting-sorts the staging log into CSR form. Call once per round,
     /// after the exchange phase.
+    // rrb-lint: hot
     pub(crate) fn build(&mut self) {
         self.offsets.clear();
         self.offsets.push(0);

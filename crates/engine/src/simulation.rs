@@ -391,6 +391,7 @@ impl<P: Protocol> SimState<P> {
     /// Failed channels carry no transmissions (establishment failed — no
     /// cost); failed transmissions are *counted but not delivered* (the copy
     /// was sent and lost).
+    // rrb-lint: hot
     pub fn step<T: Topology + ?Sized, R: Rng + ?Sized>(
         &mut self,
         topo: &T,

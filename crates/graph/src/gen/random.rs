@@ -162,17 +162,19 @@ fn repair_to_simple<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Option<Graph> {
         return Some(g.clone());
     }
 
-    // Multiplicity map for fast defect checks.
-    use std::collections::HashMap;
+    // Multiplicity map for fast defect checks. BTreeMap, not HashMap:
+    // generation must be deterministic per seed (rrb-lint
+    // no-ambient-randomness), and the map is only probed point-wise.
+    use std::collections::BTreeMap;
     let key = |a: u32, b: u32| -> u64 {
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
         ((a as u64) << 32) | b as u64
     };
-    let mut mult: HashMap<u64, u32> = HashMap::with_capacity(edges.len() * 2);
+    let mut mult: BTreeMap<u64, u32> = BTreeMap::new();
     for &(u, v) in &edges {
         *mult.entry(key(u, v)).or_insert(0) += 1;
     }
-    let is_defective = |mult: &HashMap<u64, u32>, u: u32, v: u32| -> bool {
+    let is_defective = |mult: &BTreeMap<u64, u32>, u: u32, v: u32| -> bool {
         u == v || mult.get(&key(u, v)).copied().unwrap_or(0) > 1
     };
 

@@ -1,0 +1,404 @@
+//! A minimal hand-rolled Rust tokenizer: just enough lexical structure
+//! for the determinism-discipline rules — identifiers, integer literals,
+//! punctuation, and comments, with string/char/lifetime contents
+//! correctly skipped so a banned name inside a string literal or doc
+//! comment never trips a rule.
+//!
+//! No external parser dependencies, by design: the build host resolves
+//! every dependency to a vendored shim, and the rules only need token
+//! streams, not syntax trees. The trade-offs are the usual lexer-level
+//! ones (no macro expansion, no name resolution), which is fine for
+//! convention enforcement — the conventions themselves are lexical
+//! ("never a bare literal", "this identifier does not appear here").
+
+/// One lexical token. Contents of string and char literals are
+/// deliberately discarded; comment text is kept because `// rrb-lint:`
+/// annotations live there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (the rules do not need to distinguish).
+    Ident(String),
+    /// Integer literal, raw source text (`42`, `0x7070_1070`, `1e3`).
+    Int(String),
+    /// Single punctuation character.
+    Punct(char),
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    CharLit,
+    /// Lifetime (`'a`, `'_`, `'static`).
+    Lifetime,
+    /// Line or block comment, text without the comment markers.
+    Comment(String),
+}
+
+/// A token with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+    /// The token.
+    pub tok: Tok,
+}
+
+/// Tokenizes `src`. Unterminated constructs (string, block comment) are
+/// closed at end of input rather than reported — the lint runs on code
+/// rustc already accepted.
+pub fn lex(src: &str) -> Vec<Spanned> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < b.len() && b[j] != '\n' {
+                j += 1;
+            }
+            let text: String = b[start..j].iter().collect();
+            out.push(Spanned { line, tok: Tok::Comment(text) });
+            i = j;
+            continue;
+        }
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let start_line = line;
+            let mut depth = 1u32;
+            let mut j = i + 2;
+            let mut text = String::new();
+            while j < b.len() && depth > 0 {
+                if b[j] == '/' && j + 1 < b.len() && b[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                    text.push_str("/*");
+                    continue;
+                }
+                if b[j] == '*' && j + 1 < b.len() && b[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                    continue;
+                }
+                if b[j] == '\n' {
+                    line += 1;
+                }
+                text.push(b[j]);
+                j += 1;
+            }
+            out.push(Spanned { line: start_line, tok: Tok::Comment(text) });
+            i = j;
+            continue;
+        }
+        // String-ish literals that start with a letter prefix: r"", r#""#,
+        // b"", br"", b''. Raw identifiers (r#type) fall through to idents.
+        if c == 'r' || c == 'b' {
+            if let Some((next_i, tok)) = lex_prefixed_literal(&b, i, &mut line) {
+                out.push(Spanned { line, tok });
+                i = next_i;
+                continue;
+            }
+        }
+        if c == '"' {
+            let start_line = line;
+            i = skip_plain_string(&b, i + 1, &mut line);
+            out.push(Spanned { line: start_line, tok: Tok::Str });
+            continue;
+        }
+        if c == '\'' {
+            let (next_i, tok) = lex_quote(&b, i, &mut line);
+            out.push(Spanned { line, tok });
+            i = next_i;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i;
+            while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                j += 1;
+            }
+            let text: String = b[start..j].iter().collect();
+            out.push(Spanned { line, tok: Tok::Int(text) });
+            i = j;
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            let mut j = i;
+            while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                j += 1;
+            }
+            let text: String = b[start..j].iter().collect();
+            out.push(Spanned { line, tok: Tok::Ident(text) });
+            i = j;
+            continue;
+        }
+        out.push(Spanned { line, tok: Tok::Punct(c) });
+        i += 1;
+    }
+    out
+}
+
+/// Skips a plain (escapable) string body starting *after* the opening
+/// quote; returns the index after the closing quote.
+fn skip_plain_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Attempts to lex `r"…"`, `r#"…"#` (any hash count), `b"…"`, `br#"…"#`
+/// or `b'…'` starting at `i`. Returns `None` when the prefix is actually
+/// an identifier (including raw identifiers like `r#type`).
+fn lex_prefixed_literal(b: &[char], i: usize, line: &mut u32) -> Option<(usize, Tok)> {
+    let mut j = i + 1;
+    let mut raw = b[i] == 'r';
+    if b[i] == 'b' && j < b.len() {
+        if b[j] == '\'' {
+            // Byte char literal: reuse the quote lexer past the prefix.
+            let (next, _) = lex_quote(b, j, line);
+            return Some((next, Tok::CharLit));
+        }
+        if b[j] == 'r' {
+            raw = true;
+            j += 1;
+        }
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while j < b.len() && b[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < b.len() && b[j] == '"' {
+            j += 1;
+            // Scan for `"` followed by `hashes` hash characters.
+            while j < b.len() {
+                if b[j] == '\n' {
+                    *line += 1;
+                    j += 1;
+                    continue;
+                }
+                if b[j] == '"' && b[j + 1..].iter().take_while(|&&h| h == '#').count() >= hashes {
+                    return Some((j + 1 + hashes, Tok::Str));
+                }
+                j += 1;
+            }
+            return Some((j, Tok::Str));
+        }
+        return None; // raw identifier or plain ident starting with r/b
+    }
+    if j < b.len() && b[j] == '"' {
+        let next = skip_plain_string(b, j + 1, line);
+        return Some((next, Tok::Str));
+    }
+    None
+}
+
+/// Lexes from a `'`: either a lifetime or a char literal.
+fn lex_quote(b: &[char], i: usize, line: &mut u32) -> (usize, Tok) {
+    let next = b.get(i + 1).copied();
+    let after = b.get(i + 2).copied();
+    let is_lifetime = match next {
+        Some(c) if c.is_alphabetic() || c == '_' => after != Some('\''),
+        _ => false,
+    };
+    if is_lifetime {
+        let mut j = i + 1;
+        while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+            j += 1;
+        }
+        return (j, Tok::Lifetime);
+    }
+    // Char literal: scan past escapes to the closing quote.
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '\'' => return (j + 1, Tok::CharLit),
+            _ => j += 1,
+        }
+    }
+    (j, Tok::CharLit)
+}
+
+/// Removes every `#[cfg(test)]`-gated item (attribute plus the following
+/// item, to its closing brace or semicolon) from the token stream. The
+/// discipline rules apply to shipped code; test modules may use ambient
+/// collections or literal stream keys freely.
+pub fn strip_cfg_test(toks: Vec<Spanned>) -> Vec<Spanned> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_cfg_test_attr(&toks, i) {
+            i += 7; // past `# [ cfg ( test ) ]`
+            i = skip_item(&toks, i);
+            continue;
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Whether the tokens at `i..` spell exactly `#[cfg(test)]`.
+fn is_cfg_test_attr(toks: &[Spanned], i: usize) -> bool {
+    let pat: [&Tok; 7] = [
+        &Tok::Punct('#'),
+        &Tok::Punct('['),
+        &Tok::Ident(String::from("cfg")),
+        &Tok::Punct('('),
+        &Tok::Ident(String::from("test")),
+        &Tok::Punct(')'),
+        &Tok::Punct(']'),
+    ];
+    toks.len() >= i + pat.len() && pat.iter().zip(&toks[i..]).all(|(p, s)| **p == s.tok)
+}
+
+/// Skips one item starting at `i`: everything up to and including the
+/// first top-level `;`, or the brace-matched block opened by the first
+/// top-level `{`. Returns the index just past the item.
+fn skip_item(toks: &[Spanned], mut i: usize) -> usize {
+    let mut depth = 0i32; // () and [] nesting, e.g. inside fn signatures
+    while i < toks.len() {
+        match toks[i].tok {
+            Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+            Tok::Punct(';') if depth == 0 => return i + 1,
+            Tok::Punct('{') if depth == 0 => {
+                let mut braces = 1i32;
+                i += 1;
+                while i < toks.len() && braces > 0 {
+                    match toks[i].tok {
+                        Tok::Punct('{') => braces += 1,
+                        Tok::Punct('}') => braces -= 1,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return i;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|s| match s.tok {
+                Tok::Ident(t) => Some(t),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let s = "Instant::now() inside a string";
+            let r = r#"rng_for(1, 2, 3) raw"#;
+            /* HashMap in a block comment */
+            // SystemTime in a line comment
+            let c = 'I';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|t| t == "Instant" || t == "rng_for" || t == "HashMap"));
+        assert_eq!(ids, ["let", "s", "let", "r", "let", "c"]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(ids.contains(&"str".to_string()));
+        assert!(ids.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn int_literals_keep_their_raw_text() {
+        let toks = lex("const A_STREAM: u64 = 0x7070_1070;");
+        assert!(toks.iter().any(|s| s.tok == Tok::Int("0x7070_1070".into())));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "let a = \"two\nlines\";\nlet b = 1;";
+        let toks = lex(src);
+        let b_line = toks
+            .iter()
+            .find(|s| s.tok == Tok::Ident("b".into()))
+            .map(|s| s.line)
+            .unwrap();
+        assert_eq!(b_line, 3);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_stripped() {
+        let src = "
+            pub fn live() {}
+            #[cfg(test)]
+            mod tests {
+                use std::time::Instant;
+                #[test]
+                fn t() { let _ = Instant::now(); }
+            }
+            pub fn also_live() {}
+        ";
+        let toks = strip_cfg_test(lex(src));
+        let ids: Vec<_> = toks
+            .iter()
+            .filter_map(|s| match &s.tok {
+                Tok::Ident(t) => Some(t.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(!ids.contains(&"Instant"));
+        assert!(ids.contains(&"live"));
+        assert!(ids.contains(&"also_live"));
+    }
+
+    #[test]
+    fn cfg_other_than_test_is_kept() {
+        let src = "#[cfg(target_os = \"linux\")] fn probe() { proc_read(); }";
+        let toks = strip_cfg_test(lex(src));
+        assert!(toks.iter().any(|s| s.tok == Tok::Ident("proc_read".into())));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let toks = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert!(toks.iter().any(|s| s.tok == Tok::Ident("f".into())));
+        assert_eq!(
+            toks.iter().filter(|s| matches!(s.tok, Tok::Comment(_))).count(),
+            1
+        );
+    }
+}

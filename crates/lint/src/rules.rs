@@ -1,0 +1,486 @@
+//! The six determinism-discipline rules.
+//!
+//! Every rule is a lexical pass over one file's token stream (test
+//! modules already stripped); `rng-stream-discipline` additionally runs
+//! a cross-file pass over the collected `*_STREAM` constants. See the
+//! crate docs for the rule table and the rationale of each convention.
+
+use crate::lex::{Spanned, Tok};
+
+/// One diagnostic: `path:line: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    /// Path relative to the linted root, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule identifier (one of [`RULE_IDS`] or [`STALE_ALLOW`]).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+/// All allowlistable rule identifiers.
+pub const RULE_IDS: [&str; 6] = [
+    "rng-stream-discipline",
+    "no-wall-clock",
+    "no-ambient-randomness",
+    "probe-rng-separation",
+    "crate-hygiene",
+    "hot-path-alloc",
+];
+
+/// Pseudo-rule reported against the allowlist file itself when an entry
+/// matched no diagnostic. Deliberately not allowlistable.
+pub const STALE_ALLOW: &str = "stale-allow";
+
+/// A reserved-stream constant collected for the cross-file pairwise
+/// distinctness check.
+#[derive(Debug, Clone)]
+pub struct StreamConst {
+    /// Constant name (ends in `_STREAM`).
+    pub name: String,
+    /// Parsed u64 value.
+    pub value: u64,
+    /// File the constant is declared in.
+    pub path: String,
+    /// Declaration line.
+    pub line: u32,
+}
+
+/// Runs every per-file rule over one tokenized file, appending
+/// diagnostics to `diags` and reserved-stream constants to `streams`.
+/// `rel` is the `/`-separated path relative to the linted root.
+pub fn check_file(rel: &str, toks: &[Spanned], diags: &mut Vec<Diag>, streams: &mut Vec<StreamConst>) {
+    let code: Vec<&Spanned> = toks.iter().filter(|s| !matches!(s.tok, Tok::Comment(_))).collect();
+    rng_stream_discipline(rel, &code, diags, streams);
+    no_wall_clock(rel, &code, diags);
+    no_ambient_randomness(rel, &code, diags);
+    probe_rng_separation(rel, &code, diags);
+    crate_hygiene(rel, &code, diags);
+    hot_path_alloc(rel, toks, diags);
+    dedupe(diags);
+}
+
+fn push(diags: &mut Vec<Diag>, path: &str, line: u32, rule: &'static str, msg: String) {
+    diags.push(Diag { path: path.to_string(), line, rule, msg });
+}
+
+/// Collapses diagnostics that share (path, line, rule) — e.g. a
+/// `use`-list naming two banned types, or overlapping scans of the same
+/// token.
+fn dedupe(diags: &mut Vec<Diag>) {
+    let mut seen: Vec<(String, u32, &'static str)> = Vec::new();
+    diags.retain(|d| {
+        let key = (d.path.clone(), d.line, d.rule);
+        if seen.contains(&key) {
+            false
+        } else {
+            seen.push(key);
+            true
+        }
+    });
+}
+
+fn ident_at<'t>(code: &'t [&Spanned], i: usize) -> Option<&'t str> {
+    match code.get(i).map(|s| &s.tok) {
+        Some(Tok::Ident(t)) => Some(t.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(code: &[&Spanned], i: usize, c: char) -> bool {
+    matches!(code.get(i).map(|s| &s.tok), Some(Tok::Punct(p)) if *p == c)
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: rng-stream-discipline
+// ---------------------------------------------------------------------------
+
+/// Every `rng_for(…)` call site's stream argument (the last argument)
+/// must involve a named value — a `*_STREAM` constant, a seed variable,
+/// or a derivation like `FAULT_STREAM ^ s` — never a bare integer
+/// literal, which silently collides with whatever stream happens to
+/// share the value. Also collects `const *_STREAM: u64 = …;` values for
+/// the cross-file distinctness check.
+fn rng_stream_discipline(
+    rel: &str,
+    code: &[&Spanned],
+    diags: &mut Vec<Diag>,
+    streams: &mut Vec<StreamConst>,
+) {
+    for i in 0..code.len() {
+        // const <NAME>_STREAM: u64 = <int>;
+        if ident_at(code, i) == Some("const") {
+            if let Some(name) = ident_at(code, i + 1) {
+                if name.ends_with("_STREAM")
+                    && punct_at(code, i + 2, ':')
+                    && ident_at(code, i + 3) == Some("u64")
+                    && punct_at(code, i + 4, '=')
+                {
+                    if let Some(Tok::Int(raw)) = code.get(i + 5).map(|s| &s.tok) {
+                        match parse_u64(raw) {
+                            Some(value) => streams.push(StreamConst {
+                                name: name.to_string(),
+                                value,
+                                path: rel.to_string(),
+                                line: code[i + 1].line,
+                            }),
+                            None => push(
+                                diags,
+                                rel,
+                                code[i + 5].line,
+                                "rng-stream-discipline",
+                                format!("cannot parse stream constant value `{raw}`"),
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+        // rng_for( … ) call sites, skipping the definition itself.
+        if ident_at(code, i) == Some("rng_for")
+            && punct_at(code, i + 1, '(')
+            && ident_at(code, i.wrapping_sub(1)) != Some("fn")
+        {
+            let Some(args) = call_args(code, i + 1) else { continue };
+            let Some(stream_arg) = args.last() else { continue };
+            let has_name = stream_arg.iter().any(|&j| matches!(code[j].tok, Tok::Ident(_)));
+            if !has_name {
+                let line = stream_arg.first().map_or(code[i].line, |&j| code[j].line);
+                push(
+                    diags,
+                    rel,
+                    line,
+                    "rng-stream-discipline",
+                    "stream argument of rng_for is a bare literal; use a named *_STREAM \
+                     constant, a seed variable, or a documented `STREAM ^ seed` derivation"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Splits the parenthesised argument list opening at `open` (which must
+/// index a `(`) into top-level comma-separated token-index groups.
+/// Returns `None` when the parens never close (truncated input).
+fn call_args(code: &[&Spanned], open: usize) -> Option<Vec<Vec<usize>>> {
+    let mut args: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut depth = 0i32;
+    for (j, spanned) in code.iter().enumerate().skip(open) {
+        match spanned.tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => {
+                depth += 1;
+                if depth > 1 {
+                    args.last_mut().unwrap().push(j);
+                }
+            }
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    if args.len() == 1 && args[0].is_empty() {
+                        args.clear(); // zero-argument call
+                    }
+                    return Some(args);
+                }
+                args.last_mut().unwrap().push(j);
+            }
+            Tok::Punct(',') if depth == 1 => args.push(Vec::new()),
+            _ => args.last_mut().unwrap().push(j),
+        }
+    }
+    None
+}
+
+/// Parses a Rust integer literal: decimal/hex/octal/binary, `_`
+/// separators, optional `u64`-style suffix.
+fn parse_u64(raw: &str) -> Option<u64> {
+    let mut s: String = raw.chars().filter(|&c| c != '_').collect();
+    for suffix in ["u64", "u32", "u16", "u8", "usize", "i64", "i32", "isize"] {
+        if let Some(stripped) = s.strip_suffix(suffix) {
+            s = stripped.to_string();
+            break;
+        }
+    }
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return u64::from_str_radix(hex, 16).ok();
+    }
+    if let Some(oct) = s.strip_prefix("0o") {
+        return u64::from_str_radix(oct, 8).ok();
+    }
+    if let Some(bin) = s.strip_prefix("0b") {
+        return u64::from_str_radix(bin, 2).ok();
+    }
+    s.parse().ok()
+}
+
+/// Cross-file pass: all collected reserved-stream constants must be
+/// pairwise distinct u64 values — two "reserved" streams sharing a key
+/// are the same stream, and the collision is exactly the silent breakage
+/// the convention exists to prevent.
+pub fn check_stream_constants(streams: &[StreamConst], diags: &mut Vec<Diag>) {
+    for (ix, sc) in streams.iter().enumerate() {
+        if let Some(prior) = streams[..ix].iter().find(|p| p.value == sc.value) {
+            push(
+                diags,
+                &sc.path,
+                sc.line,
+                "rng-stream-discipline",
+                format!(
+                    "reserved stream constant {} duplicates the value {:#x} of {} ({}:{})",
+                    sc.name, sc.value, prior.name, prior.path, prior.line
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: no-wall-clock
+// ---------------------------------------------------------------------------
+
+/// `std::time::Instant` / `SystemTime` are nondeterministic inputs; in a
+/// simulation path they leak wall-clock into results. Banned everywhere
+/// except explicitly allowlisted telemetry/measurement modules.
+fn no_wall_clock(rel: &str, code: &[&Spanned], diags: &mut Vec<Diag>) {
+    for s in code {
+        if let Tok::Ident(t) = &s.tok {
+            if t == "Instant" || t == "SystemTime" {
+                push(
+                    diags,
+                    rel,
+                    s.line,
+                    "no-wall-clock",
+                    format!("{t} is wall-clock; simulation paths must be deterministic \
+                             (allowlist telemetry modules explicitly)"),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: no-ambient-randomness
+// ---------------------------------------------------------------------------
+
+/// In `crates/engine/src` and `crates/graph/src`, ambient randomness is
+/// banned: `thread_rng`/`rand::random` obviously, but also
+/// `HashMap`/`HashSet`/`RandomState`, whose default hasher is seeded per
+/// process — iteration order then varies run to run, and any RNG draw
+/// made while iterating diverges the whole stream. Use `BTreeMap`/
+/// `BTreeSet` or index-keyed vectors.
+fn no_ambient_randomness(rel: &str, code: &[&Spanned], diags: &mut Vec<Diag>) {
+    let scoped = rel.starts_with("crates/engine/src/") || rel.starts_with("crates/graph/src/");
+    if !scoped {
+        return;
+    }
+    for (i, s) in code.iter().enumerate() {
+        if let Tok::Ident(t) = &s.tok {
+            let banned = match t.as_str() {
+                "thread_rng" | "RandomState" | "HashMap" | "HashSet" => true,
+                "random" => {
+                    // Only `rand::random` (the ambient-seeded free fn).
+                    i >= 3
+                        && ident_at(code, i - 3) == Some("rand")
+                        && punct_at(code, i - 2, ':')
+                        && punct_at(code, i - 1, ':')
+                }
+                _ => false,
+            };
+            if banned {
+                push(
+                    diags,
+                    rel,
+                    s.line,
+                    "no-ambient-randomness",
+                    format!(
+                        "{t} is ambient/nondeterministic in a deterministic crate; use \
+                         BTreeMap/BTreeSet (or index-keyed vectors) and explicit seeded RNGs"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: probe-rng-separation
+// ---------------------------------------------------------------------------
+
+const RNG_NAMES: [&str; 4] = ["Rng", "RngCore", "SmallRng", "rng_for"];
+
+/// Telemetry must never touch the RNG: an instrumented run's random
+/// streams — and therefore its results — must be byte-identical to a
+/// bare run. Enforced for `telemetry.rs` files wholesale and for every
+/// `impl … RoundProbe for …` block anywhere.
+fn probe_rng_separation(rel: &str, code: &[&Spanned], diags: &mut Vec<Diag>) {
+    let file = rel.rsplit('/').next().unwrap_or(rel);
+    let flag = |diags: &mut Vec<Diag>, s: &Spanned, t: &str, ctx: &str| {
+        push(
+            diags,
+            rel,
+            s.line,
+            "probe-rng-separation",
+            format!("{t} named in {ctx}; probes must never touch the RNG so instrumented \
+                     runs stay byte-identical to bare runs"),
+        );
+    };
+    if file == "telemetry.rs" {
+        for s in code {
+            if let Tok::Ident(t) = &s.tok {
+                if RNG_NAMES.contains(&t.as_str()) {
+                    flag(diags, s, t, "a telemetry module");
+                }
+            }
+        }
+        return; // whole file covered; impl scan below would duplicate
+    }
+    let mut i = 0usize;
+    while i < code.len() {
+        if ident_at(code, i) == Some("impl") {
+            // Header runs to the block's `{`; generics carry no braces.
+            let mut j = i + 1;
+            let mut is_probe_impl = false;
+            let mut saw_for = false;
+            while j < code.len() && !punct_at(code, j, '{') && !punct_at(code, j, ';') {
+                match ident_at(code, j) {
+                    Some("RoundProbe") => is_probe_impl = true,
+                    Some("for") => saw_for = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if is_probe_impl && saw_for && punct_at(code, j, '{') {
+                let mut depth = 1i32;
+                let mut k = j + 1;
+                while k < code.len() && depth > 0 {
+                    match &code[k].tok {
+                        Tok::Punct('{') => depth += 1,
+                        Tok::Punct('}') => depth -= 1,
+                        Tok::Ident(t) if RNG_NAMES.contains(&t.as_str()) => {
+                            flag(diags, code[k], t, "a RoundProbe impl");
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: crate-hygiene
+// ---------------------------------------------------------------------------
+
+/// Every crate root (`src/lib.rs`) must carry `#![forbid(unsafe_code)]`:
+/// the memory-safety analogue of this lint, and the precedent for
+/// locking a convention in mechanically.
+fn crate_hygiene(rel: &str, code: &[&Spanned], diags: &mut Vec<Diag>) {
+    let is_root = rel == "src/lib.rs" || rel.ends_with("/src/lib.rs");
+    if !is_root {
+        return;
+    }
+    let has_forbid = (0..code.len()).any(|i| {
+        ident_at(code, i) == Some("forbid")
+            && punct_at(code, i + 1, '(')
+            && ident_at(code, i + 2) == Some("unsafe_code")
+    });
+    if !has_forbid {
+        push(
+            diags,
+            rel,
+            1,
+            "crate-hygiene",
+            "crate root missing #![forbid(unsafe_code)]".to_string(),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 6: hot-path-alloc
+// ---------------------------------------------------------------------------
+
+/// Functions annotated `// rrb-lint: hot` must not call the well-known
+/// allocating APIs. The steady-state no-allocation tests catch dynamic
+/// regressions; this catches them at review time, in paths the tests
+/// don't happen to drive.
+fn hot_path_alloc(rel: &str, toks: &[Spanned], diags: &mut Vec<Diag>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        // The annotation is the whole comment (`// rrb-lint: hot`), so
+        // prose *mentioning* the syntax never annotates anything.
+        let is_hot_marker = matches!(
+            &toks[i].tok,
+            Tok::Comment(text) if text.trim() == "rrb-lint: hot"
+        );
+        if !is_hot_marker {
+            i += 1;
+            continue;
+        }
+        // Find the next `fn`, then its body `{`.
+        let mut j = i + 1;
+        while j < toks.len() && toks[j].tok != Tok::Ident("fn".to_string()) {
+            j += 1;
+        }
+        while j < toks.len() && toks[j].tok != Tok::Punct('{') {
+            j += 1;
+        }
+        if j >= toks.len() {
+            break;
+        }
+        let mut depth = 1i32;
+        let mut k = j + 1;
+        while k < toks.len() && depth > 0 {
+            match &toks[k].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => depth -= 1,
+                Tok::Ident(t) => {
+                    if let Some(api) = allocating_api(toks, k, t) {
+                        push(
+                            diags,
+                            rel,
+                            toks[k].line,
+                            "hot-path-alloc",
+                            format!(
+                                "{api} allocates inside a `// rrb-lint: hot` function; \
+                                 reuse a scratch buffer or hoist the allocation out"
+                            ),
+                        );
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        i = k;
+    }
+}
+
+/// Returns the display name of a known-allocating API if the identifier
+/// at `k` is one, in context.
+fn allocating_api(toks: &[Spanned], k: usize, t: &str) -> Option<&'static str> {
+    let next_is = |c: char| matches!(toks.get(k + 1).map(|s| &s.tok), Some(Tok::Punct(p)) if *p == c);
+    let path_new = || {
+        // `X :: new`
+        matches!(toks.get(k + 1).map(|s| &s.tok), Some(Tok::Punct(':')))
+            && matches!(toks.get(k + 2).map(|s| &s.tok), Some(Tok::Punct(':')))
+            && matches!(toks.get(k + 3).map(|s| &s.tok), Some(Tok::Ident(n)) if n == "new")
+    };
+    match t {
+        "Vec" if path_new() => Some("Vec::new"),
+        "Box" if path_new() => Some("Box::new"),
+        "String" if path_new() => Some("String::new"),
+        "to_vec" => Some("to_vec"),
+        "to_owned" => Some("to_owned"),
+        "to_string" => Some("to_string"),
+        "collect" => Some("collect"),
+        "format" if next_is('!') => Some("format!"),
+        "vec" if next_is('!') => Some("vec!"),
+        _ => None,
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: no-ambient-randomness. Hash collections and ambient RNGs are
+// banned under crates/engine/src and crates/graph/src.
+
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *seen.entry(x).or_insert(0) += 1;
+    }
+    let jitter: u64 = rand::random();
+    seen.len() + thread_rng().next_u32() as usize + jitter as usize
+}

@@ -1,0 +1,39 @@
+#![forbid(unsafe_code)]
+// Fixture: a file exercising every rule's *allowed* side. Must produce
+// zero diagnostics: named stream constants with distinct values, seed
+// derivations, cfg(test)-gated wall-clock/literal use, banned names
+// appearing only in strings and comments, and an unannotated allocating
+// function.
+
+pub const TOPOLOGY_STREAM: u64 = 0x7070_1070;
+pub const FAULT_STREAM: u64 = 0xFA17_07A1;
+
+/// Doc prose may mention Instant, HashMap, thread_rng and the
+/// `// rrb-lint: hot` marker syntax without tripping anything.
+pub fn run(seed: u64) -> u64 {
+    let banned_only_in_strings = "Instant::now() HashMap thread_rng rng_for(1, 2, 3)";
+    let t = rng_for(9, 0, TOPOLOGY_STREAM);
+    let f = rng_for(9, 0, FAULT_STREAM ^ seed);
+    let s = rng_for(9, 0, seed);
+    t + f + s + banned_only_in_strings.len() as u64
+}
+
+pub fn allocates_but_not_hot() -> String {
+    format!("{:?}", vec![TOPOLOGY_STREAM])
+}
+
+fn rng_for(_experiment: u64, _config_ix: u64, stream: u64) -> u64 {
+    stream
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = Instant::now();
+        let _ = super::rng_for(1, 2, 3);
+        let _: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    }
+}

@@ -1,0 +1,17 @@
+#![forbid(unsafe_code)]
+// Fixture: hot-path-alloc. The annotated function allocates three ways;
+// the unannotated one below must not be flagged.
+
+// rrb-lint: hot
+pub fn step(xs: &mut Vec<u32>, scratch: &mut String) -> usize {
+    let doubled: Vec<u32> = xs.iter().map(|x| x * 2).collect();
+    let boxed = Box::new(doubled.len());
+    scratch.push_str(&format!("{boxed}"));
+    *boxed
+}
+
+pub fn cold() -> Vec<u32> {
+    let mut v = Vec::new();
+    v.push(1);
+    v
+}

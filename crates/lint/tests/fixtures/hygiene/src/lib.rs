@@ -1,0 +1,4 @@
+// Fixture: crate-hygiene. This crate root is missing
+// #![forbid(unsafe_code)] and must be flagged on line 1.
+
+pub fn fine() {}

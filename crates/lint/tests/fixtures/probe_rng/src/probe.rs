@@ -1,0 +1,21 @@
+// Fixture: probe-rng-separation applies to RoundProbe impl blocks in
+// any file, not just telemetry.rs.
+
+pub struct Timings {
+    rounds: u32,
+}
+
+impl RoundProbe for Timings {
+    fn on_round(&mut self) {
+        let _rng = SmallRng::seed_from_u64(7);
+        self.rounds += 1;
+    }
+}
+
+pub struct Quiet;
+
+impl Display for Quiet {
+    fn fmt(&self) -> SmallRng {
+        unreachable_but_not_flagged()
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: probe-rng-separation. A telemetry module must never name the
+// RNG machinery — instrumented runs must stay byte-identical.
+
+use rand::Rng;
+
+pub fn probe_seed(seed: u64) -> u64 {
+    rng_for(1, 2, seed)
+}

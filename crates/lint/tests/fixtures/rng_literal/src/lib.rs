@@ -1,0 +1,19 @@
+#![forbid(unsafe_code)]
+// Fixture: rng-stream-discipline. A bare literal stream argument and a
+// duplicated reserved-stream value must both be flagged; named constants
+// and `^ seed` derivations must not.
+
+pub const TOPOLOGY_STREAM: u64 = 0x7070_1070;
+pub const CLONE_STREAM: u64 = 0x7070_1070;
+
+pub fn run(seed: u64) -> u64 {
+    let a = rng_for(1, 2, 42);
+    let b = rng_for(1, 2, TOPOLOGY_STREAM);
+    let c = rng_for(1, 2, CLONE_STREAM ^ seed);
+    let d = rng_for(1, 2, seed);
+    a + b + c + d
+}
+
+fn rng_for(_experiment: u64, _config_ix: u64, stream: u64) -> u64 {
+    stream
+}

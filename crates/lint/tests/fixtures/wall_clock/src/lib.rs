@@ -1,0 +1,14 @@
+#![forbid(unsafe_code)]
+// Fixture: no-wall-clock. Instant and SystemTime are flagged wherever
+// they appear outside an allowlisted file.
+
+use std::time::Instant;
+
+pub fn elapsed_ms() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_millis()
+}
+
+pub fn epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,30 @@
+//! The real workspace must lint clean under its committed allowlist —
+//! the same invariant the CI `lint` job enforces with
+//! `rrb-lint --deny`, asserted here so `cargo test` catches a
+//! discipline regression (or a stale allowlist entry) without CI.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_lints_clean_under_committed_allowlist() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    assert!(root.join("Cargo.toml").exists(), "not a workspace root: {}", root.display());
+    let allow = rrb_lint::load_allowlist(&root).expect("lint-allow.toml parses");
+    assert!(
+        !allow.is_empty(),
+        "expected the committed allowlist (telemetry/bench wall-clock entries)"
+    );
+    let diags = rrb_lint::lint_root(&root, &allow).expect("workspace lints");
+    let rendered: Vec<String> = diags
+        .iter()
+        .map(|d| format!("{}:{}: [{}] {}", d.path, d.line, d.rule, d.msg))
+        .collect();
+    assert!(
+        diags.is_empty(),
+        "workspace must lint clean; run `cargo run --release --bin rrb-lint` locally.\n{}",
+        rendered.join("\n")
+    );
+}
