@@ -51,10 +51,18 @@ pub struct RunArtifact {
     pub mean_transmissions: f64,
     /// Fraction of replications reaching full coverage.
     pub success_rate: f64,
+    /// Node-slot shard count the runs executed under (run provenance;
+    /// `1` = the serial step path, and the default when an older record
+    /// omits the field — statistics are identical at any value).
+    pub shards: u64,
     /// Per-phase wall-clock (milliseconds, ordered as
     /// [`StepPhase::ALL`]) of the probed seed-0 replay; `None` for rungs
     /// the prober cannot replay (churn dynamics).
     pub phase_ms: Option<[f64; StepPhase::COUNT]>,
+    /// Per-shard per-phase wall-clock of the probed replay (one row per
+    /// shard, same phase order) — only sharded replays record it.
+    /// Shard rows attribute overlapping *work*, not elapsed time.
+    pub shard_phase_ms: Option<Vec<[f64; StepPhase::COUNT]>>,
     /// Peak RSS (`VmHWM`, kibibytes) sampled during the probed replay.
     pub peak_rss_kib: Option<u64>,
 }
@@ -88,6 +96,9 @@ impl RunArtifact {
             self.mean_transmissions,
             self.success_rate,
         );
+        if self.shards != 1 {
+            out.push_str(&format!(", \"shards\": {}", self.shards));
+        }
         if let Some(phase_ms) = &self.phase_ms {
             out.push_str(", \"phase_ms\": {");
             for (i, phase) in StepPhase::ALL.iter().enumerate() {
@@ -97,6 +108,23 @@ impl RunArtifact {
                 out.push_str(&format!("\"{}\": {}", phase.label(), phase_ms[i]));
             }
             out.push('}');
+        }
+        if let Some(rows) = &self.shard_phase_ms {
+            out.push_str(", \"shard_phase_ms\": [");
+            for (s, row) in rows.iter().enumerate() {
+                if s > 0 {
+                    out.push_str(", ");
+                }
+                out.push('{');
+                for (i, phase) in StepPhase::ALL.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("\"{}\": {}", phase.label(), row[i]));
+                }
+                out.push('}');
+            }
+            out.push(']');
         }
         if let Some(kib) = self.peak_rss_kib {
             out.push_str(&format!(", \"peak_rss_kib\": {kib}"));
@@ -120,17 +148,27 @@ impl RunArtifact {
         if schema != SCHEMA {
             return Err(format!("unsupported artifact schema {schema:?} (want {SCHEMA:?})"));
         }
+        let phase_row = |p: &Json, what: &str| -> Result<[f64; StepPhase::COUNT], String> {
+            let mut ms = [0.0; StepPhase::COUNT];
+            for (slot, phase) in ms.iter_mut().zip(StepPhase::ALL) {
+                *slot = p.get(phase.label()).and_then(Json::as_f64).ok_or_else(|| {
+                    format!("{what:?} missing phase {:?}", phase.label())
+                })?;
+            }
+            Ok(ms)
+        };
         let phase_ms = match v.get("phase_ms") {
             None => None,
-            Some(p) => {
-                let mut ms = [0.0; StepPhase::COUNT];
-                for (slot, phase) in ms.iter_mut().zip(StepPhase::ALL) {
-                    *slot = p.get(phase.label()).and_then(Json::as_f64).ok_or_else(|| {
-                        format!("\"phase_ms\" missing phase {:?}", phase.label())
-                    })?;
-                }
-                Some(ms)
-            }
+            Some(p) => Some(phase_row(p, "phase_ms")?),
+        };
+        let shard_phase_ms = match v.get("shard_phase_ms") {
+            None => None,
+            Some(Json::Arr(rows)) => Some(
+                rows.iter()
+                    .map(|row| phase_row(row, "shard_phase_ms"))
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            Some(_) => return Err("\"shard_phase_ms\" must be an array".into()),
         };
         Ok(RunArtifact {
             experiment: str_field("experiment")?,
@@ -146,7 +184,9 @@ impl RunArtifact {
             mean_rounds: num_field("mean_rounds")?,
             mean_transmissions: num_field("mean_transmissions")?,
             success_rate: num_field("success_rate")?,
+            shards: v.get("shards").and_then(Json::as_u64).unwrap_or(1),
             phase_ms,
+            shard_phase_ms,
             peak_rss_kib: v.get("peak_rss_kib").and_then(Json::as_u64),
         })
     }
@@ -162,7 +202,8 @@ pub fn collect(exp: &Experiment, cfg: &ExpConfig) -> Vec<RunArtifact> {
         .iter()
         .map(|entry| {
             let (reports, wall_ms) = registry::run_entry(exp.id, entry, cfg);
-            let timings = registry::instrument_entry(exp.id, entry);
+            let timings = registry::instrument_entry(exp.id, entry, cfg.shards);
+            let shard_rows = timings.as_ref().map(|t| t.shard_phase_ms()).unwrap_or_default();
             RunArtifact {
                 experiment: exp.name.to_string(),
                 config_ix: entry.config_ix,
@@ -174,7 +215,9 @@ pub fn collect(exp: &Experiment, cfg: &ExpConfig) -> Vec<RunArtifact> {
                 mean_rounds: mean_rounds_to_coverage(&reports),
                 mean_transmissions: mean_of(&reports, |r| r.total_tx() as f64),
                 success_rate: success_rate(&reports),
+                shards: cfg.shards as u64,
                 phase_ms: timings.as_ref().map(|t| t.phase_ms()),
+                shard_phase_ms: (!shard_rows.is_empty()).then_some(shard_rows),
                 peak_rss_kib: timings.as_ref().and_then(|t| t.peak_rss_kib()),
             }
         })
@@ -233,7 +276,12 @@ mod tests {
                 mean_rounds: 14.333333333333334,
                 mean_transmissions: 4806.0,
                 success_rate: 1.0,
+                shards: 4,
                 phase_ms: Some([0.0, 1.5, 0.25, 3.125, 0.5, 0.0625]),
+                shard_phase_ms: Some(vec![
+                    [0.0, 0.5, 0.125, 1.5, 0.25, 0.0],
+                    [0.0, 0.75, 0.125, 1.25, 0.25, 0.0625],
+                ]),
                 peak_rss_kib: Some(9216),
             },
             RunArtifact {
@@ -247,7 +295,9 @@ mod tests {
                 mean_rounds: 21.0,
                 mean_transmissions: 60000.5,
                 success_rate: 0.9,
+                shards: 1,
                 phase_ms: None,
+                shard_phase_ms: None,
                 peak_rss_kib: None,
             },
         ]
@@ -290,7 +340,7 @@ mod tests {
     #[test]
     fn collect_covers_every_rung_with_stats_and_phase_timings() {
         let exp = registry::find("e5").unwrap();
-        let cfg = ExpConfig { quick: true, seeds: 2, threads: None };
+        let cfg = ExpConfig { quick: true, seeds: 2, threads: None, shards: 1 };
         let records = collect(exp, &cfg);
         assert_eq!(records.len(), (exp.scenarios)(true).len());
         for r in &records {

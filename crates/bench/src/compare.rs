@@ -13,8 +13,9 @@
 //! * **wall-clock** is machine- and load-dependent, so its band is a
 //!   generous relative factor, and only *regressions* (candidate slower
 //!   than `baseline × (1 + tol)`) count as drift — speedups never fail a
-//!   gate. Per-phase timings and peak RSS are reported as context, never
-//!   gated.
+//!   gate. Per-phase timings are reported as context, never gated; peak
+//!   RSS is gated only against an explicit absolute budget
+//!   (`--rss-budget-kib`), since it is candidate-machine-dependent.
 //!
 //! A missing candidate file or record, a seed-count change, or a
 //! `spec_hash` change (the rung now measures a different scenario) is
@@ -35,13 +36,18 @@ pub struct Tolerance {
     /// Relative band on the replication statistics (0 = exact up to
     /// float formatting).
     pub stat_tol: f64,
+    /// Absolute peak-RSS ceiling (KiB) on the **candidate**: any record
+    /// whose probed `peak_rss_kib` exceeds it is drift. `None` (the
+    /// default) leaves memory ungated; the baseline's RSS is never
+    /// consulted, so re-recording a baseline cannot loosen the budget.
+    pub rss_budget_kib: Option<u64>,
 }
 
 impl Default for Tolerance {
     fn default() -> Self {
         // Statistics are deterministic; wall-clock gets 50% slack for
         // same-machine noise (CI gates across machines pass more).
-        Tolerance { wall_tol: 0.5, stat_tol: 0.0 }
+        Tolerance { wall_tol: 0.5, stat_tol: 0.0, rss_budget_kib: None }
     }
 }
 
@@ -126,6 +132,11 @@ pub fn compare_records(
                 b.wall_ms, c.wall_ms
             ));
         }
+        if let (Some(budget), Some(rss)) = (tol.rss_budget_kib, c.peak_rss_kib) {
+            if rss > budget {
+                drift(format!("peak RSS {rss} KiB exceeds the {budget} KiB budget"));
+            }
+        }
     }
     for c in candidate {
         if !baseline
@@ -208,7 +219,9 @@ mod tests {
             mean_rounds: 14.5,
             mean_transmissions: 4806.0,
             success_rate: 1.0,
+            shards: 1,
             phase_ms: Some([0.5; StepPhase::COUNT]),
+            shard_phase_ms: None,
             peak_rss_kib: Some(9216),
         }
     }
@@ -263,12 +276,41 @@ mod tests {
     }
 
     #[test]
+    fn rss_budget_gates_candidate_only() {
+        let base = vec![record(1, 10.0)]; // baseline RSS 9216 KiB
+        let mut cand = base.clone();
+        cand[0].peak_rss_kib = Some(10_000);
+        // No budget set: RSS is context only, never drift.
+        let mut report = CompareReport::default();
+        compare_records("e1.jsonl", &base, &cand, Tolerance::default(), &mut report);
+        assert!(report.clean(), "{:?}", report.drifts);
+        // Budget above the candidate's peak: clean.
+        let tol = Tolerance { rss_budget_kib: Some(16_384), ..Tolerance::default() };
+        let mut report = CompareReport::default();
+        compare_records("e1.jsonl", &base, &cand, tol, &mut report);
+        assert!(report.clean(), "{:?}", report.drifts);
+        // Budget below it: drift — even though the *baseline* fits.
+        let tol = Tolerance { rss_budget_kib: Some(9_500), ..Tolerance::default() };
+        let mut report = CompareReport::default();
+        compare_records("e1.jsonl", &base, &cand, tol, &mut report);
+        assert_eq!(report.drifts.len(), 1);
+        assert!(report.drifts[0].what.contains("RSS"), "{:?}", report.drifts);
+        // A record with no RSS probe passes any budget.
+        cand[0].peak_rss_kib = None;
+        let tol = Tolerance { rss_budget_kib: Some(1), ..Tolerance::default() };
+        let mut report = CompareReport::default();
+        compare_records("e1.jsonl", &base, &cand, tol, &mut report);
+        assert!(report.clean(), "{:?}", report.drifts);
+    }
+
+    #[test]
     fn identity_changes_are_always_drift() {
         let base = vec![record(1, 10.0), record(2, 10.0)];
         let mut cand = vec![base[0].clone()];
         cand[0].spec_hash = "deadbeefdeadbeef".into();
         let mut report = CompareReport::default();
-        let tol = Tolerance { wall_tol: f64::INFINITY, stat_tol: 1e9 };
+        let tol =
+            Tolerance { wall_tol: f64::INFINITY, stat_tol: 1e9, rss_budget_kib: None };
         compare_records("e1.jsonl", &base, &cand, tol, &mut report);
         let whats: Vec<&str> = report.drifts.iter().map(|d| d.what.as_str()).collect();
         assert_eq!(report.drifts.len(), 2, "{whats:?}");

@@ -15,7 +15,9 @@
 use std::time::Instant;
 
 use crate::measure;
-use crate::registry::{deadline_of, run_entry, run_entry_async, Experiment, LadderEntry};
+use crate::registry::{
+    deadline_of, instrument_entry, run_entry, run_entry_async, Experiment, LadderEntry,
+};
 use crate::scenario::{
     ChurnSpec, DynamicsSpec, FailureSpec, FaultSpec, GossipModeSpec, GraphSpec, MeasureSpec,
     PolicySpec, ProtocolSpec, RegimeSpec, ScenarioSpec, StopSpec, TimingSpec,
@@ -27,7 +29,7 @@ use crate::{
 use rrb_core::{AlgorithmVariant, DegreeRegime};
 use rrb_engine::{
     AdversarySpec, AdversaryTarget, ClockSpec, FaultEvent, GilbertElliott, LatencySpec, OutageSpec,
-    RoundRecord, SimConfig,
+    RoundRecord, SimConfig, StepPhase,
 };
 use rrb_graph::gen;
 use rrb_p2p::ReplicatedDb;
@@ -36,7 +38,7 @@ use rrb_stats::{fit_log2, fit_loglog2, Summary, Table};
 /// Mirrors `ExpConfig::size_exponents` for ladder builders that only get
 /// the `quick` flag.
 fn exponents(quick: bool, full: std::ops::RangeInclusive<u32>) -> Vec<u32> {
-    ExpConfig { quick, seeds: 0, threads: None }.size_exponents(full)
+    ExpConfig { quick, seeds: 0, threads: None, shards: 1 }.size_exponents(full)
 }
 
 /// The paper's algorithm with default schedule (α = 1.5, 4 choices, auto
@@ -109,6 +111,31 @@ fn e1_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
     }
     println!("\n{table}");
 
+    // Sharded provenance rows: the largest d = 8 rung re-run with the
+    // round loop split over 2 and 4 shards. The statistics must match
+    // the serial row bit for bit (the sharding determinism contract);
+    // only the wall clock may move.
+    recorder.set_shards(cfg.shards);
+    let &e_max = exps.last().expect("non-empty ladder");
+    let (serial_reports, _) = run_entry(1, &e1_entry(0, 8, e_max), cfg);
+    for shards in [2usize, 4] {
+        let entry = e1_entry(0, 8, e_max);
+        let sharded = ExpConfig { shards, ..*cfg };
+        let (reports, wall_ms) = run_entry(1, &entry, &sharded);
+        assert_eq!(
+            serial_reports, reports,
+            "E1 {} diverged at {shards} shards — sharding must be invisible to results",
+            entry.spec.label
+        );
+        recorder.record(
+            format!("{}_s{shards}", entry.spec.label),
+            1usize << e_max,
+            cfg.seeds,
+            wall_ms,
+            &reports,
+        );
+    }
+
     // Memory-smoke rung (skipped under --quick): a single seed at
     // n = 2^20 ≈ 10^6, recording the process's peak RSS around the CSR
     // graph + arena run — the first step toward the ROADMAP 10^6 ladder.
@@ -125,7 +152,7 @@ fn e1_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
             )
             .with_stop(StopSpec::COVERAGE),
         );
-        let one_seed = ExpConfig { quick: false, seeds: 1, threads: cfg.threads };
+        let one_seed = ExpConfig { quick: false, seeds: 1, threads: cfg.threads, shards: cfg.shards };
         let (reports, wall_ms) = run_entry(1, &entry, &one_seed);
         recorder.record(entry.spec.label.clone(), n, 1, wall_ms, &reports);
         let rss_after = peak_rss_kib();
@@ -1991,6 +2018,118 @@ fn e20_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
 }
 
 // ---------------------------------------------------------------------------
+// E21 — sharded scale ladder (single-run parallelism at n = 10^6)
+// ---------------------------------------------------------------------------
+
+fn e21_exponents(quick: bool) -> Vec<u32> {
+    // Full mode tops out at n = 2^20 > 10^6 — the ROADMAP scale target;
+    // quick keeps CI smokes in the seconds range.
+    if quick {
+        vec![12, 13]
+    } else {
+        vec![18, 19, 20]
+    }
+}
+
+fn e21_entry(e: u32) -> LadderEntry {
+    let n = 1usize << e;
+    LadderEntry::new(
+        e as u64,
+        ScenarioSpec::new(
+            format!("scale_n{n}"),
+            GraphSpec::RandomRegular { n, d: 8 },
+            ProtocolSpec::FloodPushPull { policy: PolicySpec::Distinct(4) },
+        )
+        .with_stop(StopSpec::COVERAGE),
+    )
+}
+
+fn e21_scenarios(quick: bool) -> Vec<LadderEntry> {
+    e21_exponents(quick).into_iter().map(e21_entry).collect()
+}
+
+fn e21_run(cfg: &ExpConfig) -> Option<BenchRecorder> {
+    // `--shards N` picks the shard count; otherwise default to 2 under
+    // --quick (CI smokes run on 2 cores) and 4 in full mode.
+    let shards = if cfg.shards > 1 {
+        cfg.shards
+    } else if cfg.quick {
+        2
+    } else {
+        4
+    };
+    // Scale rungs are single-seed: at n = 10^6 the engine is the
+    // experiment, not the protocol's sampling noise.
+    let sharded_cfg = ExpConfig { seeds: 1, shards, ..*cfg };
+    let serial_cfg = ExpConfig { seeds: 1, shards: 1, ..*cfg };
+    let mut recorder = BenchRecorder::new("e21_scale", cfg.quick);
+    recorder.set_shards(shards);
+    println!(
+        "E21: sharded scale ladder — full-coverage push&pull (4 distinct choices) on \
+         random 8-regular graphs,\nsingle seed, serial vs {shards} shards\n"
+    );
+    let mut table =
+        Table::new(vec!["n", "rounds", "serial ms", "sharded ms", "speedup", "peak RSS"]);
+    let mut phase_lines = Vec::new();
+    for entry in e21_scenarios(cfg.quick) {
+        let n = entry.spec.graph.node_count();
+        let (serial_reports, serial_ms) = run_entry(21, &entry, &serial_cfg);
+        let (reports, wall_ms) = run_entry(21, &entry, &sharded_cfg);
+        assert_eq!(
+            serial_reports, reports,
+            "E21 {} diverged at {shards} shards — sharding must be invisible to results",
+            entry.spec.label
+        );
+        recorder.record(entry.spec.label.clone(), n, 1, wall_ms, &reports);
+        let timings = instrument_entry(21, &entry, shards);
+        let rss = timings.as_ref().and_then(|t| t.peak_rss_kib());
+        table.row(vec![
+            n.to_string(),
+            format!("{:.0}", mean_rounds_to_coverage(&reports)),
+            format!("{serial_ms:.1}"),
+            format!("{wall_ms:.1}"),
+            format!("{:.2}x", serial_ms / wall_ms.max(1e-9)),
+            rss.map(|k| format!("{:.0} MiB", k as f64 / 1024.0)).unwrap_or_default(),
+        ]);
+        if let Some(t) = &timings {
+            let phase = t.phase_ms();
+            let mut line = format!("n = {n}: ");
+            for (i, p) in StepPhase::ALL.iter().enumerate() {
+                if i > 0 {
+                    line.push_str(", ");
+                }
+                line.push_str(&format!("{} {:.1} ms", p.label(), phase[i]));
+            }
+            phase_lines.push(line);
+            for (sx, row) in t.shard_phase_ms().iter().enumerate() {
+                let mut line = format!("  shard {sx}: ");
+                for (i, p) in StepPhase::ALL.iter().enumerate() {
+                    if i > 0 {
+                        line.push_str(", ");
+                    }
+                    line.push_str(&format!("{} {:.1} ms", p.label(), row[i]));
+                }
+                phase_lines.push(line);
+            }
+        }
+    }
+    println!("{table}");
+    if !phase_lines.is_empty() {
+        println!("\nper-phase wall clock of the probed seed-0 replay ({shards} shards):");
+        for line in &phase_lines {
+            println!("{line}");
+        }
+    }
+    println!(
+        "\nexpected: identical rounds/coverage at any shard count (asserted above); the\n\
+         sharded Plan/Exchange/Update phases give wall-clock speedup on multi-core\n\
+         hosts, and peak RSS stays within the committed CI budget (sparse state keeps\n\
+         footprint linear in n, not in rumours x n)."
+    );
+    Some(recorder)
+}
+
+// ---------------------------------------------------------------------------
 // The registry table
 // ---------------------------------------------------------------------------
 
@@ -2184,6 +2323,17 @@ pub(crate) static REGISTRY: &[Experiment] = &[
         scenarios: e20_scenarios,
         run: e20_run,
     },
+    Experiment {
+        name: "e21",
+        id: 21,
+        title: "sharded scale ladder: single-run parallelism at n = 10^6",
+        description: "Full-coverage push&pull on random 8-regular graphs up to n = 2^20, \
+                      single seed, run serial and with the round loop sharded over worker \
+                      threads; asserts bit-identical results, reports per-phase/per-shard \
+                      wall clock, speedup, and peak RSS against the CI memory budget.",
+        scenarios: e21_scenarios,
+        run: e21_run,
+    },
 ];
 
 #[cfg(test)]
@@ -2232,7 +2382,7 @@ mod tests {
     fn e8_quick_matches_legacy_hand_wired_numbers() {
         let (n, d) = e8_params(true);
         let seeds = 2;
-        let cfg = ExpConfig { quick: true, seeds, threads: None };
+        let cfg = ExpConfig { quick: true, seeds, threads: None, shards: 1 };
         // Block 0 (channel failures, alpha = 1.5), rate index 2 (p = 0.1).
         let entry = e8_entry(n, d, 0, 2);
         let (via_spec, _) = run_entry(8, &entry, &cfg);
@@ -2256,7 +2406,7 @@ mod tests {
     #[test]
     fn e1_quick_rung_matches_legacy_hand_wired_numbers() {
         let seeds = 2;
-        let cfg = ExpConfig { quick: true, seeds, threads: None };
+        let cfg = ExpConfig { quick: true, seeds, threads: None, shards: 1 };
         let entry = e1_entry(0, 8, 10); // d = 8, n = 2^10
         let (via_spec, _) = run_entry(1, &entry, &cfg);
         let n = 1 << 10;

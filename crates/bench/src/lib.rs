@@ -60,10 +60,15 @@ pub struct ExpConfig {
     /// Worker threads for seed replication (`--threads N`; `None` = all
     /// available cores).
     pub threads: Option<usize>,
+    /// Node-slot shards for **single-run** parallelism (`--shards N`):
+    /// every engine run fans its RNG-free phases out over this many
+    /// contiguous slot shards. Results are seed-for-seed identical at any
+    /// value (see `rrb_engine::shard`); `1` keeps the serial step path.
+    pub shards: usize,
 }
 
 impl ExpConfig {
-    /// Parses `--quick`, `--seeds N` and `--threads N` from
+    /// Parses `--quick`, `--seeds N`, `--threads N` and `--shards N` from
     /// `std::env::args`, installing the requested global thread pool.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
@@ -74,7 +79,12 @@ impl ExpConfig {
                 .and_then(|s| s.parse().ok())
         }
         let quick = args.iter().any(|a| a == "--quick");
-        Self::with_flags(quick, flag_value(&args, "--seeds"), flag_value(&args, "--threads"))
+        Self::with_flags(
+            quick,
+            flag_value(&args, "--seeds"),
+            flag_value(&args, "--threads"),
+            flag_value(&args, "--shards"),
+        )
     }
 
     /// Builds a config from explicit flag values, applying the shared seed
@@ -82,13 +92,18 @@ impl ExpConfig {
     /// thread pool — the single code path behind both [`Self::from_args`]
     /// (the `exp_*` wrappers) and `rrb run`, so the two stay seed-for-seed
     /// identical by construction.
-    pub fn with_flags(quick: bool, seeds: Option<u64>, threads: Option<usize>) -> Self {
+    pub fn with_flags(
+        quick: bool,
+        seeds: Option<u64>,
+        threads: Option<usize>,
+        shards: Option<usize>,
+    ) -> Self {
         let seeds = seeds.unwrap_or(if quick { 3 } else { 10 });
         let threads = threads.map(|t| t.max(1));
         if let Some(t) = threads {
             let _ = rayon::ThreadPoolBuilder::new().num_threads(t).build_global();
         }
-        ExpConfig { quick, seeds, threads }
+        ExpConfig { quick, seeds, threads, shards: shards.unwrap_or(1).max(1) }
     }
 
     /// The exponent ladder for n = 2^e sweeps: shorter under `--quick`.
@@ -385,6 +400,7 @@ where
             totals.absorb(events.stats());
             sim.apply_joins(protocol, &events.joined);
             sim.apply_leaves(&events.left);
+            sim.apply_rejoins(protocol, &events.rejoined);
         }
         ChurnRunReport { report: sim.into_report(&overlay, config), churn: totals }
     })
@@ -447,6 +463,7 @@ where
             totals.absorb(events.stats());
             sim.apply_joins(protocol, &events.joined);
             sim.apply_leaves(&events.left);
+            sim.apply_rejoins(protocol, &events.rejoined);
         }
         let final_alive = sim.effective_alive();
         MultiChurnReport { report: sim.into_report(), churn: totals, final_alive }
@@ -552,6 +569,7 @@ pub struct BenchEntry {
 pub struct BenchRecorder {
     experiment: String,
     quick: bool,
+    shards: usize,
     entries: Vec<BenchEntry>,
     started: Instant,
 }
@@ -562,9 +580,16 @@ impl BenchRecorder {
         BenchRecorder {
             experiment: experiment.into(),
             quick,
+            shards: 1,
             entries: Vec::new(),
             started: Instant::now(),
         }
+    }
+
+    /// Records the shard count the runs executed under, written alongside
+    /// the thread count as run provenance (`"shards"` in the JSON).
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
     }
 
     /// Records one timed configuration.
@@ -625,6 +650,7 @@ impl BenchRecorder {
         out.push_str(&format!("  \"experiment\": {},\n", json_string(&self.experiment)));
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str(&format!("  \"threads\": {},\n", rayon::current_num_threads()));
+        out.push_str(&format!("  \"shards\": {},\n", self.shards));
         out.push_str(&format!(
             "  \"total_wall_ms\": {:.3},\n",
             self.started.elapsed().as_secs_f64() * 1e3
@@ -987,8 +1013,8 @@ mod tests {
 
     #[test]
     fn quick_config_shrinks_ladder() {
-        let full = ExpConfig { quick: false, seeds: 10, threads: None };
-        let quick = ExpConfig { quick: true, seeds: 3, threads: None };
+        let full = ExpConfig { quick: false, seeds: 10, threads: None, shards: 1 };
+        let quick = ExpConfig { quick: true, seeds: 3, threads: None, shards: 1 };
         assert_eq!(full.size_exponents(10..=15), vec![10, 11, 12, 13, 14, 15]);
         assert_eq!(quick.size_exponents(10..=15), vec![10, 11, 12]);
     }

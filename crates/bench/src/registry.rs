@@ -1,4 +1,4 @@
-//! The experiment registry: every E1–E20 measurement of the paper as a
+//! The experiment registry: every E1–E21 measurement of the paper as a
 //! named entry whose configuration ladder is [`ScenarioSpec`] **data**.
 //!
 //! One binary (`rrb`) drives the whole fleet:
@@ -95,6 +95,12 @@ pub fn cli_main(name: &str) {
 /// fault plan route through the faulted harness, which installs the plan
 /// on the reserved [`crate::FAULT_STREAM`]; plain specs keep the
 /// pre-fault code path byte for byte.
+///
+/// `cfg.shards > 1` fans every synchronous run's RNG-free phases out over
+/// node-slot shards (`SimConfig::with_shards`) — reports stay
+/// seed-for-seed identical at any shard count, only wall-clock moves.
+/// Async-timing specs ignore the shard count (the event-queue engine
+/// processes one event at a time by construction).
 pub fn run_entry(
     experiment_id: u64,
     entry: &LadderEntry,
@@ -107,7 +113,7 @@ pub fn run_entry(
     match entry.spec.dynamics {
         DynamicsSpec::Static if entry.spec.failures.is_plain() => {
             let proto = entry.spec.protocol.build();
-            let config = entry.spec.sim_config();
+            let config = entry.spec.sim_config().with_shards(cfg.shards);
             let graph = entry.spec.graph.clone();
             run_replicated_timed(
                 move |rng| {
@@ -124,7 +130,7 @@ pub fn run_entry(
         }
         DynamicsSpec::Static => {
             let proto = entry.spec.protocol.build();
-            let config = entry.spec.sim_config();
+            let config = entry.spec.sim_config().with_shards(cfg.shards);
             let plan = entry.spec.failures.to_plan();
             let graph = entry.spec.graph.clone();
             run_replicated_faulted_timed(
@@ -168,7 +174,7 @@ pub fn run_entry_churned(
         entry.spec.label
     );
     let proto = entry.spec.protocol.build();
-    let config = entry.spec.sim_config();
+    let config = entry.spec.sim_config().with_shards(cfg.shards);
     let graph = entry.spec.graph.clone();
     let n = graph.node_count();
     let target_degree = graph.target_degree();
@@ -251,12 +257,21 @@ pub fn run_entry_async(
 /// engine over the same streams (probe phases map onto the event
 /// lifecycle). Returns `None` for churn dynamics (the churn stepping
 /// loop does not take probes yet) and on graph-generation failure.
-pub fn instrument_entry(experiment_id: u64, entry: &LadderEntry) -> Option<PhaseTimings> {
+///
+/// `shards > 1` replays the synchronous run on the sharded step path, so
+/// the probe additionally accumulates **per-shard** phase attribution
+/// ([`PhaseTimings::shard_phase_ms`]); the replayed trajectory — and
+/// every counter — is still byte-identical to the serial replay.
+pub fn instrument_entry(
+    experiment_id: u64,
+    entry: &LadderEntry,
+    shards: usize,
+) -> Option<PhaseTimings> {
     if !matches!(entry.spec.dynamics, DynamicsSpec::Static) {
         return None;
     }
     let proto = entry.spec.protocol.build();
-    let config = entry.spec.sim_config();
+    let config = entry.spec.sim_config().with_shards(shards);
     let mut topo_rng = crate::rng_for(experiment_id, entry.config_ix, crate::TOPOLOGY_STREAM);
     let topo = entry.spec.graph.build(&mut topo_rng).ok()?;
     // Replays seed index 0 of the ladder, so the run stream is the one
@@ -308,7 +323,7 @@ mod tests {
     #[test]
     fn registry_is_complete_and_names_unique() {
         let exps = all();
-        assert_eq!(exps.len(), 20, "all 20 experiments must be registered");
+        assert_eq!(exps.len(), 21, "all 21 experiments must be registered");
         for (i, e) in exps.iter().enumerate() {
             assert_eq!(e.name, format!("e{}", i + 1), "registry out of order");
             assert_eq!(e.id, (i + 1) as u64, "experiment id must match its E number");
@@ -317,7 +332,7 @@ mod tests {
         let mut names: Vec<&str> = exps.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 20, "duplicate experiment names");
+        assert_eq!(names.len(), 21, "duplicate experiment names");
     }
 
     #[test]
@@ -359,7 +374,8 @@ mod tests {
         assert!(find("E18").is_some());
         assert!(find("e19").is_some());
         assert!(find("E20").is_some());
-        assert!(find("e21").is_none());
+        assert!(find("e21").is_some());
+        assert!(find("e22").is_none());
         assert!(find("bogus").is_none());
     }
 
@@ -372,7 +388,7 @@ mod tests {
         use rrb_engine::SimConfig;
         use rrb_graph::gen;
 
-        let cfg = ExpConfig { quick: true, seeds: 4, threads: None };
+        let cfg = ExpConfig { quick: true, seeds: 4, threads: None, shards: 1 };
         let entry = LadderEntry::new(
             302,
             ScenarioSpec::new(
@@ -401,7 +417,7 @@ mod tests {
 
     #[test]
     fn churned_entries_are_seed_for_seed_deterministic() {
-        let cfg = ExpConfig { quick: true, seeds: 3, threads: None };
+        let cfg = ExpConfig { quick: true, seeds: 3, threads: None, shards: 1 };
         let entry = LadderEntry::new(
             7,
             ScenarioSpec::new(
@@ -427,7 +443,7 @@ mod tests {
         use crate::scenario::{FailureSpec, FaultSpec};
         use rrb_engine::FaultEvent;
 
-        let cfg = ExpConfig { quick: true, seeds: 3, threads: None };
+        let cfg = ExpConfig { quick: true, seeds: 3, threads: None, shards: 1 };
         let entry = LadderEntry::new(
             5,
             ScenarioSpec::new(
@@ -476,7 +492,7 @@ mod tests {
     #[test]
     fn async_entries_dispatch_instrument_and_are_deterministic() {
         use rrb_engine::{ClockSpec, LatencySpec};
-        let cfg = ExpConfig { quick: true, seeds: 3, threads: None };
+        let cfg = ExpConfig { quick: true, seeds: 3, threads: None, shards: 1 };
         let entry = LadderEntry::new(
             9,
             ScenarioSpec::new(
@@ -499,7 +515,7 @@ mod tests {
         let reports: Vec<_> = a.iter().map(|r| r.report.clone()).collect();
         assert_eq!(plain, reports);
         // The probed replay rides seed 0's exact streams.
-        let timings = instrument_entry(97, &entry).expect("async entry instruments");
+        let timings = instrument_entry(97, &entry, 1).expect("async entry instruments");
         assert_eq!(timings.rounds(), a[0].report.rounds);
         assert_eq!(timings.tx(), a[0].report.total_tx());
     }
@@ -508,7 +524,7 @@ mod tests {
     fn instrumented_replay_matches_seed_zero_statistics() {
         // The probed replay rides the same streams as run_entry's first
         // replication, so its counters must equal seed 0's report exactly.
-        let cfg = ExpConfig { quick: true, seeds: 1, threads: None };
+        let cfg = ExpConfig { quick: true, seeds: 1, threads: None, shards: 1 };
         let entry = LadderEntry::new(
             11,
             ScenarioSpec::new(
@@ -519,7 +535,7 @@ mod tests {
             .with_stop(StopSpec::Coverage { max_rounds: 200 }),
         );
         let (reports, _) = run_entry(42, &entry, &cfg);
-        let timings = instrument_entry(42, &entry).expect("static entry instruments");
+        let timings = instrument_entry(42, &entry, 1).expect("static entry instruments");
         assert_eq!(timings.rounds(), reports[0].rounds);
         assert_eq!(timings.tx(), reports[0].total_tx());
         assert_eq!(timings.last_round().informed, reports[0].informed_count);
@@ -540,7 +556,7 @@ mod tests {
             )
             .with_dynamics(DynamicsSpec::Churn(ChurnSpec::symmetric(2.0))),
         );
-        assert!(instrument_entry(99, &entry).is_none());
+        assert!(instrument_entry(99, &entry, 1).is_none());
     }
 
     #[test]

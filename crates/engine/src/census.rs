@@ -63,6 +63,11 @@ pub struct AliveCensus {
     /// Total crash-stop events so far (never decremented; departures do
     /// not un-crash history).
     crashed_total: usize,
+    /// Per-slot **generation tag**, bumped by
+    /// [`apply_rejoin`](Self::apply_rejoin) each time a slot is recycled
+    /// for a fresh peer identity. Engine state keyed by slot index can
+    /// compare generations to detect reuse.
+    generation: Vec<u32>,
     /// `true` once `sync_from` has run.
     synced: bool,
 }
@@ -105,6 +110,7 @@ impl AliveCensus {
         self.alive_count = self.alive.iter().filter(|&&a| a).count();
         self.crashed_alive = (0..n).filter(|&i| self.alive[i] && self.crashed[i]).count();
         self.suspended_count = self.suspended.iter().filter(|&&s| s).count();
+        self.generation.resize(n, 0);
         self.synced = true;
     }
 
@@ -120,6 +126,7 @@ impl AliveCensus {
             self.crashed.push(false);
             self.suspended.push(false);
             self.blocked.push(false);
+            self.generation.push(0);
             self.alive_count += usize::from(alive);
         }
     }
@@ -237,6 +244,7 @@ impl AliveCensus {
             self.crashed.resize(i + 1, false);
             self.suspended.resize(i + 1, false);
             self.blocked.resize(i + 1, false);
+            self.generation.resize(i + 1, 0);
         }
         if self.alive[i] {
             return false;
@@ -265,6 +273,46 @@ impl AliveCensus {
         } else {
             true
         }
+    }
+
+    /// Applies a **rejoin** delta: slot `i` is recycled for a *fresh* peer
+    /// identity (an overlay with slot reuse enabled handed a departed
+    /// peer's slot to a newcomer). The slot's crash and suspension flags
+    /// are cleared — they belonged to the departed peer, not the newcomer
+    /// — while [`crashed_count`](Self::crashed_count) keeps the historical
+    /// event, and the slot's generation tag is bumped. Returns `true` iff
+    /// the slot was newly brought alive.
+    pub fn apply_rejoin(&mut self, i: usize) -> bool {
+        if i >= self.alive.len() {
+            let grew = self.apply_join(i);
+            self.generation[i] = self.generation[i].wrapping_add(1);
+            return grew;
+        }
+        if self.crashed[i] {
+            if self.alive[i] {
+                self.crashed_alive -= 1;
+            }
+            self.crashed[i] = false;
+        }
+        if self.suspended[i] {
+            self.suspended_count -= 1;
+            self.suspended[i] = false;
+        }
+        self.blocked[i] = false;
+        let newly_alive = !self.alive[i];
+        if newly_alive {
+            self.alive[i] = true;
+            self.alive_count += 1;
+        }
+        self.generation[i] = self.generation[i].wrapping_add(1);
+        newly_alive
+    }
+
+    /// Slot `i`'s generation tag: 0 until the slot is first recycled via
+    /// [`apply_rejoin`](Self::apply_rejoin), then incremented per reuse.
+    #[inline]
+    pub fn generation(&self, i: usize) -> u32 {
+        self.generation.get(i).copied().unwrap_or(0)
     }
 }
 
@@ -346,6 +394,35 @@ mod tests {
         // Out-of-range suspension is ignored.
         c.set_suspended(99, true);
         assert!(!c.is_suspended(99));
+    }
+
+    #[test]
+    fn rejoin_recycles_a_slot_as_a_fresh_peer() {
+        let g = gen::complete(6);
+        let mut c = AliveCensus::new();
+        c.sync_from(&g);
+        // Peer at slot 2 crashes, then departs; its slot is recycled.
+        assert!(c.mark_crashed(2));
+        assert!(!c.apply_leave(2));
+        assert_eq!(c.effective_alive(), 5);
+        assert_eq!(c.generation(2), 0);
+        assert!(c.apply_rejoin(2), "rejoin revives the slot");
+        assert!(c.is_effective(2), "newcomer is not crashed");
+        assert!(c.is_participating(2));
+        assert_eq!(c.effective_alive(), 6, "denominator regains the slot");
+        assert_eq!(c.crashed_count(), 1, "history keeps the old peer's crash");
+        assert_eq!(c.generation(2), 1, "generation tag bumped");
+        // Rejoin while suspended clears the outage too.
+        c.set_suspended(4, true);
+        assert!(!c.apply_rejoin(4), "slot was already alive");
+        assert!(!c.is_suspended(4));
+        assert_eq!(c.suspended_count(), 0);
+        assert_eq!(c.generation(4), 1);
+        // Rejoin past the tracked range grows like a join.
+        assert!(c.apply_rejoin(9));
+        assert!(c.is_alive(9));
+        assert_eq!(c.generation(9), 1);
+        assert_eq!(c.generation(42), 0, "out of range reads 0");
     }
 
     #[test]

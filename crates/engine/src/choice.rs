@@ -115,6 +115,18 @@ impl ChoiceState {
         }
     }
 
+    /// Clears slot `i`'s bookkeeping when the slot is recycled for a fresh
+    /// peer (rejoin): the newcomer must not inherit the departed peer's
+    /// recent-call window or cyclic cursor.
+    pub fn reset_slot(&mut self, i: usize) {
+        if let Some(ring) = self.recent.get_mut(i) {
+            ring.clear();
+        }
+        if let Some(cur) = self.cursor.get_mut(i) {
+            *cur = u32::MAX;
+        }
+    }
+
     fn remember(&mut self, v: NodeId, callee: NodeId) {
         if self.window == 0 {
             return;

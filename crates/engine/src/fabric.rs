@@ -238,25 +238,35 @@ impl ChannelFabric {
     }
 }
 
-/// Informed-node bookkeeping shared by both engines: reception round per
-/// node plus an explicit index list of informed nodes in discovery order,
-/// so the plan, quiescence and coverage passes iterate `O(informed)`
-/// instead of `O(n)`.
+/// Sentinel in [`InformedIndex::pos`] for "not informed".
+const NOT_INFORMED: u32 = u32::MAX;
+
+/// Informed-node bookkeeping shared by both engines: a position map from
+/// node slot into an explicit index list of informed nodes in discovery
+/// order, with reception rounds stored *per informed node* (parallel to
+/// the list) rather than per slot. The plan, quiescence and coverage
+/// passes iterate `O(informed)` instead of `O(n)`, and the per-slot
+/// footprint is 4 bytes instead of a dense `Option<Round>` vector —
+/// which is what lets the multi-rumour engine keep per-rumour state
+/// sparse (informed-only).
 #[derive(Debug)]
 pub(crate) struct InformedIndex {
-    /// Round in which each node first received the rumour (engine-defined
-    /// clock: global rounds for the single-rumour engine, rumour-local
-    /// rounds for the multi-rumour engine).
-    informed_at: Vec<Option<Round>>,
+    /// For each node slot: position in `list`, or [`NOT_INFORMED`].
+    pos: Vec<u32>,
     /// Indices of informed nodes in discovery order.
     list: Vec<u32>,
+    /// Reception round per informed node, parallel to `list`
+    /// (engine-defined clock: global rounds for the single-rumour engine,
+    /// rumour-local rounds for the multi-rumour engine).
+    at: Vec<Round>,
 }
 
 impl InformedIndex {
     pub(crate) fn new(node_count: usize) -> Self {
         InformedIndex {
-            informed_at: vec![None; node_count],
+            pos: vec![NOT_INFORMED; node_count],
             list: Vec::with_capacity(node_count),
+            at: Vec::with_capacity(node_count),
         }
     }
 
@@ -265,24 +275,49 @@ impl InformedIndex {
     #[inline]
     // rrb-lint: hot
     pub(crate) fn mark(&mut self, i: usize, at: Round) -> bool {
-        if self.informed_at[i].is_some() {
+        if self.pos[i] != NOT_INFORMED {
             return false;
         }
-        self.informed_at[i] = Some(at);
+        self.pos[i] = self.list.len() as u32;
         self.list.push(i as u32);
+        self.at.push(at);
         true
     }
 
     /// Reception round of node `i`, if informed.
     #[inline]
     pub(crate) fn at(&self, i: usize) -> Option<Round> {
-        self.informed_at[i]
+        let p = self.pos[i];
+        if p == NOT_INFORMED {
+            None
+        } else {
+            Some(self.at[p as usize])
+        }
+    }
+
+    /// Position of node `i` in the informed list, if informed. Stable
+    /// until the next `unmark` — the sparse per-rumour state vectors in
+    /// the multi-rumour engine are indexed by it.
+    #[inline]
+    pub(crate) fn pos(&self, i: usize) -> Option<usize> {
+        let p = self.pos[i];
+        if p == NOT_INFORMED {
+            None
+        } else {
+            Some(p as usize)
+        }
+    }
+
+    /// Reception round of the informed node at list position `idx`.
+    #[inline]
+    pub(crate) fn at_pos(&self, idx: usize) -> Round {
+        self.at[idx]
     }
 
     /// Whether node `i` is informed.
     #[inline]
     pub(crate) fn is_informed(&self, i: usize) -> bool {
-        self.informed_at[i].is_some()
+        self.pos[i] != NOT_INFORMED
     }
 
     /// Informed nodes in discovery order.
@@ -297,21 +332,44 @@ impl InformedIndex {
         self.list.len()
     }
 
+    /// Forgets node `i` (slot reuse after a rejoin): removes it from the
+    /// list via `swap_remove` and returns its former list position so
+    /// callers can mirror the removal in any list-parallel state vector.
+    /// Returns `None` if `i` was not informed.
+    pub(crate) fn unmark(&mut self, i: usize) -> Option<usize> {
+        let p = self.pos[i];
+        if p == NOT_INFORMED {
+            return None;
+        }
+        let p = p as usize;
+        self.list.swap_remove(p);
+        self.at.swap_remove(p);
+        self.pos[i] = NOT_INFORMED;
+        if p < self.list.len() {
+            self.pos[self.list[p] as usize] = p as u32;
+        }
+        Some(p)
+    }
+
     /// Accommodates topology growth (new slots join uninformed).
     pub(crate) fn ensure_len(&mut self, node_count: usize) {
-        if self.informed_at.len() < node_count {
-            self.informed_at.resize(node_count, None);
+        if self.pos.len() < node_count {
+            self.pos.resize(node_count, NOT_INFORMED);
         }
     }
 
     /// Consumes the index into the per-node reception-round vector.
     pub(crate) fn into_informed_at(self) -> Vec<Option<Round>> {
-        self.informed_at
+        let mut dense = vec![None; self.pos.len()];
+        for (idx, &i) in self.list.iter().enumerate() {
+            dense[i as usize] = Some(self.at[idx]);
+        }
+        dense
     }
 
     /// Index-list heap capacity, for the no-allocation tests.
     pub(crate) fn capacity(&self) -> usize {
-        self.list.capacity()
+        self.list.capacity() + self.at.capacity()
     }
 }
 
@@ -491,5 +549,31 @@ mod tests {
         let at = ix.into_informed_at();
         assert_eq!(at[4], Some(0));
         assert_eq!(at[2], None);
+    }
+
+    #[test]
+    fn informed_index_unmark_swaps_and_repairs_positions() {
+        let mut ix = InformedIndex::new(8);
+        for (i, at) in [(3usize, 0u32), (7, 1), (2, 1), (5, 2)] {
+            assert!(ix.mark(i, at));
+        }
+        assert_eq!(ix.pos(7), Some(1));
+        assert_eq!(ix.at_pos(1), 1);
+        // Unmarking an interior entry swap-removes the tail into its slot
+        // and repairs the moved node's position.
+        assert_eq!(ix.unmark(7), Some(1));
+        assert_eq!(ix.list(), &[3, 5, 2]);
+        assert_eq!(ix.pos(5), Some(1));
+        assert_eq!(ix.at(5), Some(2));
+        assert!(!ix.is_informed(7));
+        assert_eq!(ix.unmark(7), None, "double unmark must be a no-op");
+        // The slot can be re-informed afresh.
+        assert!(ix.mark(7, 9));
+        assert_eq!(ix.at(7), Some(9));
+        assert_eq!(ix.len(), 4);
+        let at = ix.into_informed_at();
+        assert_eq!(at[7], Some(9));
+        assert_eq!(at[3], Some(0));
+        assert_eq!(at[0], None);
     }
 }

@@ -118,6 +118,7 @@ mod multi;
 mod observation;
 mod protocol;
 mod report;
+mod shard;
 mod simulation;
 mod topology;
 
@@ -139,6 +140,7 @@ pub use multi::{
 pub use observation::{Observation, RumorMeta};
 pub use protocol::{Capabilities, NodeView, Plan, Protocol, Round};
 pub use report::{RoundRecord, RunReport, StopReason};
+pub use shard::{ShardLayout, SHARD_STREAM};
 pub use simulation::{SimConfig, SimState, Simulation};
 pub use telemetry::{BoxedProbe, PhaseTimings, RoundCounters, RoundProbe, StepPhase};
 pub use topology::Topology;

@@ -160,7 +160,14 @@ pub struct MultiSimState<P: Protocol> {
     /// Alive/crashed membership view (see [`AliveCensus`]), the coverage
     /// denominator's source of truth.
     census: AliveCensus,
-    // Per-rumour state (one state vector per rumour, growable under churn).
+    /// Per-rumour protocol state, **sparse**: `states[r]` holds one entry
+    /// per *informed* node, parallel to `informed[r]`'s index list
+    /// (position `p` is the state of `informed[r].list()[p]`). Uninformed
+    /// nodes have no materialised state — `Protocol::init` is pure, so
+    /// the dense `init(false)` entries the old layout stored were
+    /// reconstructible and never read. At n = 10^6+ with few informed
+    /// nodes this is the difference between `O(n · rumours)` and
+    /// `O(informed)` resident state.
     states: Vec<Vec<P::State>>,
     informed: Vec<InformedIndex>,
     alive_informed: Vec<usize>,
@@ -238,7 +245,8 @@ impl<P: Protocol> MultiSimState<P> {
         let mut alive_informed = Vec::with_capacity(nr);
         for inj in injections {
             assert!(inj.origin.index() < n, "rumor origin out of range");
-            states.push((0..n).map(|i| protocol.init(i == inj.origin.index())).collect());
+            // Sparse: only the origin (informed-list position 0) has state.
+            states.push(vec![protocol.init(true)]);
             let mut ix = InformedIndex::new(n);
             ix.mark(inj.origin.index(), 0);
             informed.push(ix);
@@ -338,16 +346,14 @@ impl<P: Protocol> MultiSimState<P> {
     }
 
     /// Accommodates topology growth (new node slots join uninformed, with
-    /// no knowledge of any rumour).
-    pub fn ensure_len(&mut self, protocol: &P, node_count: usize) {
+    /// no knowledge of any rumour — and, with the sparse state layout, no
+    /// materialised protocol state either).
+    pub fn ensure_len(&mut self, _protocol: &P, node_count: usize) {
         if self.n >= node_count {
             return;
         }
-        for r in 0..self.births.len() {
-            while self.states[r].len() < node_count {
-                self.states[r].push(protocol.init(false));
-            }
-            self.informed[r].ensure_len(node_count);
+        for ix in &mut self.informed {
+            ix.ensure_len(node_count);
         }
         self.informed_of.resize(node_count, 0);
         self.push_any.resize(node_count, false);
@@ -389,6 +395,34 @@ impl<P: Protocol> MultiSimState<P> {
                     }
                 }
             }
+        }
+    }
+
+    /// Applies membership **rejoin** deltas: each listed slot is recycled
+    /// for a *fresh* peer (an overlay with slot reuse enabled). The slot's
+    /// engine-side state — informedness, sparse protocol state, choice
+    /// bookkeeping, crash/suspension flags — belonged to the departed peer
+    /// and is reset; the census bumps the slot's generation tag.
+    pub fn apply_rejoins(&mut self, protocol: &P, rejoined: &[NodeId]) {
+        for &v in rejoined {
+            let i = v.index();
+            self.ensure_len(protocol, i + 1);
+            let was_effective = self.census.is_effective(i);
+            for r in 0..self.births.len() {
+                if let Some(p) = self.informed[r].unmark(i) {
+                    // Keep the sparse state vector aligned with the index
+                    // list's swap_remove.
+                    self.states[r].swap_remove(p);
+                    if was_effective {
+                        self.alive_informed[r] -= 1;
+                    }
+                    if self.active[r] && !self.retired[r] {
+                        self.informed_of[i] -= 1;
+                    }
+                }
+            }
+            self.choice.reset_slot(i);
+            self.census.apply_rejoin(i);
         }
     }
 
@@ -440,12 +474,11 @@ impl<P: Protocol> MultiSimState<P> {
             let tl_next = tl + 1;
             let settled = (covered && config.stop_at_coverage)
                 || deadline_hit
-                || self.informed[r].list().iter().all(|&i| {
-                    let i = i as usize;
-                    self.census.is_crashed(i)
+                || self.informed[r].list().iter().enumerate().all(|(idx, &i)| {
+                    self.census.is_crashed(i as usize)
                         || protocol.is_quiescent(
-                            &self.states[r][i],
-                            self.informed[r].at(i).expect("informed list entry"),
+                            &self.states[r][idx],
+                            self.informed[r].at_pos(idx),
                             tl_next,
                         )
                 });
@@ -633,11 +666,10 @@ impl<P: Protocol> MultiSimState<P> {
                 let i = self.informed[r].list()[idx] as usize;
                 let v = NodeId::new(i);
                 let plan = if self.census.is_participating(i) {
-                    let at = self.informed[r].at(i).expect("informed list entry");
                     let view = NodeView {
-                        informed_at: at,
+                        informed_at: self.informed[r].at_pos(idx),
                         is_creator: v == self.origins[r],
-                        state: &self.states[r][i],
+                        state: &self.states[r][idx],
                     };
                     protocol.plan(view, tl)
                 } else {
@@ -768,10 +800,14 @@ impl<P: Protocol> MultiSimState<P> {
                     if self.census.is_effective(i) {
                         self.alive_informed[r] += 1;
                     }
+                    // Sparse state layout: materialise the newcomer's
+                    // state at its informed-list position (the tail).
+                    self.states[r].push(protocol.init(false));
                 }
+                let pos = self.informed[r].pos(i).expect("touched receiver is informed");
                 protocol.update(
-                    &mut self.states[r][i],
-                    self.informed[r].at(i),
+                    &mut self.states[r][pos],
+                    Some(self.informed[r].at_pos(pos)),
                     tl,
                     &self.scratch_obs,
                 );
@@ -785,8 +821,8 @@ impl<P: Protocol> MultiSimState<P> {
                     continue; // offline: protocol state is frozen until recovery
                 }
                 protocol.update(
-                    &mut self.states[r][i],
-                    self.informed[r].at(i),
+                    &mut self.states[r][idx],
+                    Some(self.informed[r].at_pos(idx)),
                     tl,
                     &self.empty_obs,
                 );

@@ -114,9 +114,15 @@ pub struct NodeView<'a, S> {
 /// The paper's Algorithms 1 and 2 live in `rrb-core`; the classic baselines
 /// (push, pull, push&pull, median-counter, quasirandom) in `rrb-baselines`;
 /// trivially simple reference protocols in [`crate::protocols`].
-pub trait Protocol {
+///
+/// Protocols (and their states) must be `Send + Sync`: the sharded step
+/// path fans the RNG-free plan/exchange/update phases out over worker
+/// threads, each holding a shared `&Protocol` and disjoint `&mut` state
+/// chunks. Protocols are plain data (address-oblivious state machines),
+/// so the bounds are vacuous in practice.
+pub trait Protocol: Send + Sync {
     /// Protocol-specific per-node state.
-    type State: Clone + std::fmt::Debug;
+    type State: Clone + std::fmt::Debug + Send + Sync;
 
     /// Initial state; `creator` is true for the rumour's origin.
     fn init(&self, creator: bool) -> Self::State;

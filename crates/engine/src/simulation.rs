@@ -1,4 +1,7 @@
+use std::time::Duration;
+
 use rand::Rng;
+use rayon::prelude::*;
 
 use rrb_graph::NodeId;
 
@@ -6,9 +9,10 @@ use crate::census::AliveCensus;
 use crate::choice::ChoiceState;
 use crate::fabric::{ChannelFabric, InformedIndex};
 use crate::failure::FaultState;
-use crate::observation::ObservationArena;
+use crate::observation::{ObservationArena, RumorMeta};
 use crate::report::StopReason;
-use crate::telemetry::{BoxedProbe, PhaseClock, RoundCounters, StepPhase};
+use crate::shard::{ShardLayout, ShardRuntime};
+use crate::telemetry::{BoxedProbe, PhaseClock, RoundCounters, ShardClock, StepPhase};
 use crate::{
     FailureModel, NodeView, Observation, Plan, Protocol, Round, RoundRecord, RunReport, Topology,
 };
@@ -28,6 +32,13 @@ pub struct SimConfig {
     /// the distinction at the heart of the paper's message-complexity
     /// comparison.
     pub stop_at_coverage: bool,
+    /// Number of node-slot shards the round loop fans out over (see
+    /// `crate::shard`). `1` — the default — runs the exact serial path;
+    /// any value is **seed-for-seed identical** at any shard and thread
+    /// count, because every model RNG draw stays on the main sequential
+    /// stream and cross-shard effects merge in fixed shard order.
+    /// Sharding pays off for large `n` on multi-core hosts.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
@@ -37,6 +48,7 @@ impl Default for SimConfig {
             failures: FailureModel::NONE,
             record_history: false,
             stop_at_coverage: true,
+            shards: 1,
         }
     }
 }
@@ -63,6 +75,14 @@ impl SimConfig {
     /// Builder-style: enable per-round history recording.
     pub fn with_history(mut self) -> Self {
         self.record_history = true;
+        self
+    }
+
+    /// Builder-style: fan the round loop out over `shards` node-slot
+    /// shards (results are identical for every value; see
+    /// [`shards`](Self::shards)).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 }
@@ -164,6 +184,10 @@ pub struct SimState<P: Protocol> {
     arena: ObservationArena,
     scratch_obs: Observation,
     empty_obs: Observation,
+    /// Sharded-path scratch (per-shard arenas, outboxes, informed lists);
+    /// built lazily on the first round with `config.shards > 1` and
+    /// untouched — `None` — on the serial path.
+    shard_rt: Option<ShardRuntime>,
 }
 
 impl<P: Protocol> SimState<P> {
@@ -198,6 +222,7 @@ impl<P: Protocol> SimState<P> {
             arena: ObservationArena::new(node_count),
             scratch_obs: Observation::default(),
             empty_obs: Observation::default(),
+            shard_rt: None,
         }
     }
 
@@ -299,6 +324,31 @@ impl<P: Protocol> SimState<P> {
             if self.census.apply_leave(v.index()) && self.informed.is_informed(v.index()) {
                 self.alive_informed -= 1;
             }
+        }
+    }
+
+    /// Applies membership **rejoin** deltas: each listed slot is recycled
+    /// for a *fresh* peer (an overlay with slot reuse enabled hands
+    /// departed slots to newcomers). The slot's engine-side state —
+    /// informedness, protocol state, standing plan, choice bookkeeping,
+    /// crash/suspension flags — belonged to the departed peer and is
+    /// reset; the census bumps the slot's generation tag.
+    pub fn apply_rejoins(&mut self, protocol: &P, rejoined: &[NodeId]) {
+        for &v in rejoined {
+            let i = v.index();
+            self.ensure_len(protocol, i + 1);
+            if self.informed.unmark(i).is_some() {
+                if self.census.is_effective(i) {
+                    self.alive_informed -= 1;
+                }
+                if let Some(rt) = self.shard_rt.as_mut() {
+                    rt.forget(i);
+                }
+            }
+            self.states[i] = protocol.init(false);
+            self.plans[i] = Plan::SILENT;
+            self.choice.reset_slot(i);
+            self.census.apply_rejoin(i);
         }
     }
 
@@ -506,6 +556,76 @@ impl<P: Protocol> SimState<P> {
         self.channels += channels_this_round;
         clock.lap(&mut self.probe, StepPhase::Fabric);
 
+        // Phases b–d (plan / exchange / update-digest). With
+        // `config.shards > 1` these fan out over the rayon pool: every
+        // model RNG draw has already happened (crash sampling, fabric) or
+        // happens in a serial pre-draw (per-call transmission outcomes),
+        // so the fanned-out work is RNG-free and the results are
+        // byte-identical to the serial path at any shard and thread count
+        // (`tests/sharding.rs`).
+        let (push_tx, pull_tx, newly_informed) = if config.shards > 1 && n > 1 {
+            self.phases_sharded(n, t, protocol, config.shards, failures, fast_path, &mut clock, rng)
+        } else {
+            self.phases_serial(n, t, protocol, failures, fast_path, &mut clock, rng)
+        };
+        self.push_tx += push_tx;
+        self.pull_tx += pull_tx;
+
+        // Hand the fault state back for the next round.
+        self.faults = fault_state;
+
+        // Phase e: coverage bookkeeping — O(1) from the census counters.
+        if self.full_coverage_at.is_none()
+            && self.alive_informed == self.census.effective_alive()
+        {
+            self.full_coverage_at = Some(t);
+            self.tx_at_coverage = Some(self.push_tx + self.pull_tx);
+        }
+        clock.lap(&mut self.probe, StepPhase::Coverage);
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.on_round(&RoundCounters {
+                round: t,
+                informed: self.alive_informed,
+                newly_informed,
+                push_tx,
+                pull_tx,
+                tx: push_tx + pull_tx,
+                channels: channels_this_round,
+                skipped_draws: self.fabric.skipped_last(),
+                alive: self.census.effective_alive(),
+                suspended: self.census.suspended_count(),
+            });
+        }
+
+        let record = RoundRecord {
+            round: t,
+            informed: self.alive_informed,
+            newly_informed,
+            push_tx,
+            pull_tx,
+            channels: channels_this_round,
+        };
+        if config.record_history {
+            self.history.push(record);
+        }
+        record
+    }
+
+    /// Phases b–d of the serial round path (exactly the pre-sharding
+    /// engine): plan over the informed list, exchanges into the flat
+    /// arena, digest. Returns `(push_tx, pull_tx, newly_informed)`.
+    // rrb-lint: hot
+    #[allow(clippy::too_many_arguments)]
+    fn phases_serial<R: Rng + ?Sized>(
+        &mut self,
+        n: usize,
+        t: Round,
+        protocol: &P,
+        failures: FailureModel,
+        fast_path: bool,
+        clock: &mut PhaseClock,
+        rng: &mut R,
+    ) -> (u64, u64, usize) {
         // Phase b: informed nodes decide their plans. Only the informed
         // index list is visited; everyone else keeps a standing SILENT plan,
         // so this phase is O(informed), not O(n).
@@ -585,8 +705,6 @@ impl<P: Protocol> SimState<P> {
                 }
             }
         }
-        self.push_tx += push_tx;
-        self.pull_tx += pull_tx;
         clock.lap(&mut self.probe, StepPhase::Exchange);
 
         // Phase d: digest observations, update informedness. Receivers are
@@ -627,45 +745,249 @@ impl<P: Protocol> SimState<P> {
             protocol.update(&mut self.states[i], self.informed.at(i), t, &self.empty_obs);
         }
         clock.lap(&mut self.probe, StepPhase::Update);
+        (push_tx, pull_tx, newly_informed)
+    }
 
-        // Hand the fault state back for the next round.
-        self.faults = fault_state;
-
-        // Phase e: coverage bookkeeping — O(1) from the census counters.
-        if self.full_coverage_at.is_none()
-            && self.alive_informed == self.census.effective_alive()
-        {
-            self.full_coverage_at = Some(t);
-            self.tx_at_coverage = Some(self.push_tx + self.pull_tx);
+    /// Phases b–d of the sharded round path: one task per contiguous
+    /// node-slot shard for plan, exchange and merge-digest, with the
+    /// per-call transmission outcomes pre-drawn serially (in the exact
+    /// order the serial exchange draws them) so the fan-out touches no
+    /// RNG. Cross-shard push receipts travel through per-(source →
+    /// target) outboxes merged in ascending source-shard order, which
+    /// reproduces the serial engine's global caller order — see
+    /// `crate::shard` for the determinism argument.
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    fn phases_sharded<R: Rng + ?Sized>(
+        &mut self,
+        n: usize,
+        t: Round,
+        protocol: &P,
+        shards: usize,
+        failures: FailureModel,
+        fast_path: bool,
+        clock: &mut PhaseClock,
+        rng: &mut R,
+    ) -> (u64, u64, usize) {
+        if self.shard_rt.is_none() {
+            self.shard_rt = Some(ShardRuntime::new(n, shards, self.informed.list()));
         }
-        clock.lap(&mut self.probe, StepPhase::Coverage);
-        if let Some(p) = self.probe.as_deref_mut() {
-            p.on_round(&RoundCounters {
-                round: t,
-                informed: self.alive_informed,
-                newly_informed,
-                push_tx,
-                pull_tx,
-                tx: push_tx + pull_tx,
-                channels: channels_this_round,
-                skipped_draws: self.fabric.skipped_last(),
-                alive: self.census.effective_alive(),
-                suspended: self.census.suspended_count(),
-            });
-        }
-
-        let record = RoundRecord {
-            round: t,
-            informed: self.alive_informed,
-            newly_informed,
-            push_tx,
-            pull_tx,
-            channels: channels_this_round,
+        let probing = self.probe.is_some();
+        let layout = {
+            let rt = self.shard_rt.as_mut().expect("shard runtime");
+            rt.ensure_len(n);
+            rt.layout
         };
-        if config.record_history {
-            self.history.push(record);
+        let count = layout.count();
+
+        // Phase b (fanned out): informed nodes decide their plans, one
+        // task per shard over its own informed list; writes land in
+        // disjoint per-shard chunks of the plan buffer.
+        {
+            let rt = self.shard_rt.as_ref().expect("shard runtime");
+            let states = &self.states;
+            let informed = &self.informed;
+            let census = &self.census;
+            let creator = self.creator;
+            let mut rest: &mut [Plan] = &mut self.plans[..n];
+            let mut items: Vec<(usize, &mut [Plan], &[u32])> = Vec::with_capacity(count);
+            for s in 0..count {
+                let (chunk, tail) = rest.split_at_mut(layout.range(s, n).len());
+                rest = tail;
+                items.push((s, chunk, rt.informed_lists[s].as_slice()));
+            }
+            let durs: Vec<Duration> = items
+                .into_par_iter()
+                .map(|(s, chunk, list)| {
+                    let sc = ShardClock::armed(probing);
+                    let base = layout.range(s, n).start;
+                    shard_plan(protocol, states, informed, census, creator, t, base, chunk, list);
+                    sc.elapsed()
+                })
+                .collect();
+            if let Some(p) = self.probe.as_deref_mut() {
+                for (s, d) in durs.into_iter().enumerate() {
+                    p.on_shard_phase(s, StepPhase::Plan, d);
+                }
+            }
         }
-        record
+        clock.lap(&mut self.probe, StepPhase::Plan);
+
+        // Serial pre-draw of per-call transmission outcomes, replicating
+        // the serial exchange's interleaved draw order exactly (push draw
+        // then pull draw per usable channel, callers ascending). Skipped
+        // entirely when the transmission rate is zero — the serial
+        // engine's draws short-circuit without touching the RNG then.
+        let tx_draws = !fast_path && failures.transmission_failure > 0.0;
+        if tx_draws {
+            let rt = self.shard_rt.as_mut().expect("shard runtime");
+            rt.push_ok.clear();
+            rt.push_ok.resize(self.fabric.len(), false);
+            rt.pull_ok.clear();
+            rt.pull_ok.resize(self.fabric.len(), false);
+            for i in 0..n {
+                let range = self.fabric.out_range(i);
+                if range.is_empty() {
+                    continue;
+                }
+                let caller_push = self.plans[i].push;
+                for c in range {
+                    if !self.fabric.usable(c) {
+                        continue;
+                    }
+                    if caller_push {
+                        rt.push_ok[c] = failures.transmission_ok(rng);
+                    }
+                    if self.plans[self.fabric.target(c).index()].pull_serve {
+                        rt.pull_ok[c] = failures.transmission_ok(rng);
+                    }
+                }
+            }
+        }
+
+        // Phase c (fanned out): each shard walks its own callers'
+        // channels. Pull receipts land directly in the shard's local
+        // arena (the receiver is the caller); push receipts — same-shard
+        // ones included — go through the outboxes so the merge phase can
+        // reproduce the global caller order.
+        let (push_tx, pull_tx) = {
+            let rt = self.shard_rt.as_mut().expect("shard runtime");
+            let fabric = &self.fabric;
+            let plans = &self.plans;
+            let ShardRuntime { arenas, outboxes, push_ok, pull_ok, .. } = rt;
+            let push_ok = &*push_ok;
+            let pull_ok = &*pull_ok;
+            let taken_arenas = std::mem::take(arenas);
+            let taken_outboxes = std::mem::take(outboxes);
+            let items: Vec<(usize, ObservationArena, Vec<Vec<(u32, RumorMeta)>>)> = taken_arenas
+                .into_iter()
+                .zip(taken_outboxes)
+                .enumerate()
+                .map(|(s, (a, o))| (s, a, o))
+                .collect();
+            let results: Vec<_> = items
+                .into_par_iter()
+                .map(|(s, mut arena, mut outbox)| {
+                    let sc = ShardClock::armed(probing);
+                    arena.begin_round();
+                    for row in outbox.iter_mut() {
+                        row.clear();
+                    }
+                    let (ptx, pltx) = shard_exchange(
+                        fabric,
+                        plans,
+                        push_ok,
+                        pull_ok,
+                        layout,
+                        layout.range(s, n),
+                        fast_path,
+                        tx_draws,
+                        &mut arena,
+                        &mut outbox,
+                    );
+                    (arena, outbox, ptx, pltx, sc.elapsed())
+                })
+                .collect();
+            let mut push_tx = 0u64;
+            let mut pull_tx = 0u64;
+            for (s, (arena, outbox, ptx, pltx, d)) in results.into_iter().enumerate() {
+                arenas.push(arena);
+                outboxes.push(outbox);
+                push_tx += ptx;
+                pull_tx += pltx;
+                if let Some(p) = self.probe.as_deref_mut() {
+                    p.on_shard_phase(s, StepPhase::Exchange, d);
+                }
+            }
+            (push_tx, pull_tx)
+        };
+        clock.lap(&mut self.probe, StepPhase::Exchange);
+
+        // Phase d (fanned out): each shard merges its incoming push
+        // receipts (ascending source-shard order) into its arena, builds
+        // it, and digests its own receivers and informed-but-silent
+        // nodes against disjoint chunks of the protocol-state vector.
+        // Marks are deferred: tasks only *read* the pre-round informed
+        // index and report newly-informed slots for the serial finalize.
+        {
+            let rt = self.shard_rt.as_mut().expect("shard runtime");
+            let informed = &self.informed;
+            let census = &self.census;
+            let empty_obs = &self.empty_obs;
+            let ShardRuntime { arenas, outboxes, informed_lists, newly, scratch, .. } = rt;
+            let outboxes = &*outboxes;
+            let taken_arenas = std::mem::take(arenas);
+            let taken_newly = std::mem::take(newly);
+            let taken_scratch = std::mem::take(scratch);
+            let mut rest: &mut [P::State] = &mut self.states[..n];
+            let mut items: Vec<(
+                usize,
+                ObservationArena,
+                &mut [P::State],
+                Vec<u32>,
+                Observation,
+                &[u32],
+            )> = Vec::with_capacity(count);
+            for (s, ((arena, nl), sc)) in
+                taken_arenas.into_iter().zip(taken_newly).zip(taken_scratch).enumerate()
+            {
+                let (chunk, tail) = rest.split_at_mut(layout.range(s, n).len());
+                rest = tail;
+                items.push((s, arena, chunk, nl, sc, informed_lists[s].as_slice()));
+            }
+            let results: Vec<_> = items
+                .into_par_iter()
+                .map(|(s, mut arena, chunk, mut nl, mut sc_obs, list)| {
+                    let scl = ShardClock::armed(probing);
+                    let base = layout.range(s, n).start;
+                    shard_merge_digest(
+                        protocol,
+                        outboxes,
+                        informed,
+                        census,
+                        empty_obs,
+                        t,
+                        s,
+                        base,
+                        &mut arena,
+                        chunk,
+                        &mut nl,
+                        &mut sc_obs,
+                        list,
+                    );
+                    (arena, nl, sc_obs, scl.elapsed())
+                })
+                .collect();
+            for (s, (arena, nl, sc_obs, d)) in results.into_iter().enumerate() {
+                arenas.push(arena);
+                newly.push(nl);
+                scratch.push(sc_obs);
+                if let Some(p) = self.probe.as_deref_mut() {
+                    p.on_shard_phase(s, StepPhase::Update, d);
+                }
+            }
+        }
+
+        // Serial finalize, fixed shard order: apply the deferred marks,
+        // maintain the census numerator and the per-shard informed lists.
+        let mut newly_informed = 0usize;
+        {
+            let rt = self.shard_rt.as_mut().expect("shard runtime");
+            for s in 0..count {
+                for ix in 0..rt.newly[s].len() {
+                    let gi = rt.newly[s][ix];
+                    let i = gi as usize;
+                    if self.informed.mark(i, t) {
+                        newly_informed += 1;
+                        if self.census.is_effective(i) {
+                            self.alive_informed += 1;
+                        }
+                        rt.informed_lists[s].push(gi);
+                    }
+                }
+            }
+        }
+        clock.lap(&mut self.probe, StepPhase::Update);
+        (push_tx, pull_tx, newly_informed)
     }
 
     /// Runs rounds until a stopping condition fires.
@@ -697,6 +1019,157 @@ impl<P: Protocol> SimState<P> {
             stop: self.stop.unwrap_or(StopReason::RoundCap),
             history: self.history,
         }
+    }
+}
+
+/// One shard's plan fan-out: fill this shard's chunk of the plan buffer
+/// (`chunk[i - base]`) from its informed list. RNG-free and read-only on
+/// all shared state — thread scheduling cannot affect it.
+#[allow(clippy::too_many_arguments)]
+// rrb-lint: hot
+fn shard_plan<P: Protocol>(
+    protocol: &P,
+    states: &[P::State],
+    informed: &InformedIndex,
+    census: &AliveCensus,
+    creator: NodeId,
+    t: Round,
+    base: usize,
+    chunk: &mut [Plan],
+    list: &[u32],
+) {
+    for &gi in list {
+        let i = gi as usize;
+        let v = NodeId::new(i);
+        chunk[i - base] = match informed.at(i) {
+            Some(at) if census.is_participating(i) => {
+                let view =
+                    NodeView { informed_at: at, is_creator: v == creator, state: &states[i] };
+                protocol.plan(view, t)
+            }
+            _ => Plan::SILENT,
+        };
+    }
+}
+
+/// One shard's exchange fan-out over its own callers' channels. Delivery
+/// outcomes come from the serial pre-draw tables (`push_ok`/`pull_ok`,
+/// unused when `tx_draws` is false) — no RNG here. Pull receipts are
+/// recorded straight into the shard-local arena (the receiver is the
+/// caller); every push receipt goes through the per-target-shard outbox.
+#[allow(clippy::too_many_arguments)]
+// rrb-lint: hot
+fn shard_exchange(
+    fabric: &ChannelFabric,
+    plans: &[Plan],
+    push_ok: &[bool],
+    pull_ok: &[bool],
+    layout: ShardLayout,
+    range: std::ops::Range<usize>,
+    fast_path: bool,
+    tx_draws: bool,
+    arena: &mut ObservationArena,
+    outbox: &mut [Vec<(u32, RumorMeta)>],
+) -> (u64, u64) {
+    let base = range.start;
+    let mut push_tx = 0u64;
+    let mut pull_tx = 0u64;
+    for i in range {
+        let out = fabric.out_range(i);
+        if out.is_empty() {
+            continue;
+        }
+        let caller_plan = plans[i];
+        for c in out {
+            if !fast_path && !fabric.usable(c) {
+                continue;
+            }
+            let w = fabric.target(c).index();
+            // push: caller -> callee (failed transmissions are counted
+            // but not delivered, exactly as in the serial exchange).
+            if caller_plan.push {
+                push_tx += 1;
+                if !tx_draws || push_ok[c] {
+                    outbox[layout.shard_of(w)].push((w as u32, caller_plan.meta));
+                }
+            }
+            // pull: callee -> caller.
+            let callee_plan = plans[w];
+            if callee_plan.pull_serve {
+                pull_tx += 1;
+                if !tx_draws || pull_ok[c] {
+                    arena.record_pull(i - base, callee_plan.meta);
+                }
+            }
+        }
+    }
+    (push_tx, pull_tx)
+}
+
+/// One shard's merge + digest fan-out: merge incoming push receipts in
+/// ascending source-shard order (sources are contiguous ascending slot
+/// ranges, so this reproduces the serial engine's global caller order),
+/// build the shard arena, digest touched receivers and informed-but-
+/// silent nodes into this shard's state chunk. Newly informed slots are
+/// only *reported* (`newly`); the serial finalize applies the marks.
+#[allow(clippy::too_many_arguments)]
+// rrb-lint: hot
+fn shard_merge_digest<P: Protocol>(
+    protocol: &P,
+    outboxes: &[Vec<Vec<(u32, RumorMeta)>>],
+    informed: &InformedIndex,
+    census: &AliveCensus,
+    empty_obs: &Observation,
+    t: Round,
+    s: usize,
+    base: usize,
+    arena: &mut ObservationArena,
+    chunk: &mut [P::State],
+    newly: &mut Vec<u32>,
+    scratch: &mut Observation,
+    list: &[u32],
+) {
+    for row in outboxes {
+        for &(w, meta) in &row[s] {
+            arena.record_push(w as usize - base, meta);
+        }
+    }
+    arena.build();
+    newly.clear();
+    for dense in 0..arena.touched().len() {
+        let li = arena.touched()[dense] as usize;
+        let gi = base + li;
+        let (pushes, pulls) = arena.segment(dense);
+        scratch.pushes.clear();
+        scratch.pulls.clear();
+        scratch.pushes.extend_from_slice(pushes);
+        scratch.pulls.extend_from_slice(pulls);
+        // The serial digest marks before updating, so a receiver's
+        // `informed_at` is its original round — or `t` when new. Marks
+        // are deferred here, so reproduce that view explicitly.
+        let at = match informed.at(gi) {
+            Some(at) => at,
+            None => {
+                newly.push(gi as u32);
+                t
+            }
+        };
+        protocol.update(&mut chunk[li], Some(at), t, scratch);
+    }
+    // Informed nodes that heard nothing still observe the (empty) round,
+    // so counter-based protocols advance through silent rounds. `list` is
+    // the shard's pre-round informed list — newly informed receivers are
+    // not in it yet, exactly like the serial engine's snapshot bound.
+    for &gi in list {
+        let i = gi as usize;
+        let li = i - base;
+        if arena.heard(li) {
+            continue; // already digested above
+        }
+        if census.is_suspended(i) {
+            continue; // offline: protocol state is frozen until recovery
+        }
+        protocol.update(&mut chunk[li], informed.at(i), t, empty_obs);
     }
 }
 

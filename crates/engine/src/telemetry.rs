@@ -146,6 +146,15 @@ pub trait RoundProbe: std::fmt::Debug {
         let _ = counters;
     }
 
+    /// One shard's slice of a fanned-out phase took `elapsed` wall-clock
+    /// time (sharded step path only; serial rounds never call this).
+    /// Shard durations overlap in real time — they attribute *work*, not
+    /// critical-path latency; the aggregate [`on_phase`](Self::on_phase)
+    /// lap still reports the barrier-to-barrier phase time.
+    fn on_shard_phase(&mut self, shard: usize, phase: StepPhase, elapsed: Duration) {
+        let _ = (shard, phase, elapsed);
+    }
+
     /// Concrete-type access, so accumulated telemetry can be read back out
     /// of a boxed probe after `take_probe` (implement as `self`).
     fn as_any(&self) -> &dyn std::any::Any;
@@ -177,12 +186,36 @@ impl PhaseClock {
     }
 }
 
+/// Per-shard stopwatch for the sharded step path's fanned-out phases.
+/// Created *inside* each shard task, so it measures that shard's own
+/// work; armed only when a probe is installed (the unarmed path never
+/// reads the clock). Lives here so the engine's simulation modules never
+/// name `Instant` — the no-wall-clock lint allowlists only telemetry.
+#[derive(Debug)]
+pub(crate) struct ShardClock(Option<Instant>);
+
+impl ShardClock {
+    /// Starts the clock iff `probing`.
+    pub(crate) fn armed(probing: bool) -> Self {
+        ShardClock(if probing { Some(Instant::now()) } else { None })
+    }
+
+    /// Time since arming ([`Duration::ZERO`] when unarmed).
+    pub(crate) fn elapsed(&self) -> Duration {
+        self.0.map_or(Duration::ZERO, |start| start.elapsed())
+    }
+}
+
 /// Built-in accumulator probe: per-phase wall-clock totals, per-round
-/// counter totals, and a peak-RSS high-water mark sampled once per round
-/// from `/proc/self/status` (the E10 memory-smoke probe).
+/// counter totals, per-shard phase totals (sharded runs only), and a
+/// peak-RSS high-water mark sampled once per round from
+/// `/proc/self/status` (the E10 memory-smoke probe).
 #[derive(Debug, Clone, Default)]
 pub struct PhaseTimings {
     totals: [Duration; StepPhase::COUNT],
+    /// Per-shard phase totals; empty until the first `on_shard_phase`
+    /// (serial runs never grow it), then grown to the shard count once.
+    shard_totals: Vec<[Duration; StepPhase::COUNT]>,
     rounds: u32,
     newly_informed: u64,
     tx: u64,
@@ -217,6 +250,22 @@ impl PhaseTimings {
             *slot = d.as_secs_f64() * 1e3;
         }
         ms
+    }
+
+    /// Per-shard per-phase totals in milliseconds (one row per shard,
+    /// each ordered as [`StepPhase::ALL`]). Empty for serial runs; only
+    /// the fanned-out phases accumulate nonzero entries.
+    pub fn shard_phase_ms(&self) -> Vec<[f64; StepPhase::COUNT]> {
+        self.shard_totals
+            .iter()
+            .map(|row| {
+                let mut ms = [0.0; StepPhase::COUNT];
+                for (slot, d) in ms.iter_mut().zip(row) {
+                    *slot = d.as_secs_f64() * 1e3;
+                }
+                ms
+            })
+            .collect()
     }
 
     /// Total transmissions observed across all rounds.
@@ -264,6 +313,13 @@ impl PhaseTimings {
 impl RoundProbe for PhaseTimings {
     fn on_phase(&mut self, phase: StepPhase, elapsed: Duration) {
         self.totals[phase.index()] += elapsed;
+    }
+
+    fn on_shard_phase(&mut self, shard: usize, phase: StepPhase, elapsed: Duration) {
+        if self.shard_totals.len() <= shard {
+            self.shard_totals.resize(shard + 1, [Duration::ZERO; StepPhase::COUNT]);
+        }
+        self.shard_totals[shard][phase.index()] += elapsed;
     }
 
     fn on_round(&mut self, counters: &RoundCounters) {

@@ -44,6 +44,26 @@ fn rng_literal_fixture() {
 }
 
 #[test]
+fn stream_dup_fixture() {
+    // Cross-file collision: each file is locally clean, but the engine's
+    // shard stream reuses the bench topology stream's value, so the
+    // pairwise-distinctness pass fires on the later-collected constant
+    // (files are scanned in sorted path order) and cites the earlier one.
+    assert_diags(
+        "stream_dup",
+        &[("rng-stream-discipline", "crates/engine/src/shard.rs", 5)],
+    );
+    let diag = &lint_fixture("stream_dup")[0];
+    assert!(
+        diag.msg.contains("SHARD_STREAM")
+            && diag.msg.contains("TOPOLOGY_STREAM")
+            && diag.msg.contains("crates/bench/src/lib.rs"),
+        "collision message must cite both constants: {}",
+        diag.msg
+    );
+}
+
+#[test]
 fn wall_clock_fixture() {
     assert_diags(
         "wall_clock",
@@ -137,7 +157,15 @@ fn unused_allowlist_entry_is_reported_stale() {
 fn every_rule_has_fixture_coverage() {
     // The acceptance bar: all six rules demonstrably fire. Collect every
     // rule id seen across the bad fixtures and compare with the registry.
-    let mut seen: Vec<&str> = ["rng_literal", "wall_clock", "ambient_rand", "probe_rng", "hygiene", "hot_alloc"]
+    let mut seen: Vec<&str> = [
+        "rng_literal",
+        "stream_dup",
+        "wall_clock",
+        "ambient_rand",
+        "probe_rng",
+        "hygiene",
+        "hot_alloc",
+    ]
         .iter()
         .flat_map(|f| lint_fixture(f))
         .map(|d| d.rule)

@@ -1,0 +1,9 @@
+#![forbid(unsafe_code)]
+// Fixture: rng-stream-discipline, cross-file half. Mirrors the real
+// repo's reserved topology stream; on its own this file is clean.
+
+pub const TOPOLOGY_STREAM: u64 = 0x7070_1070;
+
+pub fn stream() -> u64 {
+    TOPOLOGY_STREAM
+}

@@ -1,0 +1,9 @@
+// Fixture: rng-stream-discipline, cross-file half. A shard-layer stream
+// constant reusing the bench layer's topology value must be flagged by
+// the pairwise-distinctness pass even though each file is locally clean.
+
+pub const SHARD_STREAM: u64 = 0x7070_1070;
+
+pub fn stream() -> u64 {
+    SHARD_STREAM
+}

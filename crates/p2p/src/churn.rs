@@ -50,17 +50,26 @@ impl ChurnStats {
 /// twins), rather than mere counters.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ChurnEvents {
-    /// Slots that came alive this step (fresh ids — the overlay never
-    /// recycles slots), in application order.
+    /// Slots that came alive this step on **fresh ids** (slot growth), in
+    /// application order. Consumed by `apply_joins`.
     pub joined: Vec<NodeId>,
     /// Slots that went dead this step, in application order.
     pub left: Vec<NodeId>,
+    /// Slots **recycled** for a newcomer this step (only with the
+    /// overlay's slot reuse enabled), in application order. These must go
+    /// through the engines' `apply_rejoins` — the recycled slot's
+    /// per-node state belongs to a departed peer and must be reset.
+    pub rejoined: Vec<NodeId>,
 }
 
 impl ChurnEvents {
-    /// Event counters (the old `ChurnStats` view of this step).
+    /// Event counters (the old `ChurnStats` view of this step; rejoins
+    /// count as joins).
     pub fn stats(&self) -> ChurnStats {
-        ChurnStats { joins: self.joined.len() as u64, leaves: self.left.len() as u64 }
+        ChurnStats {
+            joins: (self.joined.len() + self.rejoined.len()) as u64,
+            leaves: self.left.len() as u64,
+        }
     }
 }
 
@@ -105,7 +114,15 @@ impl ChurnProcess {
         self.leave_debt += self.leaves_per_step;
         while self.join_debt >= 1.0 {
             self.join_debt -= 1.0;
-            events.joined.push(overlay.join(rng)?);
+            // Classify by slot growth: a join that did not extend the slot
+            // space recycled a departed slot (overlay slot reuse).
+            let slots = rrb_engine::Topology::node_count(overlay);
+            let v = overlay.join(rng)?;
+            if v.index() < slots {
+                events.rejoined.push(v);
+            } else {
+                events.joined.push(v);
+            }
         }
         while self.leave_debt >= 1.0 {
             self.leave_debt -= 1.0;
@@ -181,6 +198,37 @@ mod tests {
         assert_eq!(
             o.alive_count() as i64 - before as i64,
             events.joined.len() as i64 - events.left.len() as i64
+        );
+    }
+
+    #[test]
+    fn slot_reuse_classifies_rejoins_and_bounds_growth() {
+        // With overlay slot reuse on, symmetric churn must settle into a
+        // steady state where joins recycle departed slots: after the
+        // first few steps every join is a rejoin and the slot space stops
+        // growing — the fix for unbounded slot growth on long churn runs.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut o = Overlay::random(64, 6, &mut rng).unwrap().with_slot_reuse(true);
+        let mut churn = ChurnProcess::symmetric(2.0, 32);
+        let mut rejoins = 0u64;
+        let mut fresh = 0u64;
+        for step in 0..200 {
+            let events = churn.step(&mut o, &mut rng).unwrap();
+            rejoins += events.rejoined.len() as u64;
+            fresh += events.joined.len() as u64;
+            for &v in &events.rejoined {
+                assert!(o.is_alive(v) || events.left.contains(&v));
+            }
+            assert_eq!(events.stats().joins, 2, "step {step}");
+            o.check_invariants().unwrap();
+        }
+        assert_eq!(o.alive_count(), 64);
+        assert!(fresh <= 4, "steady-state joins must recycle, {fresh} grew slots");
+        assert_eq!(rejoins + fresh, 400);
+        assert!(
+            Topology::node_count(&o) <= 64 + 4,
+            "slot space grew to {}",
+            Topology::node_count(&o)
         );
     }
 

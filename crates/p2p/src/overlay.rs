@@ -72,9 +72,16 @@ impl From<rrb_graph::GraphError> for OverlayError {
 ///   set between churn events, the role played by flip chains \[29\] in real
 ///   systems.
 ///
-/// Dead slots are retained (ids stay stable for the engine) and **never
-/// recycled** — a rejoining peer is a fresh identity, so engine-side state
-/// cannot leak between peer generations.
+/// Dead slots are retained (ids stay stable for the engine) and, by
+/// default, **never recycled** — a rejoining peer is a fresh identity, so
+/// engine-side state cannot leak between peer generations. Long churn
+/// runs can instead opt into **slot reuse**
+/// ([`with_slot_reuse`](Overlay::with_slot_reuse)): departed slots go on
+/// a free list and joins pop it, bounding slot growth. Reused joins are
+/// surfaced as *rejoins* by the churn driver so the engines can reset the
+/// recycled slot's state (`apply_rejoins` + census generation tags) —
+/// the leak the default mode avoids structurally is then prevented
+/// explicitly.
 #[derive(Debug, Clone)]
 pub struct Overlay {
     /// Stub lists; `adj[v]` holds one entry per incident stub (self-loops
@@ -83,6 +90,11 @@ pub struct Overlay {
     alive: Vec<bool>,
     alive_count: usize,
     target_degree: usize,
+    /// Opt-in slot recycling (default off; see the type docs).
+    reuse_slots: bool,
+    /// Departed slot indices available for reuse (LIFO), only maintained
+    /// when `reuse_slots` is set.
+    free: Vec<usize>,
 }
 
 impl Overlay {
@@ -103,7 +115,30 @@ impl Overlay {
         let n = g.node_count();
         let adj: Vec<Vec<NodeId>> =
             (0..n).map(|i| g.neighbors(NodeId::new(i)).to_vec()).collect();
-        Overlay { adj, alive: vec![true; n], alive_count: n, target_degree }
+        Overlay {
+            adj,
+            alive: vec![true; n],
+            alive_count: n,
+            target_degree,
+            reuse_slots: false,
+            free: Vec::new(),
+        }
+    }
+
+    /// Enables (or disables) slot recycling: with reuse on, a join pops
+    /// the most recently departed slot instead of growing the slot space,
+    /// so a long symmetric-churn run keeps a bounded footprint. Engine
+    /// consumers must apply the churn driver's `rejoined` events so
+    /// recycled slots start from fresh state. Existing free slots are kept
+    /// when toggling off and ignored until re-enabled.
+    pub fn with_slot_reuse(mut self, reuse: bool) -> Self {
+        self.reuse_slots = reuse;
+        self
+    }
+
+    /// Whether joins recycle departed slots.
+    pub fn reuses_slots(&self) -> bool {
+        self.reuse_slots
     }
 
     /// Target degree new nodes aim for.
@@ -151,12 +186,20 @@ impl Overlay {
             return Err(OverlayError::TooSmall { alive: self.alive_count, needed: 2 });
         }
         let splices = (self.target_degree / 2).max(1);
-        // A joining peer is a *fresh identity*: dead slots are never
-        // recycled, so engine-side per-node state (informedness, protocol
-        // state) can never leak from a departed peer into a newcomer.
-        self.adj.push(Vec::new());
-        self.alive.push(false);
-        let new_idx = self.adj.len() - 1;
+        // By default a joining peer is a *fresh identity*: dead slots are
+        // never recycled, so engine-side per-node state (informedness,
+        // protocol state) can never leak from a departed peer into a
+        // newcomer. With slot reuse enabled, a departed slot is popped
+        // instead; callers observe the reuse through the churn driver's
+        // `rejoined` events and must reset the recycled slot's state.
+        let new_idx = match self.reuse_slots.then(|| self.free.pop()).flatten() {
+            Some(slot) => slot,
+            None => {
+                self.adj.push(Vec::new());
+                self.alive.push(false);
+                self.adj.len() - 1
+            }
+        };
         let new_id = NodeId::new(new_idx);
         self.alive[new_idx] = true;
         self.alive_count += 1;
@@ -197,6 +240,9 @@ impl Overlay {
         self.adj[vi].clear();
         self.alive[vi] = false;
         self.alive_count -= 1;
+        if self.reuse_slots {
+            self.free.push(vi);
+        }
         // Remove the mirror stubs at the neighbours.
         for &w in &endpoints {
             let pos = self.adj[w.index()]
@@ -479,6 +525,26 @@ mod tests {
         assert_eq!(fresh.index(), slots_before);
         assert_eq!(Topology::node_count(&o), slots_before + 1);
         assert!(!o.is_alive(gone));
+    }
+
+    #[test]
+    fn slot_reuse_recycles_departed_slots() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut o = Overlay::random(32, 4, &mut rng).unwrap().with_slot_reuse(true);
+        assert!(o.reuses_slots());
+        let gone = o.random_alive(&mut rng);
+        o.leave(gone, &mut rng).unwrap();
+        let slots_before = Topology::node_count(&o);
+        let back = o.join(&mut rng).unwrap();
+        assert_eq!(back, gone, "reuse must pop the departed slot");
+        assert_eq!(Topology::node_count(&o), slots_before, "no slot growth");
+        assert!(o.is_alive(back));
+        assert_eq!(o.degree(back), 4);
+        o.check_invariants().unwrap();
+        // With the free list drained, joins grow fresh slots again.
+        let fresh = o.join(&mut rng).unwrap();
+        assert_eq!(fresh.index(), slots_before);
+        o.check_invariants().unwrap();
     }
 
     #[test]

@@ -129,16 +129,19 @@ fn usage() -> String {
      or rrb [options]\n\
      \n\
      registry subcommands:\n\
-     list [--json]            registered experiments (e1..e20)\n\
+     list [--json]            registered experiments (e1..e21)\n\
      describe <exp> [--quick] [--json]\n\
      \u{20}                        an experiment's scenario specs as JSON\n\
      run <exp>                run an experiment; flags: --quick --seeds N --threads N --json PATH\n\
+     \u{20}                        --shards N (split each run's node slots over N shards; results\n\
+     \u{20}                        are seed-for-seed identical at any shard/thread count)\n\
      \u{20}                        --out DIR (write one run-artifact JSONL record per rung instead\n\
      \u{20}                        of the human-readable report)\n\
      run --spec FILE          run a ScenarioSpec JSON file (one object, or an array = a ladder)\n\
      compare BASE CAND        diff two artifact directories written by `run --out`;\n\
-     \u{20}                        flags: --wall-tol F (default 0.5) --stat-tol F (default 0);\n\
-     \u{20}                        exits 1 when anything drifts outside the bands\n\
+     \u{20}                        flags: --wall-tol F (default 0.5) --stat-tol F (default 0)\n\
+     \u{20}                        --rss-budget-kib N (fail any candidate whose peak RSS\n\
+     \u{20}                        exceeds N KiB); exits 1 when anything drifts outside the bands\n\
      \n\
      ad-hoc mode options:\n\
      --topology   regular | config | gnp | complete | hypercube | torus | pa  (default regular)\n\
@@ -242,6 +245,7 @@ struct RunFlags {
     quick: bool,
     seeds: Option<u64>,
     threads: Option<usize>,
+    shards: Option<usize>,
     json_path: Option<String>,
     out_dir: Option<String>,
 }
@@ -261,6 +265,10 @@ fn parse_run_flags(args: &[String]) -> Result<RunFlags, String> {
             "--threads" => {
                 f.threads =
                     Some(take("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?)
+            }
+            "--shards" => {
+                f.shards =
+                    Some(take("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?)
             }
             "--json" => f.json_path = Some(take("--json")?),
             "--out" => f.out_dir = Some(take("--out")?),
@@ -284,7 +292,7 @@ fn parse_run_flags(args: &[String]) -> Result<RunFlags, String> {
 }
 
 fn exp_config_from(flags: &RunFlags) -> ExpConfig {
-    ExpConfig::with_flags(flags.quick, flags.seeds, flags.threads)
+    ExpConfig::with_flags(flags.quick, flags.seeds, flags.threads, flags.shards)
 }
 
 fn cmd_list(args: &[String]) -> ExitCode {
@@ -539,7 +547,10 @@ fn cmd_compare(args: &[String]) -> ExitCode {
     let mut tol = Tolerance::default();
     let mut it = args.iter().peekable();
     let err = |msg: String| {
-        eprintln!("{msg}\nusage: rrb compare BASELINE_DIR CANDIDATE_DIR [--wall-tol F] [--stat-tol F]");
+        eprintln!(
+            "{msg}\nusage: rrb compare BASELINE_DIR CANDIDATE_DIR [--wall-tol F] [--stat-tol F] \
+             [--rss-budget-kib N]"
+        );
         ExitCode::FAILURE
     };
     while let Some(arg) = it.next() {
@@ -556,6 +567,11 @@ fn cmd_compare(args: &[String]) -> ExitCode {
             },
             "--stat-tol" => match take("--stat-tol") {
                 Ok(v) => tol.stat_tol = v,
+                Err(e) => return err(e),
+            },
+            "--rss-budget-kib" => match take("--rss-budget-kib") {
+                Ok(v) if v >= 0.0 && v.fract() == 0.0 => tol.rss_budget_kib = Some(v as u64),
+                Ok(_) => return err("--rss-budget-kib: expected a non-negative integer".into()),
                 Err(e) => return err(e),
             },
             other if !other.starts_with('-') => dirs.push(other.to_string()),
@@ -706,12 +722,16 @@ mod tests {
 
     #[test]
     fn run_flags_parse() {
-        let f = parse_run_flags(&args(&["e5", "--quick", "--seeds", "4", "--json", "o.json"]))
-            .unwrap();
+        let f = parse_run_flags(&args(&[
+            "e5", "--quick", "--seeds", "4", "--shards", "4", "--json", "o.json",
+        ]))
+        .unwrap();
         assert_eq!(f.name.as_deref(), Some("e5"));
         assert!(f.quick);
         assert_eq!(f.seeds, Some(4));
+        assert_eq!(f.shards, Some(4));
         assert_eq!(f.json_path.as_deref(), Some("o.json"));
+        assert!(parse_run_flags(&args(&["e5", "--shards", "x"])).is_err());
         let f = parse_run_flags(&args(&["--spec", "s.json"])).unwrap();
         assert_eq!(f.spec_path.as_deref(), Some("s.json"));
         assert!(parse_run_flags(&args(&["--quick"])).is_err()); // no target
